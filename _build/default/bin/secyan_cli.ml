@@ -1,0 +1,283 @@
+(* secyan_cli — run, inspect, and estimate the paper's TPC-H queries from
+   the command line.
+
+     secyan_cli run --query q3 --scale m
+     secyan_cli run --query q9 --sf 0.0004 --backend real --verify
+     secyan_cli plan --query q18 --scale xs
+     secyan_cli estimate --query q3 --scale l
+     secyan_cli generate --scale s *)
+
+open Cmdliner
+open Secyan_crypto
+open Secyan_relational
+
+(* --- shared argument definitions ----------------------------------- *)
+
+let scale_arg =
+  let doc = "Dataset scale preset (xs, s, m, l, xl)." in
+  Arg.(value & opt (some string) None & info [ "scale" ] ~docv:"PRESET" ~doc)
+
+let sf_arg =
+  let doc = "TPC-H scale factor (overrides --scale)." in
+  Arg.(value & opt (some float) None & info [ "sf" ] ~docv:"SF" ~doc)
+
+let seed_arg =
+  let doc = "Random seed for data generation and the protocol." in
+  Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let query_arg =
+  let doc = "Query: q3, q10, q18, q8 or q9." in
+  Arg.(required & opt (some (enum
+    [ ("q3", `Q3); ("q10", `Q10); ("q18", `Q18); ("q8", `Q8); ("q9", `Q9) ]))
+    None & info [ "q"; "query" ] ~docv:"QUERY" ~doc)
+
+let backend_arg =
+  let doc = "Garbled-circuit backend: sim (default; cost-exact simulation) or real \
+             (actual half-gates garbling; slow)." in
+  Arg.(value & opt (enum [ ("sim", Context.Sim); ("real", Context.Real) ]) Context.Sim
+    & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
+let verify_arg =
+  let doc = "Cross-check the secure result against the plaintext Yannakakis run." in
+  Arg.(value & flag & info [ "verify" ] ~doc)
+
+let resolve_sf scale sf =
+  match sf, scale with
+  | Some sf, _ -> sf
+  | None, Some preset -> Secyan_tpch.Datagen.preset_sf preset
+  | None, None -> Secyan_tpch.Datagen.preset_sf "xs"
+
+(* --- run ----------------------------------------------------------- *)
+
+let print_rows (r : Relation.t) =
+  let rows = Relation.nonzero r in
+  Fmt.pr "%d result rows:@." (List.length rows);
+  List.iteri
+    (fun i (t, a) ->
+      if i < 25 then Fmt.pr "  %a -> %Ld@." Tuple.pp t a
+      else if i = 25 then Fmt.pr "  ... (%d more)@." (List.length rows - 25))
+    rows
+
+let print_cost (tally : Comm.tally) seconds =
+  Fmt.pr "@.cost: %.3f s, %.2f MB (%d bits A->B, %d bits B->A), %d rounds@." seconds
+    (Comm.total_megabytes tally) tally.Comm.alice_to_bob_bits tally.Comm.bob_to_alice_bits
+    tally.Comm.rounds
+
+let content output (r : Relation.t) =
+  Relation.nonzero r
+  |> List.filter (fun (t, _) -> not (Tuple.is_dummy t))
+  |> List.map (fun (t, a) -> (Tuple.repr (Tuple.project r.Relation.schema output t), a))
+  |> List.sort compare
+
+let run_cmd query scale sf seed backend verify =
+  let sf = resolve_sf scale sf in
+  let d = Secyan_tpch.Datagen.generate ~sf ~seed in
+  Fmt.pr "dataset: sf=%g (%d total rows)@." sf (Secyan_tpch.Datagen.total_rows d);
+  let ctx = Secyan_tpch.Queries.context ~gc_backend:backend ~seed () in
+  let simple q =
+    Fmt.pr "query %s, join tree %a (root %s)@." q.Secyan.Query.name Join_tree.pp
+      q.Secyan.Query.tree (Join_tree.root q.Secyan.Query.tree);
+    let revealed, stats = Secyan.Secure_yannakakis.run ctx q in
+    print_rows revealed;
+    print_cost stats.Secyan.Secure_yannakakis.tally stats.Secyan.Secure_yannakakis.seconds;
+    if verify then begin
+      let expected = Secyan.Query.plaintext q in
+      let ok = content q.Secyan.Query.output expected = content q.Secyan.Query.output revealed in
+      Fmt.pr "verify vs plaintext: %s@." (if ok then "OK" else "MISMATCH");
+      if not ok then exit 1
+    end
+  in
+  (match query with
+  | `Q3 -> simple (Secyan_tpch.Queries.q3 d)
+  | `Q10 -> simple (Secyan_tpch.Queries.q10 d)
+  | `Q18 -> simple (Secyan_tpch.Queries.q18 d)
+  | `Q8 ->
+      let r = Secyan_tpch.Queries.run_q8 ctx d in
+      Fmt.pr "market share per year (x1000):@.";
+      List.iter (fun (y, v) -> Fmt.pr "  %d -> %Ld@." y v) r.Secyan_tpch.Queries.shares_per_year;
+      print_cost r.Secyan_tpch.Queries.tally r.Secyan_tpch.Queries.seconds;
+      if verify then begin
+        let ok = Secyan_tpch.Queries.q8_plaintext d = r.Secyan_tpch.Queries.shares_per_year in
+        Fmt.pr "verify vs plaintext: %s@." (if ok then "OK" else "MISMATCH");
+        if not ok then exit 1
+      end
+  | `Q9 ->
+      let r = Secyan_tpch.Queries.run_q9 ctx d in
+      let rows = List.filter (fun (_, _, a) -> a <> 0) r.Secyan_tpch.Queries.rows in
+      Fmt.pr "profit per (nation, year), cents:@.";
+      List.iter (fun (n, y, a) -> Fmt.pr "  nation %2d, %d -> %d@." n y a) rows;
+      print_cost r.Secyan_tpch.Queries.tally r.Secyan_tpch.Queries.seconds;
+      if verify then begin
+        let expected = List.sort compare (Secyan_tpch.Queries.q9_plaintext d) in
+        let ok = expected = List.sort compare rows in
+        Fmt.pr "verify vs plaintext: %s@." (if ok then "OK" else "MISMATCH");
+        if not ok then exit 1
+      end);
+  0
+
+(* --- plan ---------------------------------------------------------- *)
+
+let plan_cmd query scale sf seed =
+  let sf = resolve_sf scale sf in
+  let d = Secyan_tpch.Datagen.generate ~sf ~seed in
+  let q =
+    match query with
+    | `Q3 -> Secyan_tpch.Queries.q3 d
+    | `Q10 -> Secyan_tpch.Queries.q10 d
+    | `Q18 -> Secyan_tpch.Queries.q18 d
+    | `Q8 -> Secyan_tpch.Queries.q8_inner d ~numerator:true
+    | `Q9 -> Secyan_tpch.Queries.q9_inner d ~nationkey:2 ~volume:true
+  in
+  Fmt.pr "query %s@." q.Secyan.Query.name;
+  Fmt.pr "join tree: %a (root %s)@." Join_tree.pp q.Secyan.Query.tree
+    (Join_tree.root q.Secyan.Query.tree);
+  Fmt.pr "output attributes: %a@." Schema.pp q.Secyan.Query.output;
+  List.iter
+    (fun (label, (i : Secyan.Query.input)) ->
+      Fmt.pr "  %-10s %a  %d tuples, owner %a@." label Schema.pp
+        i.Secyan.Query.relation.Relation.schema
+        (Relation.cardinality i.Secyan.Query.relation)
+        Party.pp i.Secyan.Query.owner)
+    q.Secyan.Query.inputs;
+  Fmt.pr "@.protocol plan:@.";
+  List.iter
+    (fun op ->
+      match (op : Yannakakis.phase_op) with
+      | Yannakakis.Fold { child; parent; group_on } ->
+          Fmt.pr "  reduce:   %s <- %s x aggregate%a(%s); %s removed@." parent parent
+            Schema.pp group_on child child
+      | Yannakakis.Stop { node; group_on } ->
+          Fmt.pr "  reduce:   %s <- aggregate%a(%s)@." node Schema.pp group_on node
+      | Yannakakis.Root_project { node; group_on } ->
+          Fmt.pr "  reduce:   %s <- aggregate%a(%s) (root projection)@." node Schema.pp
+            group_on node
+      | Yannakakis.Semijoin_up { child; parent } ->
+          Fmt.pr "  semijoin: %s <- %s semijoin %s@." parent parent child
+      | Yannakakis.Semijoin_down { child; parent } ->
+          Fmt.pr "  semijoin: %s <- %s semijoin %s@." child child parent
+      | Yannakakis.Join_up { child; parent } ->
+          Fmt.pr "  join:     %s <- %s join %s@." parent parent child)
+    (Yannakakis.plan q.Secyan.Query.tree ~output:q.Secyan.Query.output);
+  Fmt.pr "  join:     oblivious full join over the remaining subtree@.";
+  0
+
+(* --- estimate ------------------------------------------------------ *)
+
+let estimate_cmd query scale sf seed =
+  let sf = resolve_sf scale sf in
+  let d = Secyan_tpch.Datagen.generate ~sf ~seed in
+  let qs =
+    match query with
+    | `Q3 -> [ (Secyan_tpch.Queries.q3 d, 1) ]
+    | `Q10 -> [ (Secyan_tpch.Queries.q10 d, 1) ]
+    | `Q18 -> [ (Secyan_tpch.Queries.q18 d, 1) ]
+    | `Q8 -> [ (Secyan_tpch.Queries.q8_inner d ~numerator:true, 2) ]
+    | `Q9 -> [ (Secyan_tpch.Queries.q9_inner d ~nationkey:2 ~volume:true, 50) ]
+  in
+  List.iter
+    (fun (q, runs) ->
+      let e = Secyan_smcql.Cartesian_gc.estimate ~kappa:128 q in
+      let f = float_of_int runs in
+      Fmt.pr "garbled-circuit baseline for %s (x%d runs):@." q.Secyan.Query.name runs;
+      Fmt.pr "  Cartesian product rows: %.3g@." (e.Secyan_smcql.Cartesian_gc.product_rows *. f);
+      Fmt.pr "  AND gates per row:      %d@." e.Secyan_smcql.Cartesian_gc.and_gates_per_row;
+      Fmt.pr "  total AND gates:        %.3g@." (e.Secyan_smcql.Cartesian_gc.total_and_gates *. f);
+      Fmt.pr "  communication:          %.3g MB@."
+        (e.Secyan_smcql.Cartesian_gc.comm_bytes *. f /. (1024. *. 1024.));
+      Fmt.pr "  estimated time:         %.3g s (%.1f years)@."
+        (e.Secyan_smcql.Cartesian_gc.seconds *. f)
+        (e.Secyan_smcql.Cartesian_gc.seconds *. f /. (365.25 *. 86400.)))
+    qs;
+  0
+
+(* --- generate ------------------------------------------------------ *)
+
+let generate_cmd scale sf seed =
+  let sf = resolve_sf scale sf in
+  let d = Secyan_tpch.Datagen.generate ~sf ~seed in
+  Fmt.pr "TPC-H dataset at sf=%g (seed %Ld):@." sf seed;
+  List.iter
+    (fun (name, (r : Relation.t)) ->
+      Fmt.pr "  %-10s %6d rows  %a@." name (Relation.cardinality r) Schema.pp
+        r.Relation.schema)
+    [
+      ("customer", d.Secyan_tpch.Datagen.customer);
+      ("orders", d.Secyan_tpch.Datagen.orders);
+      ("lineitem", d.Secyan_tpch.Datagen.lineitem);
+      ("part", d.Secyan_tpch.Datagen.part);
+      ("supplier", d.Secyan_tpch.Datagen.supplier);
+      ("partsupp", d.Secyan_tpch.Datagen.partsupp);
+      ("nation", d.Secyan_tpch.Datagen.nation);
+    ];
+  Fmt.pr "  total: %d rows@." (Secyan_tpch.Datagen.total_rows d);
+  0
+
+(* --- sql ------------------------------------------------------------ *)
+
+let sql_cmd statement scale sf seed backend =
+  let sf = resolve_sf scale sf in
+  let d = Secyan_tpch.Datagen.generate ~sf ~seed in
+  (* odd tables to Alice, even to Bob: the worst-case partition *)
+  let catalog =
+    [
+      ("customer", { Secyan_sql.Compiler.relation = d.Secyan_tpch.Datagen.customer; owner = Party.Alice });
+      ("orders", { Secyan_sql.Compiler.relation = d.Secyan_tpch.Datagen.orders; owner = Party.Bob });
+      ("lineitem", { Secyan_sql.Compiler.relation = d.Secyan_tpch.Datagen.lineitem; owner = Party.Alice });
+      ("part", { Secyan_sql.Compiler.relation = d.Secyan_tpch.Datagen.part; owner = Party.Bob });
+      ("supplier", { Secyan_sql.Compiler.relation = d.Secyan_tpch.Datagen.supplier; owner = Party.Alice });
+      ("partsupp", { Secyan_sql.Compiler.relation = d.Secyan_tpch.Datagen.partsupp; owner = Party.Bob });
+      ("nation", { Secyan_sql.Compiler.relation = d.Secyan_tpch.Datagen.nation; owner = Party.Alice });
+    ]
+  in
+  match Secyan_sql.Compiler.query catalog statement with
+  | exception Secyan_sql.Compiler.Error msg ->
+      Fmt.epr "SQL error: %s@." msg;
+      1
+  | exception Secyan_sql.Parser.Error msg ->
+      Fmt.epr "parse error: %s@." msg;
+      1
+  | q ->
+      Fmt.pr "join tree: %a (root %s)@." Join_tree.pp q.Secyan.Query.tree
+        (Join_tree.root q.Secyan.Query.tree);
+      let ctx = Context.create ~bits:(Semiring.bits q.Secyan.Query.semiring)
+          ~gc_backend:backend ~seed () in
+      let revealed, stats = Secyan.Secure_yannakakis.run ctx q in
+      List.iter
+        (fun (t, a) ->
+          match Semiring.to_value q.Secyan.Query.semiring a with
+          | Some value -> Fmt.pr "  %a -> %Ld@." Tuple.pp t value
+          | None -> ())
+        (Relation.nonzero revealed);
+      print_cost stats.Secyan.Secure_yannakakis.tally stats.Secyan.Secure_yannakakis.seconds;
+      0
+
+let statement_arg =
+  let doc = "The SQL statement to run." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc)
+
+(* --- command wiring ------------------------------------------------- *)
+
+let run_t =
+  Cmd.v (Cmd.info "run" ~doc:"Run a query through the secure Yannakakis protocol")
+    Term.(const run_cmd $ query_arg $ scale_arg $ sf_arg $ seed_arg $ backend_arg $ verify_arg)
+
+let plan_t =
+  Cmd.v (Cmd.info "plan" ~doc:"Show a query's join tree and protocol plan")
+    Term.(const plan_cmd $ query_arg $ scale_arg $ sf_arg $ seed_arg)
+
+let estimate_t =
+  Cmd.v (Cmd.info "estimate" ~doc:"Estimate the garbled-circuit baseline cost")
+    Term.(const estimate_cmd $ query_arg $ scale_arg $ sf_arg $ seed_arg)
+
+let generate_t =
+  Cmd.v (Cmd.info "generate" ~doc:"Show TPC-H dataset sizes at a scale")
+    Term.(const generate_cmd $ scale_arg $ sf_arg $ seed_arg)
+
+let sql_t =
+  Cmd.v (Cmd.info "sql" ~doc:"Run an ad-hoc SQL query securely over the TPC-H catalog")
+    Term.(const sql_cmd $ statement_arg $ scale_arg $ sf_arg $ seed_arg $ backend_arg)
+
+let () =
+  let doc = "secure Yannakakis: join-aggregate queries over private data" in
+  let info = Cmd.info "secyan_cli" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ run_t; plan_t; estimate_t; generate_t; sql_t ]))

@@ -1,0 +1,1 @@
+examples/average_grade.ml: Array Context Fmt Int64 List Party Relation Schema Secyan Secyan_crypto Secyan_relational Semiring Tuple Value

@@ -1,0 +1,1 @@
+examples/average_grade.mli:

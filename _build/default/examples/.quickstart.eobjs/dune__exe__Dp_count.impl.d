@@ -1,0 +1,1 @@
+examples/dp_count.ml: Context Fmt List Party Relation Schema Secret_share Secyan Secyan_crypto Secyan_relational Semiring Value

@@ -1,0 +1,1 @@
+examples/dp_count.mli:

@@ -1,0 +1,1 @@
+examples/insurance_claims.ml: Array Comm Context Fmt Int64 Join_tree List Party Relation Schema Secyan Secyan_crypto Secyan_relational Semiring Tuple Value

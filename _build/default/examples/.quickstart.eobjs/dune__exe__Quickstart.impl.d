@@ -1,0 +1,1 @@
+examples/quickstart.ml: Comm Context Fmt List Party Relation Schema Secyan Secyan_crypto Secyan_relational Semiring Tuple Value

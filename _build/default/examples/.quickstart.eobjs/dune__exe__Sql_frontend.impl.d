@@ -1,0 +1,1 @@
+examples/sql_frontend.ml: Comm Context Fmt List Party Relation Schema Secyan Secyan_crypto Secyan_relational Secyan_sql Semiring Tuple Value

@@ -1,0 +1,71 @@
+(* Query composition (paper §7): aggregates outside any single semiring.
+
+   A university (Alice) holds enrollment records; an online-course
+   provider (Bob) holds per-student scores. They compute the *average*
+   score per course over the join — avg is not a semiring aggregate, so it
+   decomposes into two free-connex join-aggregate queries (sum and count)
+   whose outputs stay secret-shared; a small garbled division circuit then
+   reveals only the averages.
+
+   Run with: dune exec examples/average_grade.exe *)
+
+open Secyan_crypto
+open Secyan_relational
+
+let () =
+  let enrollment =
+    Relation.of_list ~name:"enrollment"
+      ~schema:(Schema.of_list [ "student"; "course" ])
+      (List.map
+         (fun (s, c) -> ([| Value.Int s; Value.Str c |], 1L))
+         [
+           (1, "db"); (2, "db"); (3, "db"); (4, "crypto"); (5, "crypto"); (1, "crypto");
+         ])
+  in
+  let scores ~for_count =
+    Relation.of_list ~name:"scores"
+      ~schema:(Schema.of_list [ "student" ])
+      (List.map
+         (fun (s, score) -> ([| Value.Int s |], if for_count then 1L else Int64.of_int score))
+         [ (1, 92); (2, 71); (3, 85); (4, 64); (5, 98) ])
+  in
+  let make name rel =
+    Secyan.Query.prepare ~name ~semiring:(Semiring.ring ~bits:32) ~output:[ "course" ]
+      ~inputs:
+        [
+          ("enrollment", { Secyan.Query.relation = enrollment; owner = Party.Alice });
+          ("scores", { Secyan.Query.relation = rel; owner = Party.Bob });
+        ]
+  in
+  let ctx = Context.create ~bits:32 ~seed:11L () in
+  (* Two secure runs with *shared* outputs: neither party sees the sums or
+     the counts. *)
+  let sum_run = Secyan.Secure_yannakakis.run_shared ctx (make "sum" (scores ~for_count:false)) in
+  let count_run = Secyan.Secure_yannakakis.run_shared ctx (make "count" (scores ~for_count:true)) in
+  let index (r : Secyan.Secure_yannakakis.result) =
+    Array.to_list r.Secyan.Secure_yannakakis.joined.Relation.tuples
+    |> List.mapi (fun i t -> (Tuple.repr t, (t, r.Secyan.Secure_yannakakis.annots.(i))))
+  in
+  let sums = index sum_run and counts = index count_run in
+  Fmt.pr "average score per course (only the averages are revealed):@.";
+  List.iter
+    (fun (key, (tuple, count_share)) ->
+      match List.assoc_opt key sums with
+      | None -> ()
+      | Some (_, sum_share) ->
+          let avg100 =
+            Secyan.Composition.reveal_average ctx ~to_:Party.Alice ~scale:100L ~sum:sum_share
+              ~count:count_share ()
+          in
+          Fmt.pr "  %a -> %Ld.%02Ld@." Tuple.pp tuple (Int64.div avg100 100L)
+            (Int64.rem avg100 100L))
+    counts;
+  (* cross-check in plaintext *)
+  Fmt.pr "@.plaintext check:@.";
+  let psum = Secyan.Query.plaintext (make "sum" (scores ~for_count:false)) in
+  let pcount = Secyan.Query.plaintext (make "count" (scores ~for_count:true)) in
+  List.iter
+    (fun (t, total) ->
+      let c = List.assoc (Tuple.repr t) (List.map (fun (t, c) -> (Tuple.repr t, c)) (Relation.nonzero pcount)) in
+      Fmt.pr "  %a -> %.2f@." Tuple.pp t (Int64.to_float total /. Int64.to_float c))
+    (Relation.nonzero psum)

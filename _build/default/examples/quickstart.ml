@@ -1,0 +1,67 @@
+(* Quickstart: evaluate a two-party join-aggregate query securely.
+
+   Alice (a retailer) holds a table of orders; Bob (a payment processor)
+   holds a table of settled payments with fees. They jointly compute the
+   total fees per region over the join of the two tables, revealing the
+   per-region totals to Alice and nothing else to either side.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Secyan_crypto
+open Secyan_relational
+
+let () =
+  (* 1. Each party describes its relation. Annotations are the values
+        being aggregated: 1 for orders (count semantics on that side),
+        the fee in cents for payments. *)
+  let orders =
+    Relation.of_list ~name:"orders"
+      ~schema:(Schema.of_list [ "order_id"; "region" ])
+      [
+        ([| Value.Int 1; Value.Str "EU" |], 1L);
+        ([| Value.Int 2; Value.Str "EU" |], 1L);
+        ([| Value.Int 3; Value.Str "US" |], 1L);
+        ([| Value.Int 4; Value.Str "APAC" |], 1L);
+      ]
+  in
+  let payments =
+    Relation.of_list ~name:"payments"
+      ~schema:(Schema.of_list [ "order_id" ])
+      [
+        ([| Value.Int 1 |], 250L);
+        ([| Value.Int 2 |], 410L);
+        ([| Value.Int 3 |], 199L);
+        (* order 4 has no settled payment; order 9 is unknown to Alice *)
+        ([| Value.Int 9 |], 999L);
+      ]
+  in
+  (* 2. Declare the query: a free-connex join-aggregate query
+        (group-by region, sum of fee over the join). *)
+  let query =
+    Secyan.Query.prepare ~name:"fees-by-region"
+      ~semiring:(Semiring.ring ~bits:32)
+      ~output:[ "region" ]
+      ~inputs:
+        [
+          ("orders", { Secyan.Query.relation = orders; owner = Party.Alice });
+          ("payments", { Secyan.Query.relation = payments; owner = Party.Bob });
+        ]
+  in
+  (* 3. Run the secure protocol. The context holds the 2PC runtime:
+        the annotation ring, security parameters, and the (simulated)
+        channel whose every bit is accounted. *)
+  let ctx = Context.create ~bits:32 ~seed:42L () in
+  let result, stats = Secyan.Secure_yannakakis.run ctx query in
+  Fmt.pr "fees by region (revealed to Alice):@.";
+  List.iter
+    (fun (tuple, total) -> Fmt.pr "  %a -> %Ld cents@." Tuple.pp tuple total)
+    (Relation.nonzero result);
+  Fmt.pr "@.protocol cost: %.2f MB over %d rounds, %.3f s@."
+    (Comm.total_megabytes stats.Secyan.Secure_yannakakis.tally)
+    stats.Secyan.Secure_yannakakis.tally.Comm.rounds stats.Secyan.Secure_yannakakis.seconds;
+  (* 4. Sanity: the plaintext evaluation gives the same answer. *)
+  let reference = Secyan.Query.plaintext query in
+  Fmt.pr "plaintext reference:@.";
+  List.iter
+    (fun (tuple, total) -> Fmt.pr "  %a -> %Ld cents@." Tuple.pp tuple total)
+    (Relation.nonzero reference)

@@ -1,0 +1,1 @@
+lib/core/composition.ml: Array Circuits Context Gc_protocol Int64 Secret_share Secyan_crypto

@@ -1,0 +1,1 @@
+lib/core/composition.mli: Context Party Secret_share Secyan_crypto

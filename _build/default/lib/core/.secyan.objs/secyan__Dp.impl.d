@@ -1,0 +1,1 @@
+lib/core/dp.ml: Array Circuits Context Float Gc_protocol Int64 List Party Prg Relation Secret_share Secyan_crypto Secyan_relational Zn

@@ -1,0 +1,1 @@
+lib/core/dp.mli: Context Prg Relation Schema Secret_share Secyan_crypto Secyan_relational

@@ -1,0 +1,1 @@
+lib/core/oblivious_agg.mli: Context Schema Secyan_crypto Secyan_relational Semiring Shared_relation

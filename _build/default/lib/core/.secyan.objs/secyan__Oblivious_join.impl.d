@@ -1,0 +1,1 @@
+lib/core/oblivious_join.ml: Array Circuits Comm Context Gc_protocol Hashtbl Int64 List Oep Operators Party Relation Schema Secret_share Secyan_crypto Secyan_relational Semiring Shared_relation Tuple

@@ -1,0 +1,1 @@
+lib/core/oblivious_join.mli: Context Relation Secret_share Secyan_crypto Secyan_relational Semiring Shared_relation

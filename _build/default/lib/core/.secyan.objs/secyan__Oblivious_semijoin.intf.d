@@ -1,0 +1,1 @@
+lib/core/oblivious_semijoin.mli: Context Secyan_crypto Secyan_relational Semiring Shared_relation

@@ -1,0 +1,1 @@
+lib/core/query.ml: Hypergraph Join_tree List Party Printf Relation Schema Secyan_crypto Secyan_relational Semiring String Yannakakis

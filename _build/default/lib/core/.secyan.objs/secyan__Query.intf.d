@@ -1,0 +1,1 @@
+lib/core/query.mli: Join_tree Party Relation Schema Secyan_crypto Secyan_relational Semiring

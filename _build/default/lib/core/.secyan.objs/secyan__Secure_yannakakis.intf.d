@@ -1,0 +1,1 @@
+lib/core/secure_yannakakis.mli: Comm Context Query Relation Secret_share Secyan_crypto Secyan_relational

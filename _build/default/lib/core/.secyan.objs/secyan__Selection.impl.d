@@ -1,0 +1,1 @@
+lib/core/selection.ml: Printf Relation Schema Secyan_relational Tuple

@@ -1,0 +1,1 @@
+lib/core/shared_relation.ml: Array Comm Context Fmt Party Relation Secret_share Secyan_crypto Secyan_relational

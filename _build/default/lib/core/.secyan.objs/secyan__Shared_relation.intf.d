@@ -1,0 +1,1 @@
+lib/core/shared_relation.mli: Context Format Party Relation Schema Secret_share Secyan_crypto Secyan_relational

@@ -1,0 +1,45 @@
+(** Query composition (paper §7): aggregates that no single semiring can
+    express — averages, ratios, differences — are computed by running
+    several free-connex join-aggregate queries with shared outputs and
+    combining the shares with small garbled circuits, revealing only the
+    final value.
+
+    This powers TPC-H Q8 (ratio of two sums) and Q9 (difference of two
+    sums) in the evaluation, and the avg example from §7. *)
+
+open Secyan_crypto
+
+(** Reveal floor(numerator * scale / denominator) to [to_]; neither the
+    numerator nor the denominator is revealed. A zero denominator yields
+    the all-ones quotient (hardware-divider convention). *)
+let reveal_ratio ctx ~to_ ?(scale = 1L) ~num ~den () : int64 =
+  let bits = Context.ring_bits ctx in
+  let out =
+    Gc_protocol.eval_reveal ctx ~to_
+      ~inputs:[ Gc_protocol.Shared num; Gc_protocol.Shared den ]
+      ~build:(fun b words ->
+        let scaled = Circuits.mul_word b words.(0) (Circuits.const_word ~bits scale) in
+        [ Circuits.div_word b scaled words.(1) ])
+  in
+  out.(0)
+
+(** avg = sum / count, with [scale] fractional digits of precision:
+    the §7 example (avg over a join) is two join-aggregate queries (sum
+    and count) followed by this division. *)
+let reveal_average ctx ~to_ ?(scale = 100L) ~sum ~count () : int64 =
+  reveal_ratio ctx ~to_ ~scale ~num:sum ~den:count ()
+
+(** Difference of two shared aggregates, revealed to [to_]; used by Q9
+    (profit = revenue - cost). Subtraction is local on shares; only the
+    reveal communicates. *)
+let reveal_difference ctx ~to_ ~pos ~neg : int64 =
+  Secret_share.reveal_to ctx to_ (Secret_share.sub ctx pos neg)
+
+(** Compare two shared aggregates, revealing only the order bit. *)
+let reveal_greater ctx ~to_ ~lhs ~rhs : bool =
+  let out =
+    Gc_protocol.eval_reveal ctx ~to_
+      ~inputs:[ Gc_protocol.Shared lhs; Gc_protocol.Shared rhs ]
+      ~build:(fun b words -> [ [| Circuits.gt_word b words.(0) words.(1) |] ])
+  in
+  Int64.equal out.(0) 1L

@@ -1,0 +1,26 @@
+(** Query composition (paper §7): aggregates outside any single semiring
+    (averages, ratios, differences) computed from several protocol runs
+    with shared outputs, combined by small garbled circuits so only the
+    final values are revealed. Powers TPC-H Q8 and Q9 and the avg
+    example. *)
+
+open Secyan_crypto
+
+(** Reveal floor(num x scale / den) to [to_]; neither operand is revealed.
+    A zero denominator yields the all-ones quotient. *)
+val reveal_ratio :
+  Context.t -> to_:Party.t -> ?scale:int64 -> num:Secret_share.t -> den:Secret_share.t ->
+  unit -> int64
+
+(** avg = sum / count with [scale] fixed-point precision (default 100 =
+    two decimal digits). *)
+val reveal_average :
+  Context.t -> to_:Party.t -> ?scale:int64 -> sum:Secret_share.t -> count:Secret_share.t ->
+  unit -> int64
+
+(** Reveal pos - neg to [to_]; subtraction is local on shares, only the
+    reveal communicates. *)
+val reveal_difference : Context.t -> to_:Party.t -> pos:Secret_share.t -> neg:Secret_share.t -> int64
+
+(** Reveal only the order bit of two shared aggregates. *)
+val reveal_greater : Context.t -> to_:Party.t -> lhs:Secret_share.t -> rhs:Secret_share.t -> bool

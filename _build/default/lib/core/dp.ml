@@ -1,0 +1,67 @@
+(** Protecting privacy against the query results themselves (paper §7):
+    differential privacy on top of the 2PC protocol.
+
+    Following the paper's recipe: the parties compute a sensitivity bound
+    Delta with a tiny garbled circuit (for join-count queries, Johnson et
+    al.'s bound depends only on the maximum multiplicity of the join
+    attribute in each relation); Bob then draws Laplace(Delta/epsilon)
+    noise and folds it into the shared aggregate before it is revealed to
+    Alice — Alice sees only the noised value, Bob never sees the value at
+    all. *)
+
+open Secyan_crypto
+open Secyan_relational
+
+(** Maximum multiplicity of any value of [attrs] in [r] (dummies excluded);
+    each party computes this locally on its own relation. *)
+let max_multiplicity (r : Relation.t) ~attrs =
+  let groups = Relation.group_by attrs r in
+  List.fold_left (fun acc (_, idxs) -> max acc (List.length idxs)) 0 groups
+
+(** Johnson-Near-Song-style sensitivity of a two-relation join count:
+    Delta = max(mult_Alice, mult_Bob), computed by a constant-size garbled
+    circuit over the two private multiplicities and revealed to Bob (the
+    noise generator). *)
+let join_count_sensitivity ctx ~alice_mult ~bob_mult : int64 =
+  let bits = Context.ring_bits ctx in
+  let out =
+    Gc_protocol.eval_reveal ctx ~to_:Party.Bob
+      ~inputs:
+        [
+          Gc_protocol.Priv { owner = Party.Alice; value = Int64.of_int alice_mult; bits };
+          Gc_protocol.Priv { owner = Party.Bob; value = Int64.of_int bob_mult; bits };
+        ]
+      ~build:(fun b words ->
+        let gt = Circuits.gt_word b words.(0) words.(1) in
+        [ Circuits.mux_word b ~sel:gt words.(0) words.(1) ])
+  in
+  out.(0)
+
+(** One Laplace(scale) sample via inverse-CDF, rounded to an integer. *)
+let laplace prg ~scale =
+  (* u uniform in (-1/2, 1/2), excluding the endpoints *)
+  let u =
+    let r = Int64.to_float (Prg.bits prg 53) /. 9007199254740992. (* 2^53 *) in
+    r -. 0.5
+  in
+  let magnitude = -.scale *. log (1. -. (2. *. Float.abs u)) in
+  let noise = (if u >= 0. then magnitude else -.magnitude) in
+  Int64.of_float (Float.round noise)
+
+(** Bob adds Laplace(delta/epsilon) noise to the shared aggregate; the
+    noise never leaves Bob, so revealing the result to Alice is
+    (epsilon)-differentially private in the value. *)
+let privatize ctx (aggregate : Secret_share.t) ~delta ~epsilon : Secret_share.t =
+  if epsilon <= 0. then invalid_arg "Dp.privatize: epsilon must be positive";
+  let noise = laplace ctx.Context.prg_bob ~scale:(Int64.to_float delta /. epsilon) in
+  let ring = ctx.Context.ring in
+  (* adding a Bob-known constant to Bob's share shifts the secret without
+     communication *)
+  {
+    aggregate with
+    Secret_share.b = Zn.add ring (Secret_share.share_of aggregate Party.Bob) (Zn.norm ring noise);
+  }
+
+(** End-to-end: noise a shared aggregate and reveal it to Alice. *)
+let reveal_noised ctx (aggregate : Secret_share.t) ~delta ~epsilon : int64 =
+  Secret_share.reveal_to ctx Party.Alice (privatize ctx aggregate ~delta ~epsilon)

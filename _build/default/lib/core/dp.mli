@@ -1,0 +1,27 @@
+(** Differential privacy on query outputs (paper §7): sensitivity from a
+    constant-size garbled circuit, Laplace noise folded into the shared
+    aggregate by Bob before revealing to Alice. *)
+
+open Secyan_crypto
+open Secyan_relational
+
+(** Maximum multiplicity of any [attrs]-value in a relation (dummies
+    excluded); each party computes this locally on its own table. *)
+val max_multiplicity : Relation.t -> attrs:Schema.t -> int
+
+(** Sensitivity of a two-relation join count per Johnson–Near–Song:
+    max of the two private multiplicities, computed inside a garbled
+    circuit and revealed to Bob (the noise generator). *)
+val join_count_sensitivity : Context.t -> alice_mult:int -> bob_mult:int -> int64
+
+(** One integer-rounded Laplace([scale]) sample via inverse-CDF. *)
+val laplace : Prg.t -> scale:float -> int64
+
+(** Bob adds Laplace(delta/epsilon) noise to the shared aggregate without
+    communication; revealing the result is then epsilon-DP in the value.
+
+    @raise Invalid_argument when [epsilon <= 0]. *)
+val privatize : Context.t -> Secret_share.t -> delta:int64 -> epsilon:float -> Secret_share.t
+
+(** [privatize] followed by a reveal to Alice. *)
+val reveal_noised : Context.t -> Secret_share.t -> delta:int64 -> epsilon:float -> int64

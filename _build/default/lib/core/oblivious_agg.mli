@@ -1,0 +1,23 @@
+(** Oblivious projection-aggregation (paper §6.1): sort + OEP + a garbled
+    circuit of merge gates. Both operators preserve the relation's owner
+    and cardinality; group sizes, aggregate values, and which output
+    tuples are dummies all stay hidden. *)
+
+open Secyan_crypto
+open Secyan_relational
+
+(** [aggregate ctx semiring r ~attrs] computes a relation semantically
+    equivalent to the annotated projection-aggregation pi^plus_attrs(r):
+    one tuple per distinct value of [attrs] carrying the plus-aggregate of
+    its group (in shared form), padded with zero-annotated dummies back to
+    [cardinality r]. O~(N) cost, constant rounds. *)
+val aggregate :
+  Context.t -> Semiring.t -> Shared_relation.t -> attrs:Schema.t -> Shared_relation.t
+
+(** [project_nonzero ctx semiring r ~attrs] computes a relation
+    semantically equivalent to pi^1_attrs(r): the distinct [attrs]-values
+    among nonzero-annotated tuples, each annotated with the semiring's
+    (shared) times-identity; zero-annotated positions pad the output to
+    [cardinality r]. Used to build annotated semijoins (§6.2). *)
+val project_nonzero :
+  Context.t -> Semiring.t -> Shared_relation.t -> attrs:Schema.t -> Shared_relation.t

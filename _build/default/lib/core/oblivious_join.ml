@@ -1,0 +1,142 @@
+(** Oblivious full join (paper §6.3).
+
+    Precondition (established by the earlier phases): all dangling tuples
+    are zero-annotated, so the nonzero tuples of every relation equal its
+    projection of the final join J* — revealing them to Alice reveals
+    nothing beyond the query result. The three steps:
+
+    1. Reveal: per relation, a batch of garbled circuits tests v(t) = 0 and
+       hands Alice either the tuple or a dummy (positions preserved).
+    2. Join: Alice joins the revealed relations locally (plaintext
+       Yannakakis) and sends only OUT = |J*| to Bob.
+    3. Annotations: per relation, Alice programs the extended permutation
+       xi_F(i) = index of pi_F(t_i) in R_F; an OEP aligns the annotation
+       shares with J*, and one batched circuit multiplies across relations.
+
+    Output: J* (Alice's tuples) with annotations in shared form. *)
+
+open Secyan_crypto
+open Secyan_relational
+
+type t = {
+  joined : Relation.t;              (** J*: tuple content known to Alice *)
+  annots : Secret_share.t array;    (** shared annotations of J* *)
+}
+
+(* Step 1 for one relation: Alice's view with dummies at zero-annotated
+   positions. The view's annotation column doubles as the keep-mask
+   (1 = real revealed tuple, 0 = suppressed): a scalar aggregate has an
+   empty schema whose tuples cannot encode dummy-ness in-band. *)
+let reveal_to_alice ctx semiring (sr : Shared_relation.t) : Relation.t =
+  let n = Shared_relation.cardinality sr in
+  if n = 0 then sr.Shared_relation.rel
+  else begin
+    let items =
+      Array.map (fun s -> [ Gc_protocol.Shared s ]) sr.Shared_relation.annots
+    in
+    let build b (words : Circuits.word array) =
+      [ [| Circuits.nonzero_word b words.(0) |] ]
+    in
+    let nonzero =
+      Array.map (fun r -> r.(0)) (Gc_protocol.eval_reveal_batch ctx ~to_:Party.Alice ~items ~build)
+    in
+    (* tuple-or-dummy transfer: for Bob-owned relations the tuple data
+       crosses the channel (inside the circuit in the paper; accounted
+       here as the equivalent masked transfer) *)
+    if Party.equal sr.Shared_relation.owner Party.Bob then begin
+      Comm.send ctx.Context.comm ~from:Party.Bob
+        ~bits:(n * Schema.arity (Shared_relation.schema sr) * 64);
+      Comm.bump_rounds ctx.Context.comm 1
+    end;
+    let keep =
+      Array.mapi
+        (fun i t -> Int64.equal nonzero.(i) 1L && not (Tuple.is_dummy t))
+        sr.Shared_relation.rel.Relation.tuples
+    in
+    let tuples =
+      Array.mapi
+        (fun i t -> if keep.(i) then t else Tuple.dummy (Shared_relation.schema sr))
+        sr.Shared_relation.rel.Relation.tuples
+    in
+    Relation.create ~name:sr.Shared_relation.rel.Relation.name
+      ~schema:(Shared_relation.schema sr) ~tuples
+      ~annots:(Array.map (fun k -> if k then Semiring.one semiring else Semiring.zero) keep)
+  end
+
+(** Run the oblivious join over the remaining relations. [reveal_out]
+    controls whether |J*| (after any padding the caller applied) goes to
+    Bob. *)
+let run ctx semiring (relations : Shared_relation.t list) : t =
+  if relations = [] then invalid_arg "Oblivious_join.run: no relations";
+  (* Step 1: reveal R*_F to Alice (dummies in place of dangling tuples). *)
+  let views = List.map (fun sr -> (sr, reveal_to_alice ctx semiring sr)) relations in
+  (* Step 2: local plaintext join of the views; each view's annotations
+     carry its keep-mask, so suppressed (zero) tuples never join. *)
+  let joined =
+    match views with
+    | [] -> assert false
+    | (_, first) :: rest ->
+        List.fold_left (fun acc (_, view) -> Operators.join semiring acc view) first rest
+  in
+  (* drop suppressed placeholders (a fold over a single view keeps them) *)
+  let joined =
+    Relation.of_list ~name:joined.Relation.name ~schema:joined.Relation.schema
+      (Array.to_list joined.Relation.tuples
+      |> List.mapi (fun i t -> (t, joined.Relation.annots.(i)))
+      |> List.filter (fun (t, a) -> (not (Tuple.is_dummy t)) && not (Semiring.is_zero a))
+      |> List.map (fun (t, _) -> (t, Semiring.one semiring)))
+  in
+  let out = Relation.cardinality joined in
+  Comm.send ctx.Context.comm ~from:Party.Alice ~bits:64;
+  Comm.bump_rounds ctx.Context.comm 1;
+  if out = 0 then { joined; annots = [||] }
+  else begin
+    (* Step 3: per relation, align annotation shares with J* through an
+       OEP programmed by Alice. *)
+    let aligned =
+      List.map
+        (fun ((sr : Shared_relation.t), view) ->
+          let schema = Shared_relation.schema sr in
+          let index_of = Hashtbl.create 64 in
+          Array.iteri
+            (fun i t ->
+              (* only kept tuples (keep-mask = view annotation) are
+                 addressable; suppressed empty-schema rows look real *)
+              if (not (Tuple.is_dummy t)) && not (Semiring.is_zero view.Relation.annots.(i))
+              then Hashtbl.replace index_of (Tuple.repr (Tuple.project schema schema t)) i)
+            view.Relation.tuples;
+          let xi =
+            Array.map
+              (fun jt ->
+                let key = Tuple.repr (Tuple.project joined.Relation.schema schema jt) in
+                match Hashtbl.find_opt index_of key with
+                | Some i -> i
+                | None -> invalid_arg "Oblivious_join: J* tuple has no source")
+              joined.Relation.tuples
+          in
+          Oep.apply_shared ctx ~holder:Party.Alice ~xi
+            ~m:(Shared_relation.cardinality sr) sr.Shared_relation.annots)
+        views
+    in
+    (* One batched circuit: annotation of each J* tuple is the product of
+       its per-relation annotations. *)
+    let k = List.length aligned in
+    let annots =
+      match aligned with
+      | [ only ] -> only
+      | _ ->
+          let items =
+            Array.init out (fun i ->
+                List.map (fun arr -> Gc_protocol.Shared arr.(i)) aligned)
+          in
+          let build b (words : Circuits.word array) =
+            let acc = ref words.(0) in
+            for f = 1 to k - 1 do
+              acc := Semiring.circuit_mul semiring b !acc words.(f)
+            done;
+            [ !acc ]
+          in
+          Array.map (fun s -> s.(0)) (Gc_protocol.eval_to_shares_batch ctx ~items ~build)
+    in
+    { joined; annots }
+  end

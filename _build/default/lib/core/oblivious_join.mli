@@ -1,0 +1,18 @@
+(** Oblivious full join (paper §6.3): the last operator of a query plan.
+    Requires all dangling tuples to be zero-annotated (established by the
+    semijoin phase); reveals the nonzero join result J* to Alice with its
+    annotations in shared form, and |J*| to Bob. *)
+
+open Secyan_crypto
+open Secyan_relational
+
+type t = {
+  joined : Relation.t;            (** J*: tuple content known to Alice *)
+  annots : Secret_share.t array;  (** shared annotations, one per J* tuple *)
+}
+
+(** Run the oblivious join over the remaining relations of the plan.
+    O~(IN + OUT) cost, constant rounds.
+
+    @raise Invalid_argument on an empty relation list. *)
+val run : Context.t -> Semiring.t -> Shared_relation.t list -> t

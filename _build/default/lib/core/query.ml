@@ -1,0 +1,64 @@
+(** Query descriptions for the secure protocol: a free-connex
+    join-aggregate query plus the ownership assignment of its relations.
+
+    [prepare] derives the rooted join tree (witnessing free-connexity) from
+    the schemas; callers may instead pin an explicit tree with
+    [prepare_with_tree] — the paper's experiments hand-pick trees per
+    query. *)
+
+open Secyan_crypto
+open Secyan_relational
+
+type input = {
+  relation : Relation.t;
+  owner : Party.t;
+}
+
+type t = {
+  name : string;
+  semiring : Semiring.t;
+  tree : Join_tree.t;
+  output : Schema.t;
+  inputs : (string * input) list;
+}
+
+let total_input_size t =
+  List.fold_left (fun acc (_, i) -> acc + Relation.cardinality i.relation) 0 t.inputs
+
+let hypergraph_of_inputs inputs =
+  Hypergraph.create
+    (List.map
+       (fun (label, i) ->
+         { Hypergraph.label; attrs = i.relation.Relation.schema })
+       inputs)
+
+let check_inputs tree inputs =
+  let labels = List.sort String.compare (Join_tree.node_labels tree) in
+  let given = List.sort String.compare (List.map fst inputs) in
+  if labels <> given then invalid_arg "Query: relations do not match the join tree nodes"
+
+(** Build a query, deriving the join tree. Raises if the query is cyclic
+    or not free-connex. *)
+let prepare ~name ~semiring ~output ~inputs =
+  let hg = hypergraph_of_inputs inputs in
+  let output = Schema.of_list output in
+  match Join_tree.build hg ~output with
+  | Some tree -> { name; semiring; tree; output; inputs }
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Query %s is not a free-connex join-aggregate query" name)
+
+(** Build a query with an explicit rooted join tree (validated). *)
+let prepare_with_tree ~name ~semiring ~output ~inputs ~root ~parents =
+  let hg = hypergraph_of_inputs inputs in
+  let output = Schema.of_list output in
+  let tree = Join_tree.of_parents hg ~root ~parents in
+  if not (Join_tree.satisfies_free_connex tree ~output) then
+    invalid_arg (Printf.sprintf "Query %s: tree does not witness free-connexity" name);
+  check_inputs tree inputs;
+  { name; semiring; tree; output; inputs }
+
+(** Plaintext reference result (the evaluation's non-private baseline). *)
+let plaintext t : Relation.t =
+  Yannakakis.run t.semiring t.tree ~output:t.output
+    ~relations:(List.map (fun (l, i) -> (l, i.relation)) t.inputs)

@@ -1,0 +1,47 @@
+(** Query descriptions for the secure protocol: a free-connex
+    join-aggregate query plus the ownership assignment of its relations. *)
+
+open Secyan_crypto
+open Secyan_relational
+
+type input = {
+  relation : Relation.t;  (** this party's private table (annotation column included) *)
+  owner : Party.t;
+}
+
+type t = {
+  name : string;
+  semiring : Semiring.t;
+  tree : Join_tree.t;    (** rooted join tree witnessing free-connexity *)
+  output : Schema.t;     (** the group-by attributes O *)
+  inputs : (string * input) list;  (** keyed by join-tree node label *)
+}
+
+(** Total input cardinality (the paper's IN). *)
+val total_input_size : t -> int
+
+(** Build a query, deriving a rooted join tree automatically.
+
+    @raise Invalid_argument when the query is cyclic or not free-connex. *)
+val prepare :
+  name:string ->
+  semiring:Semiring.t ->
+  output:string list ->
+  inputs:(string * input) list ->
+  t
+
+(** Build a query with an explicit rooted join tree ([parents] maps child
+    label to parent label), validated against the running-intersection and
+    free-connex conditions. The paper's experiments pin trees this way. *)
+val prepare_with_tree :
+  name:string ->
+  semiring:Semiring.t ->
+  output:string list ->
+  inputs:(string * input) list ->
+  root:string ->
+  parents:(string * string) list ->
+  t
+
+(** Plaintext reference result via the (non-secure) Yannakakis algorithm;
+    the evaluation's non-private baseline. *)
+val plaintext : t -> Relation.t

@@ -1,0 +1,23 @@
+(** The secure Yannakakis protocol (paper §6.4): reduce, semijoin, and
+    full-join phases over the join tree, composed from the oblivious
+    operators of §6.1–6.3. Cost O~(IN + OUT); the number of communication
+    rounds depends only on the query. *)
+
+open Secyan_crypto
+open Secyan_relational
+
+type result = {
+  joined : Relation.t;            (** J*: tuples known to Alice *)
+  annots : Secret_share.t array;  (** shared annotations, one per J* tuple *)
+  tally : Comm.tally;             (** communication of this execution *)
+  seconds : float;                (** wall-clock protocol time *)
+}
+
+(** Run the protocol, leaving the result annotations in shared form —
+    the entry point for query composition (§7), where several aggregates
+    are post-processed by small circuits before anything is revealed. *)
+val run_shared : Context.t -> Query.t -> result
+
+(** Run the protocol and reveal the result annotations to Alice, the
+    designated receiver: the standard top-level entry point. *)
+val run : Context.t -> Query.t -> Relation.t * result

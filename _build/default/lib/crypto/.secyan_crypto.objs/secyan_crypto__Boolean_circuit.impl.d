@@ -1,0 +1,1 @@
+lib/crypto/boolean_circuit.ml: Array Fmt List

@@ -1,0 +1,1 @@
+lib/crypto/boolean_circuit.mli: Format

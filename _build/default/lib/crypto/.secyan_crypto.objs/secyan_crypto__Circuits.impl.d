@@ -1,0 +1,1 @@
+lib/crypto/circuits.ml: Array Boolean_circuit Int64 List

@@ -1,0 +1,1 @@
+lib/crypto/circuits.mli: Boolean_circuit

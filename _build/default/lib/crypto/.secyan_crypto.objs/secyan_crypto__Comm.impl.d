@@ -1,0 +1,1 @@
+lib/crypto/comm.ml: Fmt Party

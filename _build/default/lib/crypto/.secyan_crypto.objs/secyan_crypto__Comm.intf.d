@@ -1,0 +1,1 @@
+lib/crypto/comm.mli: Format Party

@@ -1,0 +1,1 @@
+lib/crypto/context.ml: Comm Party Prg Zn

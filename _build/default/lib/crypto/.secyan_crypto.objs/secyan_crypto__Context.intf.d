@@ -1,0 +1,1 @@
+lib/crypto/context.mli: Comm Party Prg Zn

@@ -1,0 +1,1 @@
+lib/crypto/cuckoo_hash.ml: Array Int64 List Prg Sha256

@@ -1,0 +1,1 @@
+lib/crypto/cuckoo_hash.mli: Prg

@@ -1,0 +1,1 @@
+lib/crypto/garbling.ml: Aes128 Array Boolean_circuit Bytes Int64 Prg Sha256

@@ -1,0 +1,1 @@
+lib/crypto/garbling.mli: Boolean_circuit Prg

@@ -1,0 +1,1 @@
+lib/crypto/gc_protocol.mli: Boolean_circuit Circuits Context Party Secret_share

@@ -1,0 +1,1 @@
+lib/crypto/oblivious_transfer.ml: Array Comm Context Cost_model Int64 Party Prg

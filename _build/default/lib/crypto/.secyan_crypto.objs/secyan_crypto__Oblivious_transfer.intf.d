@@ -1,0 +1,1 @@
+lib/crypto/oblivious_transfer.mli: Context Party

@@ -1,0 +1,1 @@
+lib/crypto/oep.ml: Array Comm Context Cost_model Party Permutation_network Secret_share

@@ -1,0 +1,1 @@
+lib/crypto/oep.mli: Context Party Secret_share

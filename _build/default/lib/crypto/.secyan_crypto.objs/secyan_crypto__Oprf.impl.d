@@ -1,0 +1,1 @@
+lib/crypto/oprf.ml: Array Comm Context Cost_model Int64 List Party Prg Sha256

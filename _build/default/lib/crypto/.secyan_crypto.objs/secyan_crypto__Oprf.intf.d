@@ -1,0 +1,1 @@
+lib/crypto/oprf.mli: Context Party

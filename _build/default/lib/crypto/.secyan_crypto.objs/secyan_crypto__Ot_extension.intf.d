@@ -1,0 +1,1 @@
+lib/crypto/ot_extension.mli: Context Party

@@ -1,0 +1,1 @@
+lib/crypto/permutation_network.ml: Array List

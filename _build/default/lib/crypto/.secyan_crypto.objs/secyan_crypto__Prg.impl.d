@@ -1,0 +1,1 @@
+lib/crypto/prg.ml: Array Int64

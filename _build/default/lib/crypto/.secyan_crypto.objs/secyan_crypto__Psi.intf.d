@@ -1,0 +1,1 @@
+lib/crypto/psi.mli: Context Cuckoo_hash Party Secret_share

@@ -1,0 +1,1 @@
+lib/crypto/psi_shared_payload.ml: Array Circuits Context Cuckoo_hash Gc_protocol Int64 Oep Party Prg Psi Secret_share

@@ -1,0 +1,1 @@
+lib/crypto/psi_shared_payload.mli: Context Cuckoo_hash Party Secret_share

@@ -1,0 +1,1 @@
+lib/crypto/secret_share.ml: Array Comm Context Fmt List Party Zn

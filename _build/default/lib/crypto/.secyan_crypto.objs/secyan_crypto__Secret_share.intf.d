@@ -1,0 +1,1 @@
+lib/crypto/secret_share.mli: Context Format Party

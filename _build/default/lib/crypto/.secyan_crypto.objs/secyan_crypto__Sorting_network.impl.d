@@ -1,0 +1,1 @@
+lib/crypto/sorting_network.ml: Array List Stdlib

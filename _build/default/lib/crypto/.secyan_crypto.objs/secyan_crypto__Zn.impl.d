@@ -1,0 +1,1 @@
+lib/crypto/zn.ml: Fmt Int64 Prg

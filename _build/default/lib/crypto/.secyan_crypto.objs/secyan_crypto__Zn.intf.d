@@ -1,0 +1,1 @@
+lib/crypto/zn.mli: Format Prg

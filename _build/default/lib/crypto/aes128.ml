@@ -1,0 +1,160 @@
+(** AES-128 encryption (FIPS 197), pure OCaml.
+
+    Used as a fixed-key permutation for fast garbled-circuit key
+    derivation (the standard practice in MPC implementations such as the
+    one the paper builds on: one key schedule, then two AES calls per
+    garbled row). The S-box is derived from the field arithmetic rather
+    than embedded as a table; encryption is validated against the FIPS-197
+    vectors in the test suite. Only encryption is implemented — the KDF
+    never decrypts. *)
+
+(* --- GF(2^8) arithmetic -------------------------------------------- *)
+
+let xtime b =
+  let b2 = b lsl 1 in
+  if b land 0x80 <> 0 then (b2 lxor 0x1b) land 0xff else b2 land 0xff
+
+let gf_mul a b =
+  let rec go a b acc =
+    if b = 0 then acc
+    else go (xtime a) (b lsr 1) (if b land 1 = 1 then acc lxor a else acc)
+  in
+  go a b 0
+
+(* multiplicative inverse via x^254 (x^(2^8 - 2)) *)
+let gf_inv a =
+  if a = 0 then 0
+  else begin
+    let sq x = gf_mul x x in
+    (* addition chain for 254 = 0b11111110 *)
+    let x2 = sq a in
+    let x3 = gf_mul x2 a in
+    let x6 = sq x3 in
+    let x7 = gf_mul x6 a in
+    let x14 = sq x7 in
+    let x15 = gf_mul x14 a in
+    let x30 = sq x15 in
+    let x31 = gf_mul x30 a in
+    let x62 = sq x31 in
+    let x63 = gf_mul x62 a in
+    let x126 = sq x63 in
+    let x127 = gf_mul x126 a in
+    sq x127
+  end
+
+(* --- S-box: inverse followed by the affine transform ---------------- *)
+
+let sbox =
+  Array.init 256 (fun i ->
+      let b = gf_inv i in
+      let bit x n = (x lsr n) land 1 in
+      let out = ref 0 in
+      for n = 0 to 7 do
+        let v =
+          bit b n lxor bit b ((n + 4) mod 8) lxor bit b ((n + 5) mod 8)
+          lxor bit b ((n + 6) mod 8) lxor bit b ((n + 7) mod 8) lxor bit 0x63 n
+        in
+        out := !out lor (v lsl n)
+      done;
+      !out)
+
+let rcon = [| 0x01; 0x02; 0x04; 0x08; 0x10; 0x20; 0x40; 0x80; 0x1b; 0x36 |]
+
+(* --- key schedule ---------------------------------------------------- *)
+
+type schedule = int array array  (* 11 round keys of 16 bytes *)
+
+let expand_key (key : Bytes.t) : schedule =
+  if Bytes.length key <> 16 then invalid_arg "Aes128.expand_key: 16-byte key required";
+  (* 44 words of 4 bytes *)
+  let w = Array.make 44 [| 0; 0; 0; 0 |] in
+  for i = 0 to 3 do
+    w.(i) <-
+      [|
+        Char.code (Bytes.get key (4 * i));
+        Char.code (Bytes.get key ((4 * i) + 1));
+        Char.code (Bytes.get key ((4 * i) + 2));
+        Char.code (Bytes.get key ((4 * i) + 3));
+      |]
+  done;
+  for i = 4 to 43 do
+    let temp = Array.copy w.(i - 1) in
+    let temp =
+      if i mod 4 = 0 then begin
+        (* rotword + subword + rcon *)
+        let rotated = [| temp.(1); temp.(2); temp.(3); temp.(0) |] in
+        let subbed = Array.map (fun b -> sbox.(b)) rotated in
+        subbed.(0) <- subbed.(0) lxor rcon.((i / 4) - 1);
+        subbed
+      end
+      else temp
+    in
+    w.(i) <- Array.map2 ( lxor ) w.(i - 4) temp
+  done;
+  Array.init 11 (fun r ->
+      Array.concat [ w.(4 * r); w.((4 * r) + 1); w.((4 * r) + 2); w.((4 * r) + 3) ])
+
+(* --- rounds ----------------------------------------------------------- *)
+
+(* state: 16 bytes in column-major order, as FIPS 197 *)
+
+let add_round_key state rk = Array.iteri (fun i b -> state.(i) <- b lxor rk.(i)) state
+
+let sub_bytes state = Array.iteri (fun i b -> state.(i) <- sbox.(b)) state
+
+let shift_rows state =
+  let s = Array.copy state in
+  (* row r (bytes r, r+4, r+8, r+12) rotates left by r *)
+  for r = 1 to 3 do
+    for c = 0 to 3 do
+      state.(r + (4 * c)) <- s.(r + (4 * ((c + r) mod 4)))
+    done
+  done
+
+let mix_columns state =
+  for c = 0 to 3 do
+    let a0 = state.(4 * c) and a1 = state.((4 * c) + 1) in
+    let a2 = state.((4 * c) + 2) and a3 = state.((4 * c) + 3) in
+    state.(4 * c) <- gf_mul a0 2 lxor gf_mul a1 3 lxor a2 lxor a3;
+    state.((4 * c) + 1) <- a0 lxor gf_mul a1 2 lxor gf_mul a2 3 lxor a3;
+    state.((4 * c) + 2) <- a0 lxor a1 lxor gf_mul a2 2 lxor gf_mul a3 3;
+    state.((4 * c) + 3) <- gf_mul a0 3 lxor a1 lxor a2 lxor gf_mul a3 2
+  done
+
+let encrypt_block (sched : schedule) (input : Bytes.t) : Bytes.t =
+  if Bytes.length input <> 16 then invalid_arg "Aes128.encrypt_block: 16-byte block required";
+  let state = Array.init 16 (fun i -> Char.code (Bytes.get input i)) in
+  add_round_key state sched.(0);
+  for round = 1 to 9 do
+    sub_bytes state;
+    shift_rows state;
+    mix_columns state;
+    add_round_key state sched.(round)
+  done;
+  sub_bytes state;
+  shift_rows state;
+  add_round_key state sched.(10);
+  let out = Bytes.create 16 in
+  Array.iteri (fun i b -> Bytes.set out i (Char.chr b)) state;
+  out
+
+(* --- int64-pair convenience for wire labels -------------------------- *)
+
+let encrypt_pair sched (hi, lo) =
+  let block = Bytes.create 16 in
+  Bytes.set_int64_be block 0 hi;
+  Bytes.set_int64_be block 8 lo;
+  let c = encrypt_block sched block in
+  (Bytes.get_int64_be c 0, Bytes.get_int64_be c 8)
+
+(** The fixed key used for garbling KDFs (a nothing-up-my-sleeve value). *)
+let fixed_schedule =
+  lazy (expand_key (Bytes.of_string "\x00\x01\x02\x03\x04\x05\x06\x07\x08\x09\x0a\x0b\x0c\x0d\x0e\x0f"))
+
+(** Fixed-key hash for wire labels: H(x, tweak) = pi(x') XOR x' where
+    x' = 2x XOR tweak (the standard correlation-robust construction). *)
+let label_hash ~tweak (hi, lo) =
+  let hi' = Int64.logxor (Int64.shift_left hi 1) tweak in
+  let lo' = Int64.logxor (Int64.shift_left lo 1) (Int64.lognot tweak) in
+  let chi, clo = encrypt_pair (Lazy.force fixed_schedule) (hi', lo') in
+  (Int64.logxor chi hi', Int64.logxor clo lo')

@@ -1,0 +1,24 @@
+(** AES-128 encryption (FIPS 197), pure OCaml, used as a fixed-key
+    permutation for fast garbled-circuit key derivation. Encryption only;
+    validated against the FIPS-197 vectors. *)
+
+(** The AES S-box, derived from the GF(2^8) arithmetic (test hook). *)
+val sbox : int array
+
+type schedule
+
+(** @raise Invalid_argument unless the key is 16 bytes. *)
+val expand_key : Bytes.t -> schedule
+
+(** @raise Invalid_argument unless the block is 16 bytes. *)
+val encrypt_block : schedule -> Bytes.t -> Bytes.t
+
+(** Encrypt a 128-bit block given as an int64 pair. *)
+val encrypt_pair : schedule -> int64 * int64 -> int64 * int64
+
+(** The fixed key schedule used by garbling KDFs. *)
+val fixed_schedule : schedule Lazy.t
+
+(** Fixed-key correlation-robust hash for wire labels:
+    H(x, tweak) = pi(x') XOR x' with x' derived from x and the tweak. *)
+val label_hash : tweak:int64 -> int64 * int64 -> int64 * int64

@@ -1,0 +1,32 @@
+(** Communication accounting for the simulated two-party channel: every
+    protocol step declares its transfers (exact bit counts and direction)
+    and round boundaries. These counters are the communication figures the
+    benchmarks report. *)
+
+type tally = {
+  alice_to_bob_bits : int;
+  bob_to_alice_bits : int;
+  rounds : int;
+}
+
+val empty_tally : tally
+
+type t
+
+val create : unit -> t
+
+(** Account [bits] sent by [from] to the other party.
+    @raise Invalid_argument on negative counts. *)
+val send : t -> from:Party.t -> bits:int -> unit
+
+(** Declare [n] additional communication rounds. *)
+val bump_rounds : t -> int -> unit
+
+val tally : t -> tally
+val diff : tally -> tally -> tally
+val add : tally -> tally -> tally
+val total_bits : tally -> int
+val total_bytes : tally -> int
+val total_megabytes : tally -> float
+val equal : tally -> tally -> bool
+val pp : Format.formatter -> tally -> unit

@@ -1,0 +1,50 @@
+(** Shared state for one protocol execution: the annotation ring, security
+    parameters, communication channel, and each party's randomness.
+
+    The [dealer] stream realizes the trusted-dealer substitution described
+    in DESIGN.md: correlated randomness (OT correlations, OPRF keys, fresh
+    resharing masks) is drawn from it. Both parties' views of values derived
+    from the dealer are uniformly random, matching what real OT extension /
+    OPRF protocols would deliver. *)
+
+type gc_backend =
+  | Real  (** actually garble and evaluate circuits (tests, small benches) *)
+  | Sim   (** evaluate in the clear inside the runtime; identical cost accounting *)
+
+type t = {
+  comm : Comm.t;
+  ring : Zn.t;
+  kappa : int;        (** computational security parameter (bits) *)
+  sigma : int;        (** statistical security parameter (bits) *)
+  gc_backend : gc_backend;
+  prg_alice : Prg.t;
+  prg_bob : Prg.t;
+  dealer : Prg.t;
+}
+
+let create ?(bits = 32) ?(kappa = 128) ?(sigma = 40) ?(gc_backend = Sim) ~seed () =
+  let master = Prg.create seed in
+  {
+    comm = Comm.create ();
+    ring = Zn.create bits;
+    kappa;
+    sigma;
+    gc_backend;
+    prg_alice = Prg.split master;
+    prg_bob = Prg.split master;
+    dealer = Prg.split master;
+  }
+
+let prg_of t = function
+  | Party.Alice -> t.prg_alice
+  | Party.Bob -> t.prg_bob
+
+let ring_bits t = Zn.bits t.ring
+
+(** Snapshot-and-measure helper: runs [f] and returns its result with the
+    communication it generated. *)
+let measured t f =
+  let before = Comm.tally t.comm in
+  let result = f () in
+  let after = Comm.tally t.comm in
+  (result, Comm.diff after before)

@@ -1,0 +1,32 @@
+(** Shared state of one protocol execution: annotation ring, security
+    parameters, the cost-accounted channel, and each party's randomness
+    (plus the trusted-dealer stream realizing the correlated-randomness
+    substitutions of DESIGN.md §2). *)
+
+type gc_backend =
+  | Real  (** actually garble and evaluate circuits (tests, small benches) *)
+  | Sim   (** clear evaluation inside the runtime; identical accounted cost *)
+
+type t = {
+  comm : Comm.t;
+  ring : Zn.t;
+  kappa : int;        (** computational security parameter (bits) *)
+  sigma : int;        (** statistical security parameter (bits) *)
+  gc_backend : gc_backend;
+  prg_alice : Prg.t;
+  prg_bob : Prg.t;
+  dealer : Prg.t;
+}
+
+(** Defaults match the paper's evaluation: bits = 32 annotation ring,
+    kappa = 128, sigma = 40, simulated GC backend. *)
+val create :
+  ?bits:int -> ?kappa:int -> ?sigma:int -> ?gc_backend:gc_backend -> seed:int64 -> unit -> t
+
+val prg_of : t -> Party.t -> Prg.t
+
+val ring_bits : t -> int
+
+(** Run [f] and return its result together with the communication it
+    generated. *)
+val measured : t -> (unit -> 'a) -> 'a * Comm.tally

@@ -1,0 +1,103 @@
+(** Cuckoo hashing with 3 hash functions (paper §5.3, following PSTY19).
+
+    Alice maps her M-element set into B = ceil(1.27 M) bins so that each
+    bin holds at most one element; Bob later maps each of his elements into
+    all three candidate bins ("simple hashing"). Hash functions are keyed
+    SHA-256-based PRFs; on the (2^-sigma-probability) event that insertion
+    fails, fresh keys are drawn — exactly the failure behaviour the paper
+    budgets for. *)
+
+type keys = { k1 : int64; k2 : int64; k3 : int64; n_bins : int }
+
+let expansion = 1.27
+
+let n_bins_for m = max 2 (int_of_float (ceil (expansion *. float_of_int (max 1 m))))
+
+let fresh_keys prg n_bins =
+  { k1 = Prg.next_int64 prg; k2 = Prg.next_int64 prg; k3 = Prg.next_int64 prg; n_bins }
+
+let bin keys which x =
+  let k = match which with 0 -> keys.k1 | 1 -> keys.k2 | _ -> keys.k3 in
+  let h = Sha256.prf64 ~tweak:k [ x ] in
+  Int64.to_int (Int64.unsigned_rem h (Int64.of_int keys.n_bins))
+
+(** The three candidate bins of [x]. *)
+let candidate_bins keys x = [ bin keys 0 x; bin keys 1 x; bin keys 2 x ]
+
+type table = {
+  keys : keys;
+  slots : int64 option array;    (** element stored in each bin *)
+  sources : int option array;    (** index of that element in the input array *)
+}
+
+exception Insertion_failed
+
+let try_build prg keys (elements : int64 array) =
+  let slots = Array.make keys.n_bins None in
+  let sources = Array.make keys.n_bins None in
+  let max_kicks = 64 + (4 * Array.length elements) in
+  let insert idx x =
+    let rec kick idx x attempts =
+      if attempts > max_kicks then raise Insertion_failed;
+      let choice = Prg.below prg 3 in
+      let b = bin keys choice x in
+      match slots.(b) with
+      | None ->
+          slots.(b) <- Some x;
+          sources.(b) <- Some idx
+      | Some y ->
+          let y_idx = match sources.(b) with Some i -> i | None -> assert false in
+          slots.(b) <- Some x;
+          sources.(b) <- Some idx;
+          kick y_idx y (attempts + 1)
+    in
+    (* First try the three bins directly before random-walk eviction. *)
+    let rec try_direct = function
+      | [] -> kick idx x 0
+      | b :: rest -> (
+          match slots.(b) with
+          | None ->
+              slots.(b) <- Some x;
+              sources.(b) <- Some idx
+          | Some _ -> try_direct rest)
+    in
+    try_direct (candidate_bins keys x)
+  in
+  Array.iteri insert elements;
+  { keys; slots; sources }
+
+(** Build a cuckoo table over distinct [elements]; retries with fresh keys
+    on failure. *)
+let build ?(n_bins = 0) prg (elements : int64 array) =
+  let n_bins = if n_bins > 0 then n_bins else n_bins_for (Array.length elements) in
+  let rec go attempts =
+    if attempts > 64 then failwith "Cuckoo_hash.build: persistent insertion failure";
+    let keys = fresh_keys prg n_bins in
+    match try_build prg keys elements with
+    | table -> table
+    | exception Insertion_failed -> go (attempts + 1)
+  in
+  go 0
+
+(** Bob's side: map every element of [ys] into each of its three candidate
+    bins. Returns per-bin lists of indices into [ys]. *)
+let simple_hash keys (ys : int64 array) =
+  let bins = Array.make keys.n_bins [] in
+  Array.iteri
+    (fun j y ->
+      (* An element whose candidate bins collide is inserted once per
+         distinct bin. *)
+      let cands = List.sort_uniq compare (candidate_bins keys y) in
+      List.iter (fun b -> bins.(b) <- j :: bins.(b)) cands)
+    ys;
+  Array.map List.rev bins
+
+(** Occupancy check used by tests: every input element is in exactly one of
+    its candidate bins. *)
+let check_table table (elements : int64 array) =
+  Array.for_all
+    (fun x ->
+      List.exists
+        (fun b -> match table.slots.(b) with Some y -> Int64.equal x y | None -> false)
+        (candidate_bins table.keys x))
+    elements

@@ -1,0 +1,37 @@
+(** Cuckoo hashing with 3 keyed hash functions over B = 1.27 M bins
+    (paper §5.3, following PSTY19): the PSI receiver stores at most one
+    element per bin; the sender later maps each of its elements into all
+    three candidate bins. *)
+
+type keys = { k1 : int64; k2 : int64; k3 : int64; n_bins : int }
+
+val expansion : float
+
+(** Bin count for an M-element table: ceil(1.27 M), at least 2. *)
+val n_bins_for : int -> int
+
+val fresh_keys : Prg.t -> int -> keys
+
+(** The bin of element [x] under hash function [0 <= which <= 2]. *)
+val bin : keys -> int -> int64 -> int
+
+val candidate_bins : keys -> int64 -> int list
+
+type table = {
+  keys : keys;
+  slots : int64 option array;   (** element stored in each bin *)
+  sources : int option array;   (** index of that element in the input *)
+}
+
+exception Insertion_failed
+
+(** Build a cuckoo table over distinct elements; draws fresh keys and
+    retries on the (2^-sigma-probability) insertion failure. *)
+val build : ?n_bins:int -> Prg.t -> int64 array -> table
+
+(** The sender's side: per-bin lists of indices into the input array,
+    each element hashed into all of its candidate bins. *)
+val simple_hash : keys -> int64 array -> int list array
+
+(** Every element sits in exactly one of its candidate bins (test hook). *)
+val check_table : table -> int64 array -> bool

@@ -1,0 +1,132 @@
+(** Garbled circuits: half-gates garbling with free-XOR and
+    point-and-permute (Zahur–Rosulek–Evans), over 128-bit wire labels with
+    a SHA-256-based key derivation.
+
+    This is the [Real] backend of the GC protocol: circuits are actually
+    garbled by the generator and evaluated on labels by the evaluator. Each
+    AND gate costs two 128-bit ciphertexts; XOR and NOT are free. *)
+
+module Label = struct
+  type t = { hi : int64; lo : int64 }
+
+  let zero = { hi = 0L; lo = 0L }
+  let xor a b = { hi = Int64.logxor a.hi b.hi; lo = Int64.logxor a.lo b.lo }
+  let color t = Int64.logand t.lo 1L = 1L
+  let equal a b = Int64.equal a.hi b.hi && Int64.equal a.lo b.lo
+
+  let random prg = { hi = Prg.next_int64 prg; lo = Prg.next_int64 prg }
+
+  (** Free-XOR global offset; color bit forced to 1 so that the two labels
+      of every wire have opposite colors. *)
+  let random_delta prg =
+    let l = random prg in
+    { l with lo = Int64.logor l.lo 1L }
+
+  (** H(label, tweak): first 128 bits of SHA-256(hi || lo || tweak). *)
+  let hash t ~tweak =
+    let d = Sha256.digest_int64s [ t.hi; t.lo; tweak ] in
+    { hi = Bytes.get_int64_be d 0; lo = Bytes.get_int64_be d 8 }
+
+  (** Fixed-key AES hash (faster; the standard choice in MPC practice). *)
+  let hash_aes t ~tweak =
+    let hi, lo = Aes128.label_hash ~tweak (t.hi, t.lo) in
+    { hi; lo }
+
+  let cond_xor cond a b = if cond then xor a b else a
+end
+
+(** Key-derivation function used for garbled rows. *)
+type kdf = Sha256_kdf | Aes128_kdf
+
+let hash_with kdf =
+  match kdf with Sha256_kdf -> Label.hash | Aes128_kdf -> Label.hash_aes
+
+type garbled = {
+  circuit : Boolean_circuit.t;
+  input_false_labels : Label.t array;  (** false label of each input wire *)
+  delta : Label.t;
+  tables : (Label.t * Label.t) array;  (** (T_G, T_E) per AND gate, in gate order *)
+  output_decode : bool array;          (** color of the false label of each output *)
+}
+
+(** Garble [circuit] with randomness from [prg] (the generator's stream).
+    Returns the garbled tables plus the generator's secrets. *)
+let garble ?(kdf = Sha256_kdf) prg circuit =
+  let open Boolean_circuit in
+  let hash = hash_with kdf in
+  let delta = Label.random_delta prg in
+  let n_wires = n_wires circuit in
+  let false_labels = Array.make n_wires Label.zero in
+  for i = 0 to circuit.n_inputs - 1 do
+    false_labels.(i) <- Label.random prg
+  done;
+  let tables = Array.make circuit.and_count (Label.zero, Label.zero) in
+  let and_idx = ref 0 in
+  Array.iteri
+    (fun i gate ->
+      let out = circuit.n_inputs + i in
+      match gate with
+      | Xor (x, y) -> false_labels.(out) <- Label.xor false_labels.(x) false_labels.(y)
+      | Not x -> false_labels.(out) <- Label.xor false_labels.(x) delta
+      | And (x, y) ->
+          let j = Int64.of_int (2 * !and_idx) in
+          let j' = Int64.of_int ((2 * !and_idx) + 1) in
+          let wa0 = false_labels.(x) and wb0 = false_labels.(y) in
+          let wa1 = Label.xor wa0 delta and wb1 = Label.xor wb0 delta in
+          let pa = Label.color wa0 and pb = Label.color wb0 in
+          (* generator half-gate *)
+          let h_a0 = hash wa0 ~tweak:j and h_a1 = hash wa1 ~tweak:j in
+          let t_g = Label.cond_xor pb (Label.xor h_a0 h_a1) delta in
+          let w_g0 = Label.cond_xor pa h_a0 t_g in
+          (* evaluator half-gate *)
+          let h_b0 = hash wb0 ~tweak:j' and h_b1 = hash wb1 ~tweak:j' in
+          let t_e = Label.xor (Label.xor h_b0 h_b1) wa0 in
+          let w_e0 = Label.cond_xor pb h_b0 (Label.xor t_e wa0) in
+          false_labels.(out) <- Label.xor w_g0 w_e0;
+          tables.(!and_idx) <- (t_g, t_e);
+          incr and_idx)
+    circuit.gates;
+  let input_false_labels = Array.sub false_labels 0 circuit.n_inputs in
+  let output_decode = Array.map (fun w -> Label.color false_labels.(w)) circuit.outputs in
+  let all_false_labels = false_labels in
+  ( { circuit; input_false_labels; delta; tables; output_decode }, all_false_labels )
+
+(** The label encoding bit [b] on input wire [i]. *)
+let encode_input g i b =
+  if b then Label.xor g.input_false_labels.(i) g.delta else g.input_false_labels.(i)
+
+(** Evaluate on active labels; returns the active label of each output.
+    [kdf] must match the one used at garbling time. *)
+let eval_labels ?(kdf = Sha256_kdf) g (input_labels : Label.t array) =
+  let open Boolean_circuit in
+  let hash = hash_with kdf in
+  let circuit = g.circuit in
+  if Array.length input_labels <> circuit.n_inputs then
+    invalid_arg "Garbling.eval_labels: wrong number of input labels";
+  let labels = Array.make (n_wires circuit) Label.zero in
+  Array.blit input_labels 0 labels 0 circuit.n_inputs;
+  let and_idx = ref 0 in
+  Array.iteri
+    (fun i gate ->
+      let out = circuit.n_inputs + i in
+      match gate with
+      | Xor (x, y) -> labels.(out) <- Label.xor labels.(x) labels.(y)
+      | Not x -> labels.(out) <- labels.(x)
+          (* NOT is free: same label, decoded with flipped semantics via the
+             garbler's false-label offset (handled in [garble]). *)
+      | And (x, y) ->
+          let j = Int64.of_int (2 * !and_idx) in
+          let j' = Int64.of_int ((2 * !and_idx) + 1) in
+          let t_g, t_e = g.tables.(!and_idx) in
+          let wa = labels.(x) and wb = labels.(y) in
+          let sa = Label.color wa and sb = Label.color wb in
+          let w_g = Label.cond_xor sa (hash wa ~tweak:j) t_g in
+          let w_e = Label.cond_xor sb (hash wb ~tweak:j') (Label.xor t_e wa) in
+          labels.(out) <- Label.xor w_g w_e;
+          incr and_idx)
+    circuit.gates;
+  Array.map (fun w -> labels.(w)) circuit.outputs
+
+(** Decode an output's active label to its cleartext bit using the decode
+    (color-of-false-label) information. *)
+let decode_output g ~out_index label = Label.color label <> g.output_decode.(out_index)

@@ -1,0 +1,54 @@
+(** Garbled circuits: half-gates garbling (Zahur–Rosulek–Evans) with
+    free-XOR and point-and-permute over 128-bit wire labels. Two AND-gate
+    ciphertexts per gate; XOR and NOT are free. This is the [Real] backend
+    of {!Gc_protocol}. *)
+
+module Label : sig
+  type t = { hi : int64; lo : int64 }
+
+  val zero : t
+  val xor : t -> t -> t
+
+  (** The point-and-permute color bit. *)
+  val color : t -> bool
+
+  val equal : t -> t -> bool
+  val random : Prg.t -> t
+
+  (** Free-XOR global offset, color bit forced to 1. *)
+  val random_delta : Prg.t -> t
+
+  (** SHA-256-based key derivation: H(label, tweak). *)
+  val hash : t -> tweak:int64 -> t
+
+  (** Fixed-key AES-128 key derivation (faster; standard MPC practice). *)
+  val hash_aes : t -> tweak:int64 -> t
+
+  val cond_xor : bool -> t -> t -> t
+end
+
+(** Key-derivation function used for garbled rows. *)
+type kdf = Sha256_kdf | Aes128_kdf
+
+val hash_with : kdf -> Label.t -> tweak:int64 -> Label.t
+
+type garbled = {
+  circuit : Boolean_circuit.t;
+  input_false_labels : Label.t array;
+  delta : Label.t;
+  tables : (Label.t * Label.t) array;  (** (T_G, T_E) per AND gate *)
+  output_decode : bool array;          (** color of each output's false label *)
+}
+
+(** Garble a circuit with the generator's randomness; also returns the
+    false labels of every wire (generator secrets, used by tests). *)
+val garble : ?kdf:kdf -> Prg.t -> Boolean_circuit.t -> garbled * Label.t array
+
+(** The label encoding bit [b] on input wire [i]. *)
+val encode_input : garbled -> int -> bool -> Label.t
+
+(** Evaluate on active labels; [kdf] must match garbling. *)
+val eval_labels : ?kdf:kdf -> garbled -> Label.t array -> Label.t array
+
+(** Decode an output's active label to its cleartext bit. *)
+val decode_output : garbled -> out_index:int -> Label.t -> bool

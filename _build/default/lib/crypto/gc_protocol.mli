@@ -1,0 +1,56 @@
+(** The two-party garbled-circuit protocol (paper §5.2): evaluate a
+    word-level computation over private and secret-shared inputs, with
+    outputs either freshly arithmetic-shared or revealed to one party.
+
+    The batch entry points implement the paper's "one garbled circuit per
+    tuple" pattern — the circuit is built once from the first item's shape
+    and reused (garbled afresh per item under the [Real] backend; a whole
+    batch costs a constant number of rounds). The [Sim] backend evaluates
+    in the clear inside the runtime with bit-identical cost accounting
+    (asserted by the test suite). *)
+
+type input =
+  | Priv of { owner : Party.t; value : int64; bits : int }
+      (** a private value of [owner], entering the circuit as [bits] wires *)
+  | Shared of Secret_share.t
+      (** an arithmetically shared ring element; the circuit sees its
+          reconstruction (an adder front-end is prepended) *)
+
+(** Evaluate the same circuit over a batch of same-shaped input lists;
+    every output word of every item becomes a fresh arithmetic share. *)
+val eval_to_shares_batch :
+  Context.t ->
+  items:input list array ->
+  build:(Boolean_circuit.Builder.b -> Circuits.word array -> Circuits.word list) ->
+  Secret_share.t array array
+
+(** Single-item variant of {!eval_to_shares_batch}. *)
+val eval_to_shares :
+  Context.t ->
+  inputs:input list ->
+  build:(Boolean_circuit.Builder.b -> Circuits.word array -> Circuits.word list) ->
+  Secret_share.t array
+
+(** Evaluate a batch and reveal every output word of every item to [to_]
+    only. *)
+val eval_reveal_batch :
+  Context.t ->
+  to_:Party.t ->
+  items:input list array ->
+  build:(Boolean_circuit.Builder.b -> Circuits.word array -> Circuits.word list) ->
+  int64 array array
+
+(** Single-item variant of {!eval_reveal_batch}. *)
+val eval_reveal :
+  Context.t ->
+  to_:Party.t ->
+  inputs:input list ->
+  build:(Boolean_circuit.Builder.b -> Circuits.word array -> Circuits.word list) ->
+  int64 array
+
+(** Single-input-list, single-output-word convenience. *)
+val eval_to_share :
+  Context.t ->
+  inputs:input list ->
+  build:(Boolean_circuit.Builder.b -> Circuits.word array -> Circuits.word) ->
+  Secret_share.t

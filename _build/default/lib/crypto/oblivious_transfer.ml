@@ -1,0 +1,66 @@
+(** 1-out-of-2 oblivious transfer from dealer-provided random OT.
+
+    Base OT requires public-key crypto, which we replace with a trusted
+    dealer handing out random-OT correlations (the standard offline-phase
+    abstraction; see DESIGN.md §2.3). The online derandomization below is a
+    real protocol: the receiver announces the XOR of its choice bit with the
+    random choice, the sender responds with both messages masked under the
+    random pads, and only the chosen one is recoverable. Costs are accounted
+    per IKNP OT extension. *)
+
+type 'a messages = { m0 : 'a; m1 : 'a }
+
+(** Random OT correlation for [bits]-wide messages: sender pads and the
+    receiver's random choice with its pad. *)
+type correlation = {
+  pad0 : int64;
+  pad1 : int64;
+  choice : bool;
+}
+
+let fresh_correlation ctx ~bits =
+  let dealer = ctx.Context.dealer in
+  { pad0 = Prg.bits dealer bits; pad1 = Prg.bits dealer bits; choice = Prg.bool dealer }
+
+(** [transfer ctx ~sender ~bits ~messages ~choice_bit] delivers [m0] or
+    [m1] (each [bits] wide) to the receiver according to [choice_bit],
+    revealing nothing else. Returns the received message. *)
+let transfer ctx ~sender ~bits ~(messages : int64 messages) ~choice_bit =
+  let corr = fresh_correlation ctx ~bits in
+  let receiver = Party.other sender in
+  (* receiver -> sender: derandomization bit (+ the IKNP matrix column it
+     stands in for) *)
+  Comm.send ctx.Context.comm ~from:receiver
+    ~bits:(1 + Cost_model.ot_receiver_bits ~kappa:ctx.Context.kappa);
+  let e = choice_bit <> corr.choice in
+  (* sender -> receiver: both messages masked under pads, swapped by e *)
+  let z0, z1 =
+    if e then (Int64.logxor messages.m1 corr.pad0, Int64.logxor messages.m0 corr.pad1)
+    else (Int64.logxor messages.m0 corr.pad0, Int64.logxor messages.m1 corr.pad1)
+  in
+  Comm.send ctx.Context.comm ~from:sender ~bits:(Cost_model.ot_sender_bits ~msg_bits:bits);
+  Comm.bump_rounds ctx.Context.comm 2;
+  let z, pad = if corr.choice then (z1, corr.pad1) else (z0, corr.pad0) in
+  Int64.logxor z pad
+
+(** Batched OT: same correlation structure, one round trip for the whole
+    batch (how OT extension is used in practice). *)
+let transfer_batch ctx ~sender ~bits ~(messages : int64 messages array) ~choices =
+  let n = Array.length messages in
+  if Array.length choices <> n then invalid_arg "Oblivious_transfer.transfer_batch";
+  let receiver = Party.other sender in
+  Comm.send ctx.Context.comm ~from:receiver
+    ~bits:(n * (1 + Cost_model.ot_receiver_bits ~kappa:ctx.Context.kappa));
+  Comm.send ctx.Context.comm ~from:sender
+    ~bits:(n * Cost_model.ot_sender_bits ~msg_bits:bits);
+  Comm.bump_rounds ctx.Context.comm 2;
+  Array.init n (fun i ->
+      let corr = fresh_correlation ctx ~bits in
+      let e = choices.(i) <> corr.choice in
+      let m = messages.(i) in
+      let z0, z1 =
+        if e then (Int64.logxor m.m1 corr.pad0, Int64.logxor m.m0 corr.pad1)
+        else (Int64.logxor m.m0 corr.pad0, Int64.logxor m.m1 corr.pad1)
+      in
+      let z, pad = if corr.choice then (z1, corr.pad1) else (z0, corr.pad0) in
+      Int64.logxor z pad)

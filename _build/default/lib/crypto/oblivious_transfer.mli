@@ -1,0 +1,26 @@
+(** 1-out-of-2 oblivious transfer from dealer-provided random-OT
+    correlations (DESIGN.md §2.3): the online derandomization is real
+    protocol code, costs are accounted per IKNP OT extension. *)
+
+type 'a messages = { m0 : 'a; m1 : 'a }
+
+(** Deliver [m0] or [m1] ([bits] wide) according to [choice_bit]; the
+    receiver learns nothing about the other message, the sender nothing
+    about the choice. *)
+val transfer :
+  Context.t ->
+  sender:Party.t ->
+  bits:int ->
+  messages:int64 messages ->
+  choice_bit:bool ->
+  int64
+
+(** Batched OTs sharing one round trip.
+    @raise Invalid_argument on length mismatch. *)
+val transfer_batch :
+  Context.t ->
+  sender:Party.t ->
+  bits:int ->
+  messages:int64 messages array ->
+  choices:bool array ->
+  int64 array

@@ -1,0 +1,19 @@
+(** Batched oblivious programmable PRF (OPPRF), the core of PSTY19's
+    circuit PSI (paper §5.3): per bin, the sender programs chosen outputs
+    on chosen points, the receiver evaluates at one query point and learns
+    the programmed value on a hit and pseudo-random garbage otherwise.
+    Realized through the dealer model with PSTY19-accounted costs
+    (DESIGN.md §2.4). *)
+
+(** [batch ctx ~sender ~out_bits ~programming ~queries] runs one OPPRF per
+    bin; [programming.(i)] lists the (point, value) pairs of bin [i] and
+    [queries.(i)] is the receiver's point.
+
+    @raise Invalid_argument when the array lengths differ. *)
+val batch :
+  Context.t ->
+  sender:Party.t ->
+  out_bits:int ->
+  programming:(int64 * int64) list array ->
+  queries:int64 array ->
+  int64 array

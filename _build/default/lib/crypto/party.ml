@@ -1,0 +1,15 @@
+(** The two parties of the 2PC model. Per the paper's convention, Alice is
+    the designated receiver of query results. *)
+
+type t = Alice | Bob
+
+let other = function Alice -> Bob | Bob -> Alice
+
+let to_string = function Alice -> "Alice" | Bob -> "Bob"
+
+let pp fmt p = Fmt.string fmt (to_string p)
+
+let equal a b =
+  match a, b with
+  | Alice, Alice | Bob, Bob -> true
+  | Alice, Bob | Bob, Alice -> false

@@ -1,0 +1,9 @@
+(** The two parties of the 2PC model; Alice is the designated receiver of
+    query results, per the paper's convention. *)
+
+type t = Alice | Bob
+
+val other : t -> t
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,137 @@
+(** Beneš permutation networks with concrete routing.
+
+    The oblivious extended permutation of Mohassel–Sadeghian (paper §5.4)
+    evaluates a switching network whose control bits are held by one party.
+    We construct and program real Beneš networks: [build perm] returns an
+    ordered list of programmed 2x2 conditional-swap switches realizing
+    [perm] on [n] wires ([n] padded internally to a power of two). The
+    switch count drives the OEP cost accounting, and [apply] lets tests and
+    the clear-text reference path actually run the network. *)
+
+type switch = { a : int; b : int; swap : bool }
+
+type t = {
+  n : int;             (** logical wire count (before padding) *)
+  padded : int;        (** power-of-two physical wire count *)
+  switches : switch list;
+}
+
+let n_switches t = List.length t.switches
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (2 * p) in
+  go 1
+
+(* Route a Benes network for [perm] (dest j receives src perm.(j)) over
+   positions [positions] (global wire indices for this subproblem). Returns
+   switches in evaluation order. *)
+let rec route positions perm =
+  let n = Array.length perm in
+  if n <= 1 then []
+  else if n = 2 then [ { a = positions.(0); b = positions.(1); swap = perm.(0) = 1 } ]
+  else begin
+    let m = n / 2 in
+    let inv = Array.make n 0 in
+    Array.iteri (fun dst src -> inv.(src) <- dst) perm;
+    (* route.(out) : true = upper subnetwork *)
+    let out_route = Array.make n None in
+    let in_route = Array.make n None in
+    (* Cycle-walking 2-coloring: assigning output [out] to half [h] forces
+       its switch partner to [not h], forces the input carrying perm.(out)
+       to [h], hence that input's switch partner to [not h], hence the
+       output fed by that partner to [not h] — whose own switch partner is
+       forced back to [h], continuing the walk until the cycle closes. *)
+    for start = 0 to n - 1 do
+      if out_route.(start) = None then begin
+        let out = ref start in
+        let walking = ref true in
+        while !walking do
+          out_route.(!out) <- Some true;
+          out_route.(!out lxor 1) <- Some false;
+          let src = perm.(!out) in
+          in_route.(src) <- Some true;
+          in_route.(src lxor 1) <- Some false;
+          let forced_out = inv.(src lxor 1) in
+          (* forced_out takes the lower half; continue from its partner *)
+          let next_out = forced_out lxor 1 in
+          if out_route.(next_out) = None then out := next_out
+          else begin
+            assert (out_route.(next_out) = Some true);
+            walking := false
+          end
+        done
+      end
+    done;
+    (* Determine switch controls and subnetwork permutations. *)
+    let in_ctrl = Array.make m false in
+    let out_ctrl = Array.make m false in
+    for i = 0 to m - 1 do
+      (* a_i = false routes input 2i to upper *)
+      match in_route.(2 * i) with
+      | Some upper -> in_ctrl.(i) <- not upper
+      | None -> in_ctrl.(i) <- false
+    done;
+    for j = 0 to m - 1 do
+      (* b_j = false takes output 2j from upper *)
+      match out_route.(2 * j) with
+      | Some upper -> out_ctrl.(j) <- not upper
+      | None -> out_ctrl.(j) <- false
+    done;
+    let upper_perm = Array.make m 0 and lower_perm = Array.make m 0 in
+    for j = 0 to m - 1 do
+      let out_up, out_lo =
+        match out_route.(2 * j) with
+        | Some true -> (2 * j, (2 * j) + 1)
+        | Some false | None -> ((2 * j) + 1, 2 * j)
+      in
+      upper_perm.(j) <- perm.(out_up) / 2;
+      lower_perm.(j) <- perm.(out_lo) / 2
+    done;
+    (* Physical layout: after the input layer, the upper wire of input
+       switch i sits at positions.(2i), the lower at positions.(2i+1). *)
+    let upper_pos = Array.init m (fun i -> positions.(2 * i)) in
+    let lower_pos = Array.init m (fun i -> positions.((2 * i) + 1)) in
+    let input_layer =
+      List.init m (fun i ->
+          { a = positions.(2 * i); b = positions.((2 * i) + 1); swap = in_ctrl.(i) })
+    in
+    let output_layer =
+      List.init m (fun j ->
+          { a = positions.(2 * j); b = positions.((2 * j) + 1); swap = out_ctrl.(j) })
+    in
+    input_layer @ route upper_pos upper_perm @ route lower_pos lower_perm @ output_layer
+  end
+
+(** Build a programmed network realizing [perm]: output [j] carries input
+    [perm.(j)]. Wires beyond [Array.length perm] (padding) map identically. *)
+let build perm =
+  let n = Array.length perm in
+  let padded = next_pow2 (max 2 n) in
+  let full = Array.init padded (fun j -> if j < n then perm.(j) else j) in
+  let positions = Array.init padded (fun i -> i) in
+  { n; padded; switches = route positions full }
+
+(** Apply the programmed network to a data array of size [>= t.n]; returns
+    the array of logical outputs (length [t.n]). *)
+let apply t data =
+  let work = Array.make t.padded None in
+  Array.iteri (fun i v -> if i < t.padded then work.(i) <- Some v) data;
+  List.iter
+    (fun { a; b; swap } ->
+      if swap then begin
+        let tmp = work.(a) in
+        work.(a) <- work.(b);
+        work.(b) <- tmp
+      end)
+    t.switches;
+  Array.init t.n (fun i ->
+      match work.(i) with
+      | Some v -> v
+      | None -> invalid_arg "Permutation_network.apply: padding reached an output")
+
+(** Switch count of a Benes network over [n] logical wires, without
+    building one; used for cost formulas. *)
+let switch_count_for n =
+  let p = next_pow2 (max 2 n) in
+  let rec count n = if n <= 1 then 0 else if n = 2 then 1 else n + (2 * count (n / 2)) in
+  count p

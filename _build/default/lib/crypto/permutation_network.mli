@@ -1,0 +1,23 @@
+(** Benes permutation networks with concrete routing: [build perm]
+    programs a network of 2x2 conditional-swap switches realizing [perm],
+    the substrate of the oblivious extended permutation (paper §5.4). *)
+
+type switch = { a : int; b : int; swap : bool }
+
+type t = {
+  n : int;            (** logical wire count *)
+  padded : int;       (** power-of-two physical width *)
+  switches : switch list;
+}
+
+val n_switches : t -> int
+
+(** Program a network so that output [j] carries input [perm.(j)]. *)
+val build : int array -> t
+
+(** Run the programmed network on data (tests / clear reference).
+    @raise Invalid_argument if a padding wire surfaces at an output. *)
+val apply : t -> 'a array -> 'a array
+
+(** Switch count over [n] logical wires, without building a network. *)
+val switch_count_for : int -> int

@@ -1,0 +1,26 @@
+(** Deterministic pseudo-random generator (xoshiro256** seeded via
+    splitmix64). Every source of randomness in the library flows through a
+    [Prg.t], so protocol runs are reproducible from a single seed. *)
+
+type t
+
+val create : int64 -> t
+val next_int64 : t -> int64
+
+(** A uniformly random non-negative [n]-bit value, [0 <= n <= 63]. *)
+val bits : t -> int -> int64
+
+(** Uniform integer in [[0, bound)], bias-free.
+    @raise Invalid_argument when [bound <= 0]. *)
+val below : t -> int -> int
+
+val bool : t -> bool
+
+(** Fisher–Yates shuffle, in place. *)
+val shuffle : t -> 'a array -> unit
+
+(** A fresh uniformly random permutation of [[0, n)]. *)
+val permutation : t -> int -> int array
+
+(** Derive an independent child generator. *)
+val split : t -> t

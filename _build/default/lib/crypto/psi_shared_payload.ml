@@ -1,0 +1,72 @@
+(** PSI with secret-shared payloads (paper §5.5).
+
+    In multi-join queries the payloads of Bob's set are intermediate
+    annotations held in shared form, so they cannot be fed to the PSI
+    protocol directly. The paper's fix, implemented here verbatim:
+
+    1. extend the shared payload vector [z_1..z_N] with B zeros;
+    2. Bob draws a random permutation xi1 of [N+B] and the parties OEP the
+       shares into z'_j = z_{xi1(j)};
+    3. run PSI where the payload of y_j is the *index* xi1^{-1}(j);
+    4. a garbled circuit reveals to Alice, per bin i, the index
+       k_i = xi1^{-1}(j) on a match and k_i = xi1^{-1}(N+i) otherwise —
+       uniformly random distinct indices that leak nothing;
+    5. a second OEP with xi2(i) = k_i (held by Alice) maps the z' shares to
+       z''_i = payload of the matching y_j, or 0.
+
+    Output: per-bin shared indicators and payloads, like {!Psi}, but with
+    shared inputs. Cost O~(M + N), constant rounds. *)
+
+type result = {
+  table : Cuckoo_hash.table;
+  ind : Secret_share.t array;
+  payload : Secret_share.t array;
+}
+
+let run ctx ~receiver ~(alice_set : int64 array) ~(bob_set : int64 array)
+    ~(bob_payload_shares : Secret_share.t array) : result =
+  let sender = Party.other receiver in
+  let n = Array.length bob_set in
+  if Array.length bob_payload_shares <> n then
+    invalid_arg "Psi_shared_payload.run: payload count mismatch";
+  (* The sender's random permutation over [N+B] requires B, which is
+     determined by the receiver's cuckoo table size. *)
+  let b = Cuckoo_hash.n_bins_for (Array.length alice_set) in
+  let total = n + b in
+  let xi1 = Prg.permutation (Context.prg_of ctx sender) total in
+  let xi1_inv = Array.make total 0 in
+  Array.iteri (fun j src -> xi1_inv.(src) <- j) xi1;
+  (* 1-2. extend shares with zeros and permute through OEP *)
+  let extended =
+    Array.init total (fun j -> if j < n then bob_payload_shares.(j) else Secret_share.zero)
+  in
+  let z' = Oep.apply_shared ctx ~holder:sender ~xi:xi1 ~m:total extended in
+  (* 3. PSI with index payloads *)
+  let index_payloads = Array.init n (fun j -> Int64.of_int xi1_inv.(j)) in
+  let psi = Psi.with_payloads ctx ~receiver ~alice_set ~bob_set ~bob_payloads:index_payloads in
+  let b_actual = Psi.n_bins psi in
+  if b_actual <> b then
+    invalid_arg "Psi_shared_payload.run: bin count drifted from n_bins_for";
+  (* 4. per-bin circuit revealing k_i to the receiver *)
+  let items =
+    Array.init b (fun i ->
+        [
+          Gc_protocol.Shared psi.Psi.ind.(i);
+          Gc_protocol.Shared psi.Psi.payload.(i);
+          Gc_protocol.Priv
+            {
+              owner = sender;
+              value = Int64.of_int xi1_inv.(n + i);
+              bits = Context.ring_bits ctx;
+            };
+        ])
+  in
+  let build builder (words : Circuits.word array) =
+    (* ind is arithmetically 0 or 1, so bit 0 is the indicator *)
+    [ Circuits.mux_word builder ~sel:words.(0).(0) words.(1) words.(2) ]
+  in
+  let ks = Gc_protocol.eval_reveal_batch ctx ~to_:receiver ~items ~build in
+  (* 5. second OEP, programmed by the receiver with xi2(i) = k_i *)
+  let xi2 = Array.map (fun k -> Int64.to_int k.(0)) ks in
+  let payload = Oep.apply_shared ctx ~holder:receiver ~xi:xi2 ~m:total z' in
+  { table = psi.Psi.table; ind = psi.Psi.ind; payload }

@@ -1,0 +1,20 @@
+(** PSI with secret-shared payloads (paper §5.5): the multi-join case
+    where the sender's payloads are intermediate annotations held in
+    shared form. Random permutation + OEP + PSI over permuted indices +
+    one revealed index per bin + a second OEP, exactly as in the paper.
+    Cost O~(M + N), constant rounds. *)
+
+type result = {
+  table : Cuckoo_hash.table;
+  ind : Secret_share.t array;      (** per bin: shared Ind(x_i in Y) *)
+  payload : Secret_share.t array;  (** per bin: shared payload, or 0 *)
+}
+
+(** @raise Invalid_argument on payload count mismatch. *)
+val run :
+  Context.t ->
+  receiver:Party.t ->
+  alice_set:int64 array ->
+  bob_set:int64 array ->
+  bob_payload_shares:Secret_share.t array ->
+  result

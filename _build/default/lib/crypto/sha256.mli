@@ -1,0 +1,25 @@
+(** SHA-256 (FIPS 180-4), pure OCaml: the key-derivation function for
+    garbled-circuit wire labels and the collision-resistant hash behind
+    tuple encodings and PSI bin mapping. Validated against the FIPS test
+    vectors. *)
+
+type ctx
+
+val init : unit -> ctx
+
+(** Stream [len] bytes of [src] starting at [pos] into the state. *)
+val feed : ctx -> Bytes.t -> int -> int -> unit
+
+(** Finalize and return the 32-byte digest. *)
+val finish : ctx -> Bytes.t
+
+val digest_bytes : Bytes.t -> Bytes.t
+val digest_string : string -> Bytes.t
+val to_hex : Bytes.t -> string
+
+(** Hash a list of big-endian int64 words. *)
+val digest_int64s : int64 list -> Bytes.t
+
+(** First 8 bytes of the digest of [tweak :: words]; the keyed-PRF shape
+    used to build families of hash functions. *)
+val prf64 : tweak:int64 -> int64 list -> int64

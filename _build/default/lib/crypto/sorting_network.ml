@@ -1,0 +1,75 @@
+(** Bitonic sorting networks (Batcher).
+
+    A sorting network is a data-independent sequence of compare-exchange
+    operations — exactly the shape needed for oblivious sorting, the
+    standard building block for extending the protocol beyond free-connex
+    queries (the paper's future-work direction: non-free-connex plans
+    need oblivious sorts of secret-shared sequences). [build n] yields the
+    comparator sequence for any n (padded internally to a power of two
+    with +infinity sentinels); [apply] runs it in the clear, and
+    [comparator_count] drives cost accounting: Theta(n log^2 n)
+    comparators. *)
+
+type comparator = { lo : int; hi : int }
+(** compare-exchange: after the gate, position [lo] holds the smaller
+    element and [hi] the larger. *)
+
+type t = {
+  n : int;           (** logical input count *)
+  padded : int;      (** power-of-two network width *)
+  comparators : comparator list;
+}
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (2 * p) in
+  go 1
+
+(** The comparator sequence sorting [n] elements ascending. *)
+let build n =
+  let padded = next_pow2 (max 2 n) in
+  let comparators = ref [] in
+  (* standard iterative bitonic sort over indices 0..padded-1 *)
+  let k = ref 2 in
+  while !k <= padded do
+    let j = ref (!k / 2) in
+    while !j >= 1 do
+      for i = 0 to padded - 1 do
+        let partner = i lxor !j in
+        if partner > i then begin
+          let ascending = i land !k = 0 in
+          let lo, hi = if ascending then (i, partner) else (partner, i) in
+          comparators := { lo; hi } :: !comparators
+        end
+      done;
+      j := !j / 2
+    done;
+    k := !k * 2
+  done;
+  { n; padded; comparators = List.rev !comparators }
+
+let comparator_count t = List.length t.comparators
+
+(** Apply the network in the clear with a custom order; padding positions
+    hold +infinity sentinels and are stripped from the output. *)
+let apply ?(compare = Stdlib.compare) t (data : 'a array) =
+  if Array.length data <> t.n then invalid_arg "Sorting_network.apply: length mismatch";
+  let work = Array.init t.padded (fun i -> if i < t.n then Some data.(i) else None) in
+  let le a b =
+    match a, b with
+    | Some x, Some y -> compare x y <= 0
+    | Some _, None -> true
+    | None, Some _ -> false
+    | None, None -> true
+  in
+  List.iter
+    (fun { lo; hi } ->
+      if not (le work.(lo) work.(hi)) then begin
+        let tmp = work.(lo) in
+        work.(lo) <- work.(hi);
+        work.(hi) <- tmp
+      end)
+    t.comparators;
+  Array.init t.n (fun i ->
+      match work.(i) with
+      | Some v -> v
+      | None -> invalid_arg "Sorting_network.apply: sentinel surfaced early")

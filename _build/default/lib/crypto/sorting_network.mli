@@ -1,0 +1,24 @@
+(** Bitonic sorting networks (Batcher): data-independent comparator
+    sequences, the standard substrate for oblivious sorting (needed to
+    push the protocol beyond free-connex queries). Theta(n log^2 n)
+    comparators. *)
+
+type comparator = { lo : int; hi : int }
+(** compare-exchange: afterwards [lo] holds the smaller element. *)
+
+type t = {
+  n : int;           (** logical input count *)
+  padded : int;      (** power-of-two network width *)
+  comparators : comparator list;
+}
+
+(** The comparator sequence sorting [n] elements ascending. *)
+val build : int -> t
+
+val comparator_count : t -> int
+
+(** Run the network in the clear; padding positions hold +infinity
+    sentinels and are stripped.
+
+    @raise Invalid_argument on length mismatch. *)
+val apply : ?compare:('a -> 'a -> int) -> t -> 'a array -> 'a array

@@ -1,0 +1,41 @@
+(** The ring Z_{2^bits} with elements stored in the low bits of an [int64].
+
+    The paper fixes the semiring ground set to Z_n with n = 2^l where l is
+    the annotation bit-length (l = 32 in the experiments). All share
+    arithmetic happens in this ring; we support 1 <= bits <= 62 so that
+    intermediate products never overflow the sign bit before masking. *)
+
+type t = { bits : int; mask : int64 }
+
+let create bits =
+  if bits < 1 || bits > 62 then invalid_arg "Zn.create: bits must be in [1, 62]";
+  { bits; mask = Int64.sub (Int64.shift_left 1L bits) 1L }
+
+let bits t = t.bits
+let modulus t = Int64.shift_left 1L t.bits
+
+let norm t v = Int64.logand v t.mask
+let add t a b = norm t (Int64.add a b)
+let sub t a b = norm t (Int64.sub a b)
+let mul t a b = norm t (Int64.mul a b)
+let neg t a = norm t (Int64.neg a)
+let zero = 0L
+let one = 1L
+
+let of_int t v = norm t (Int64.of_int v)
+
+(** Interpret an element as a signed value in [\[-2^(bits-1), 2^(bits-1))];
+    used when annotations encode differences (e.g. TPC-H Q9 profit). *)
+let to_signed_int t v =
+  let half = Int64.shift_left 1L (t.bits - 1) in
+  let v = norm t v in
+  if Int64.unsigned_compare v half >= 0 then Int64.to_int (Int64.sub v (modulus t))
+  else Int64.to_int v
+
+let to_int v = Int64.to_int v
+
+let random t prg = Prg.bits prg t.bits
+
+let equal a b = Int64.equal a b
+
+let pp t fmt v = Fmt.pf fmt "%Ld (mod 2^%d)" v t.bits

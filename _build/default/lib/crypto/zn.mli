@@ -1,0 +1,30 @@
+(** The ring Z_{2^bits}, elements stored in the low bits of an [int64];
+    the ground set of the paper's annotation semirings (§3.1) and the
+    share space of {!Secret_share}. *)
+
+type t
+
+(** @raise Invalid_argument unless [1 <= bits <= 62]. *)
+val create : int -> t
+
+val bits : t -> int
+val modulus : t -> int64
+
+(** Reduce an arbitrary [int64] into the ring. *)
+val norm : t -> int64 -> int64
+
+val add : t -> int64 -> int64 -> int64
+val sub : t -> int64 -> int64 -> int64
+val mul : t -> int64 -> int64 -> int64
+val neg : t -> int64 -> int64
+val zero : int64
+val one : int64
+val of_int : t -> int -> int64
+
+(** Two's-complement interpretation in [[-2^(bits-1), 2^(bits-1))]. *)
+val to_signed_int : t -> int64 -> int
+
+val to_int : int64 -> int
+val random : t -> Prg.t -> int64
+val equal : int64 -> int64 -> bool
+val pp : t -> Format.formatter -> int64 -> unit

@@ -1,0 +1,1 @@
+lib/relational/csv_io.ml: Array Buffer Fmt Int64 List Printf Relation Schema String Tuple Value

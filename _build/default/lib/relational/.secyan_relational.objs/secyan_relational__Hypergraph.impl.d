@@ -1,0 +1,1 @@
+lib/relational/hypergraph.ml: Fmt List Schema String

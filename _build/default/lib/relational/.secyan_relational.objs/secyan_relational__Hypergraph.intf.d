@@ -1,0 +1,1 @@
+lib/relational/hypergraph.mli: Format Schema

@@ -1,0 +1,1 @@
+lib/relational/join_tree.ml: Array Fmt Hashtbl Hypergraph List Queue Schema String

@@ -1,0 +1,1 @@
+lib/relational/join_tree.mli: Format Hypergraph Schema

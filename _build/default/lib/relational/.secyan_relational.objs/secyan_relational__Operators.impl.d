@@ -1,0 +1,1 @@
+lib/relational/operators.ml: Array Hashtbl List Option Printf Relation Schema Semiring Tuple

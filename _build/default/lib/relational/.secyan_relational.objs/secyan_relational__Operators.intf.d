@@ -1,0 +1,1 @@
+lib/relational/operators.mli: Relation Schema Semiring

@@ -1,0 +1,1 @@
+lib/relational/relation.ml: Array Fmt Hashtbl List Schema Semiring Tuple

@@ -1,0 +1,1 @@
+lib/relational/semiring.ml: Array Fmt Int64 List Secyan_crypto

@@ -1,0 +1,1 @@
+lib/relational/semiring.mli: Format Secyan_crypto

@@ -1,0 +1,1 @@
+lib/relational/tuple.ml: Array Bytes Fmt Int64 List Schema Secyan_crypto String Value

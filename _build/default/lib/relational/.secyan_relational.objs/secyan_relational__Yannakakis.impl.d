@@ -1,0 +1,1 @@
+lib/relational/yannakakis.ml: Hashtbl Join_tree List Operators Relation Schema

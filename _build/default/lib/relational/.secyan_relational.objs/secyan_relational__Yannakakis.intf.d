@@ -1,0 +1,1 @@
+lib/relational/yannakakis.mli: Join_tree Relation Schema Semiring

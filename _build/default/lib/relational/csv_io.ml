@@ -1,0 +1,169 @@
+(** CSV import/export for annotated relations.
+
+    Format: a header row of [name:type] cells (types [int], [str],
+    [date]) plus an [annot] column, then one row per tuple. Dummy tuples
+    are not exported (they are protocol padding, not data); [import]
+    re-creates them via the usual padding helpers if needed. Cells are
+    quoted with double quotes when they contain commas or quotes. *)
+
+type column_type = Cint | Cstr | Cdate
+
+let type_name = function Cint -> "int" | Cstr -> "str" | Cdate -> "date"
+
+let type_of_name = function
+  | "int" -> Cint
+  | "str" -> Cstr
+  | "date" -> Cdate
+  | other -> invalid_arg ("Csv_io: unknown column type " ^ other)
+
+(* --- low-level csv ---------------------------------------------------- *)
+
+let escape_cell s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let split_line line =
+  let cells = ref [] in
+  let buf = Buffer.create 16 in
+  let n = String.length line in
+  let i = ref 0 in
+  let in_quotes = ref false in
+  while !i < n do
+    let c = line.[!i] in
+    if !in_quotes then
+      if c = '"' then
+        if !i + 1 < n && line.[!i + 1] = '"' then begin
+          Buffer.add_char buf '"';
+          i := !i + 2
+        end
+        else begin
+          in_quotes := false;
+          incr i
+        end
+      else begin
+        Buffer.add_char buf c;
+        incr i
+      end
+    else if c = '"' then begin
+      in_quotes := true;
+      incr i
+    end
+    else if c = ',' then begin
+      cells := Buffer.contents buf :: !cells;
+      Buffer.clear buf;
+      incr i
+    end
+    else begin
+      Buffer.add_char buf c;
+      incr i
+    end
+  done;
+  if !in_quotes then invalid_arg "Csv_io: unterminated quote";
+  List.rev (Buffer.contents buf :: !cells)
+
+(* --- export ----------------------------------------------------------- *)
+
+let value_cell = function
+  | Value.Int i -> string_of_int i
+  | Value.Str s -> escape_cell s
+  | Value.Date _ as d -> Fmt.str "%a" Value.pp d
+  | Value.Dummy _ -> invalid_arg "Csv_io: dummy tuples are not exported"
+
+let column_type_of_value = function
+  | Value.Int _ -> Cint
+  | Value.Str _ -> Cstr
+  | Value.Date _ -> Cdate
+  | Value.Dummy _ -> invalid_arg "Csv_io: cannot infer a type from a dummy"
+
+(** Serialize the non-dummy rows of [r]; column types are inferred from
+    the first real tuple. *)
+let export (r : Relation.t) : string =
+  let rows =
+    Array.to_list r.Relation.tuples
+    |> List.mapi (fun i t -> (t, r.Relation.annots.(i)))
+    |> List.filter (fun (t, _) -> not (Tuple.is_dummy t))
+  in
+  let types =
+    match rows with
+    | (first, _) :: _ -> Array.map column_type_of_value first
+    | [] -> Array.map (fun _ -> Cint) r.Relation.schema
+  in
+  let buf = Buffer.create 256 in
+  let header =
+    Array.to_list
+      (Array.mapi (fun i a -> Printf.sprintf "%s:%s" a (type_name types.(i))) r.Relation.schema)
+    @ [ "annot" ]
+  in
+  Buffer.add_string buf (String.concat "," header);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (t, annot) ->
+      let cells = Array.to_list (Array.map value_cell t) @ [ Int64.to_string annot ] in
+      Buffer.add_string buf (String.concat "," cells);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+(* --- import ----------------------------------------------------------- *)
+
+let parse_date s =
+  match String.split_on_char '-' s with
+  | [ y; m; d ] ->
+      Value.date ~year:(int_of_string y) ~month:(int_of_string m) ~day:(int_of_string d)
+  | _ -> invalid_arg ("Csv_io: malformed date " ^ s)
+
+let parse_cell ty s =
+  match ty with
+  | Cint -> Value.Int (int_of_string s)
+  | Cstr -> Value.Str s
+  | Cdate -> parse_date s
+
+(** Parse a relation from CSV text produced by {!export} (or hand-written
+    in the same format). *)
+let import ~name (text : string) : Relation.t =
+  let lines =
+    String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> invalid_arg "Csv_io.import: empty input"
+  | header :: rows ->
+      let header_cells = split_line header in
+      let columns, annot_col =
+        match List.rev header_cells with
+        | "annot" :: rev_cols -> (List.rev rev_cols, true)
+        | _ -> (header_cells, false)
+      in
+      let parsed =
+        List.map
+          (fun cell ->
+            match String.index_opt cell ':' with
+            | Some i ->
+                ( String.sub cell 0 i,
+                  type_of_name (String.sub cell (i + 1) (String.length cell - i - 1)) )
+            | None -> (cell, Cstr))
+          columns
+      in
+      let schema = Schema.of_list (List.map fst parsed) in
+      let types = Array.of_list (List.map snd parsed) in
+      let arity = Array.length types in
+      let tuples =
+        List.map
+          (fun line ->
+            let cells = split_line line in
+            let expected = arity + if annot_col then 1 else 0 in
+            if List.length cells <> expected then
+              invalid_arg
+                (Printf.sprintf "Csv_io.import: expected %d cells, found %d" expected
+                   (List.length cells));
+            let values = List.filteri (fun i _ -> i < arity) cells in
+            let tuple =
+              Array.of_list (List.mapi (fun i c -> parse_cell types.(i) c) values)
+            in
+            let annot =
+              if annot_col then Int64.of_string (List.nth cells arity) else 1L
+            in
+            (tuple, annot))
+          rows
+      in
+      Relation.of_list ~name ~schema tuples

@@ -1,0 +1,20 @@
+(** CSV import/export for annotated relations. Header cells are
+    [name:type] with types [int], [str], [date], plus a final [annot]
+    column; dummy tuples (protocol padding) are not exported. *)
+
+type column_type = Cint | Cstr | Cdate
+
+val type_name : column_type -> string
+
+(** @raise Invalid_argument on unknown type names. *)
+val type_of_name : string -> column_type
+
+(** Serialize the non-dummy rows; column types are inferred from the
+    first real tuple. *)
+val export : Relation.t -> string
+
+(** Parse a relation from {!export}'s format (the [annot] column is
+    optional and defaults to 1).
+
+    @raise Invalid_argument on malformed input. *)
+val import : name:string -> string -> Relation.t

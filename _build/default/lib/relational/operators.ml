@@ -1,0 +1,121 @@
+(** Plaintext annotated relational operators (paper §3.1).
+
+    These are the cleartext reference semantics: the secure operators of
+    the core library are tested against them, and they also power the
+    non-private ("MySQL") baseline of the evaluation. Dummy tuples never
+    join and never contribute to aggregates. *)
+
+(** Annotated projection-aggregation: for each distinct value on [attrs],
+    the plus-aggregate of matching annotations. [attrs] empty yields the
+    single empty tuple carrying the total. Output schema is the canonical
+    order of [attrs]. *)
+let aggregate semiring ~attrs (r : Relation.t) : Relation.t =
+  let schema = Schema.canonical attrs in
+  let groups = Relation.group_by attrs r in
+  let rows =
+    if Schema.is_empty attrs then begin
+      let total =
+        Array.to_list r.Relation.annots
+        |> List.filteri (fun i _ -> not (Tuple.is_dummy r.Relation.tuples.(i)))
+        |> Semiring.sum semiring
+      in
+      [ ([||], total) ]
+    end
+    else
+      List.map
+        (fun (key, idxs) ->
+          (key, Semiring.sum semiring (List.map (fun i -> r.Relation.annots.(i)) idxs)))
+        groups
+  in
+  Relation.of_list ~name:(r.Relation.name ^ "'") ~schema rows
+
+(** pi^1: distinct values on [attrs] among nonzero-annotated tuples, all
+    annotations reset to 1. *)
+let project_nonzero semiring ~attrs (r : Relation.t) : Relation.t =
+  let schema = Schema.canonical attrs in
+  let seen = Hashtbl.create 16 in
+  let rows = ref [] in
+  Array.iteri
+    (fun i tup ->
+      if (not (Tuple.is_dummy tup)) && not (Semiring.is_zero r.Relation.annots.(i)) then begin
+        let key = Tuple.project r.Relation.schema attrs tup in
+        let repr = Tuple.repr key in
+        if not (Hashtbl.mem seen repr) then begin
+          Hashtbl.add seen repr ();
+          rows := (key, Semiring.one semiring) :: !rows
+        end
+      end)
+    r.Relation.tuples;
+  Relation.of_list ~name:(r.Relation.name ^ "^1") ~schema (List.rev !rows)
+
+(* Index the tuples of [r] by their join key on [attrs]. *)
+let key_index (r : Relation.t) attrs =
+  let tbl = Hashtbl.create (max 16 (Relation.cardinality r)) in
+  Array.iteri
+    (fun i tup ->
+      if not (Tuple.is_dummy tup) then begin
+        let key = Tuple.repr (Tuple.project r.Relation.schema attrs tup) in
+        Hashtbl.replace tbl key (i :: (Option.value ~default:[] (Hashtbl.find_opt tbl key)))
+      end)
+    r.Relation.tuples;
+  tbl
+
+(** Annotated natural join: schema is the union, annotations multiply. *)
+let join semiring (r1 : Relation.t) (r2 : Relation.t) : Relation.t =
+  let common = Schema.inter r1.Relation.schema r2.Relation.schema in
+  let extra = Schema.diff r2.Relation.schema r1.Relation.schema in
+  let schema = Schema.union r1.Relation.schema extra in
+  let index2 = key_index r2 common in
+  let rows = ref [] in
+  Array.iteri
+    (fun i t1 ->
+      if not (Tuple.is_dummy t1) && not (Semiring.is_zero r1.Relation.annots.(i)) then begin
+        let key = Tuple.repr (Tuple.project r1.Relation.schema common t1) in
+        match Hashtbl.find_opt index2 key with
+        | None -> ()
+        | Some js ->
+            List.iter
+              (fun j ->
+                if not (Semiring.is_zero r2.Relation.annots.(j)) then begin
+                  let t2 = r2.Relation.tuples.(j) in
+                  let combined =
+                    Array.append t1
+                      (Array.map (fun a -> Tuple.get r2.Relation.schema a t2) extra)
+                  in
+                  let annot =
+                    Semiring.mul semiring r1.Relation.annots.(i) r2.Relation.annots.(j)
+                  in
+                  rows := (combined, annot) :: !rows
+                end)
+              js
+      end)
+    r1.Relation.tuples;
+  Relation.of_list
+    ~name:(Printf.sprintf "(%s*%s)" r1.Relation.name r2.Relation.name)
+    ~schema (List.rev !rows)
+
+(** Annotated semijoin R1 semijoin R2: the tuples of R1 that join with at
+    least one nonzero-annotated tuple of R2, annotations preserved. *)
+let semijoin (r1 : Relation.t) (r2 : Relation.t) : Relation.t =
+  let common = Schema.inter r1.Relation.schema r2.Relation.schema in
+  let keys2 = Hashtbl.create 16 in
+  Array.iteri
+    (fun j t2 ->
+      if (not (Tuple.is_dummy t2)) && not (Semiring.is_zero r2.Relation.annots.(j)) then
+        Hashtbl.replace keys2 (Tuple.repr (Tuple.project r2.Relation.schema common t2)) ())
+    r2.Relation.tuples;
+  let rows = ref [] in
+  Array.iteri
+    (fun i t1 ->
+      if not (Tuple.is_dummy t1) then begin
+        let key = Tuple.repr (Tuple.project r1.Relation.schema common t1) in
+        if Hashtbl.mem keys2 key then rows := (t1, r1.Relation.annots.(i)) :: !rows
+      end)
+    r1.Relation.tuples;
+  Relation.of_list ~name:r1.Relation.name ~schema:r1.Relation.schema (List.rev !rows)
+
+(** Full annotated join of several relations (fold of binary joins);
+    reference implementation for tests and the naive baseline. *)
+let join_all semiring = function
+  | [] -> invalid_arg "Operators.join_all: empty"
+  | r :: rest -> List.fold_left (join semiring) r rest

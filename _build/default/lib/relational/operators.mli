@@ -1,0 +1,25 @@
+(** Plaintext annotated relational operators (paper §3.1): the cleartext
+    reference semantics that the secure operators are tested against, and
+    the executor behind the evaluation's non-private baseline. Dummy
+    tuples never join and never contribute to aggregates. *)
+
+(** Annotated projection-aggregation pi^plus_attrs: one output tuple per
+    distinct value on [attrs] carrying the plus-aggregate of its group
+    (the single empty tuple with the grand total when [attrs] is empty).
+    Output schema is the canonical order of [attrs]. *)
+val aggregate : Semiring.t -> attrs:Schema.t -> Relation.t -> Relation.t
+
+(** pi^1: the distinct [attrs]-values among nonzero-annotated tuples,
+    each annotated with the semiring's times-identity. *)
+val project_nonzero : Semiring.t -> attrs:Schema.t -> Relation.t -> Relation.t
+
+(** Annotated natural join: schema union, annotations multiplied;
+    zero-annotated and dummy tuples do not participate. *)
+val join : Semiring.t -> Relation.t -> Relation.t -> Relation.t
+
+(** Annotated semijoin: the left tuples with at least one
+    nonzero-annotated partner, annotations preserved. *)
+val semijoin : Relation.t -> Relation.t -> Relation.t
+
+(** Fold of binary joins. @raise Invalid_argument on an empty list. *)
+val join_all : Semiring.t -> Relation.t list -> Relation.t

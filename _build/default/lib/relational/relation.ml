@@ -1,0 +1,129 @@
+(** Annotated relations (paper §3.1): a schema, a tuple array, and one
+    semiring annotation per tuple. *)
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  tuples : Tuple.t array;
+  annots : int64 array;
+}
+
+let create ~name ~schema ~tuples ~annots =
+  if Array.length tuples <> Array.length annots then
+    invalid_arg "Relation.create: tuple/annotation count mismatch";
+  Array.iter
+    (fun t ->
+      if Tuple.arity t <> Schema.arity schema then
+        invalid_arg "Relation.create: tuple arity mismatch")
+    tuples;
+  { name; schema; tuples; annots }
+
+let of_list ~name ~schema rows =
+  let tuples = Array.of_list (List.map fst rows) in
+  let annots = Array.of_list (List.map snd rows) in
+  create ~name ~schema ~tuples ~annots
+
+let cardinality t = Array.length t.tuples
+
+(** Tuples with nonzero annotation (the "real" content, written R* in the
+    paper's §6.3). *)
+let nonzero t =
+  let rows = ref [] in
+  for i = cardinality t - 1 downto 0 do
+    if not (Semiring.is_zero t.annots.(i)) then
+      rows := (t.tuples.(i), t.annots.(i)) :: !rows
+  done;
+  !rows
+
+let with_annots t annots =
+  if Array.length annots <> cardinality t then
+    invalid_arg "Relation.with_annots: wrong annotation count";
+  { t with annots }
+
+let map_annots f t = { t with annots = Array.map f t.annots }
+
+(** Pad with dummy tuples (zero-annotated) up to [size]. *)
+let pad_to ~size t =
+  let n = cardinality t in
+  if size < n then invalid_arg "Relation.pad_to: target smaller than relation";
+  if size = n then t
+  else
+    let extra = size - n in
+    let dummies = Array.init extra (fun _ -> Tuple.dummy t.schema) in
+    {
+      t with
+      tuples = Array.append t.tuples dummies;
+      annots = Array.append t.annots (Array.make extra Semiring.zero);
+    }
+
+(** Replace tuples failing [pred] with dummies (zero-annotated), keeping
+    the cardinality — the paper's treatment of private selections (§7). *)
+let select_to_dummy pred t =
+  let tuples = Array.copy t.tuples and annots = Array.copy t.annots in
+  Array.iteri
+    (fun i tup ->
+      if not (Tuple.is_dummy tup) && not (pred t.schema tup) then begin
+        tuples.(i) <- Tuple.dummy t.schema;
+        annots.(i) <- Semiring.zero
+      end)
+    t.tuples;
+  { t with tuples; annots }
+
+(** Plain selection that drops non-matching tuples (public selectivity). *)
+let select pred t =
+  let rows =
+    List.filteri (fun _ _ -> true) (Array.to_list t.tuples)
+    |> List.mapi (fun i tup -> (tup, t.annots.(i)))
+    |> List.filter (fun (tup, _) -> (not (Tuple.is_dummy tup)) && pred t.schema tup)
+  in
+  of_list ~name:t.name ~schema:t.schema rows
+
+(** Sorted copy, ordered by the projection onto [attrs]; ties broken by
+    full tuple order, dummies last. Used by oblivious aggregation. *)
+let sort_by attrs t =
+  let idx = Array.init (cardinality t) (fun i -> i) in
+  let key i = Tuple.project t.schema attrs t.tuples.(i) in
+  Array.sort
+    (fun i j ->
+      let di = Tuple.is_dummy t.tuples.(i) and dj = Tuple.is_dummy t.tuples.(j) in
+      match di, dj with
+      | true, false -> 1
+      | false, true -> -1
+      | _ ->
+          let c = Tuple.compare (key i) (key j) in
+          if c <> 0 then c else Tuple.compare t.tuples.(i) t.tuples.(j))
+    idx;
+  ( {
+      t with
+      tuples = Array.map (fun i -> t.tuples.(i)) idx;
+      annots = Array.map (fun i -> t.annots.(i)) idx;
+    },
+    idx )
+
+(** Group rows by value on [attrs] (dummies excluded); returns
+    (projected key tuple, indices) pairs in sorted key order. *)
+let group_by attrs t =
+  let tbl = Hashtbl.create (max 16 (cardinality t)) in
+  let keys = ref [] in
+  Array.iteri
+    (fun i tup ->
+      if not (Tuple.is_dummy tup) then begin
+        let key = Tuple.project t.schema attrs tup in
+        let repr = Tuple.repr key in
+        (match Hashtbl.find_opt tbl repr with
+        | None ->
+            keys := (repr, key) :: !keys;
+            Hashtbl.add tbl repr [ i ]
+        | Some is -> Hashtbl.replace tbl repr (i :: is))
+      end)
+    t.tuples;
+  !keys
+  |> List.map (fun (repr, key) -> (key, List.rev (Hashtbl.find tbl repr)))
+  |> List.sort (fun (k1, _) (k2, _) -> Tuple.compare k1 k2)
+
+let pp fmt t =
+  Fmt.pf fmt "@[<v>%s%a (%d tuples)@," t.name Schema.pp t.schema (cardinality t);
+  Array.iteri
+    (fun i tup -> Fmt.pf fmt "  %a -> %Ld@," Tuple.pp tup t.annots.(i))
+    t.tuples;
+  Fmt.pf fmt "@]"

@@ -1,0 +1,47 @@
+(** Annotated relations (paper §3.1): a schema, a tuple array, and one
+    semiring annotation per tuple. Dummy tuples (padding with fresh
+    never-joining values) always carry annotation 0. *)
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  tuples : Tuple.t array;
+  annots : int64 array;
+}
+
+(** @raise Invalid_argument on arity or count mismatches. *)
+val create :
+  name:string -> schema:Schema.t -> tuples:Tuple.t array -> annots:int64 array -> t
+
+val of_list : name:string -> schema:Schema.t -> (Tuple.t * int64) list -> t
+
+val cardinality : t -> int
+
+(** The nonzero-annotated rows (the "real" content, R* in §6.3). *)
+val nonzero : t -> (Tuple.t * int64) list
+
+(** @raise Invalid_argument on count mismatch. *)
+val with_annots : t -> int64 array -> t
+
+val map_annots : (int64 -> int64) -> t -> t
+
+(** Pad with fresh zero-annotated dummy tuples up to [size].
+    @raise Invalid_argument when [size] is below the current size. *)
+val pad_to : size:int -> t -> t
+
+(** Replace tuples failing the predicate with dummies, preserving the
+    cardinality (private selections, §7). *)
+val select_to_dummy : (Schema.t -> Tuple.t -> bool) -> t -> t
+
+(** Drop tuples failing the predicate (public selectivity). *)
+val select : (Schema.t -> Tuple.t -> bool) -> t -> t
+
+(** Sorted copy ordered by the projection onto [attrs] (dummies last),
+    plus the permutation mapping new position to old index. *)
+val sort_by : Schema.t -> t -> t * int array
+
+(** Rows grouped by their (non-dummy) value on [attrs], in sorted key
+    order. *)
+val group_by : Schema.t -> t -> (Tuple.t * int list) list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,53 @@
+(** Relation schemas: ordered lists of named attributes.
+
+    Attribute identity is by name; schema operations used by the join-tree
+    machinery (intersection, difference, containment) treat schemas as
+    sets, while tuple layout uses the declared order. *)
+
+type attr = string
+
+type t = attr array
+
+let of_list (attrs : attr list) : t =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun a ->
+      if Hashtbl.mem seen a then invalid_arg ("Schema.of_list: duplicate attribute " ^ a);
+      Hashtbl.add seen a ())
+    attrs;
+  Array.of_list attrs
+
+let to_list (t : t) = Array.to_list t
+let arity (t : t) = Array.length t
+let mem a (t : t) = Array.exists (String.equal a) t
+
+let index_of a (t : t) =
+  let rec go i =
+    if i >= Array.length t then raise Not_found
+    else if String.equal t.(i) a then i
+    else go (i + 1)
+  in
+  go 0
+
+let subset (s : t) (s' : t) = Array.for_all (fun a -> mem a s') s
+
+let inter (s : t) (s' : t) : t = Array.of_list (List.filter (fun a -> mem a s') (to_list s))
+
+let diff (s : t) (s' : t) : t =
+  Array.of_list (List.filter (fun a -> not (mem a s')) (to_list s))
+
+let union (s : t) (s' : t) : t =
+  Array.append s (Array.of_list (List.filter (fun a -> not (mem a s)) (to_list s')))
+
+let equal_set (s : t) (s' : t) = subset s s' && subset s' s
+
+(** Canonical (sorted) attribute order; join keys are always encoded in
+    this order so both sides agree. *)
+let canonical (s : t) : t =
+  let c = Array.copy s in
+  Array.sort String.compare c;
+  c
+
+let is_empty (t : t) = Array.length t = 0
+
+let pp fmt (t : t) = Fmt.pf fmt "(%a)" Fmt.(list ~sep:comma string) (to_list t)

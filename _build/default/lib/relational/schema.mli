@@ -1,0 +1,30 @@
+(** Relation schemas: ordered sequences of named attributes. Attribute
+    identity is by name; the join-tree machinery treats schemas as sets,
+    tuple layout uses the declared order. *)
+
+type attr = string
+
+type t = attr array
+
+(** @raise Invalid_argument on duplicate attribute names. *)
+val of_list : attr list -> t
+
+val to_list : t -> attr list
+val arity : t -> int
+val mem : attr -> t -> bool
+
+(** @raise Not_found for absent attributes. *)
+val index_of : attr -> t -> int
+
+val subset : t -> t -> bool
+val inter : t -> t -> t
+val diff : t -> t -> t
+val union : t -> t -> t
+val equal_set : t -> t -> bool
+
+(** Sorted attribute order; join keys are always encoded in this order so
+    both sides agree. *)
+val canonical : t -> t
+
+val is_empty : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,131 @@
+(** Commutative semirings over Z_{2^bits} (paper §3.1).
+
+    The paper requires only that the ground set is Z_n (n = 2^bits), that
+    0 is the plus-identity, that some designated element is the
+    times-identity, and that both operators have small circuits. Elements
+    are "merely identifiers", so semirings whose natural plus-identity is
+    not 0 are *encoded*: the tropical semirings below map their infinities
+    to 0, which keeps the protocol's structural invariant that dummies and
+    absent join partners carry annotation 0.
+
+    - [Ring]: (+, x) mod 2^bits — SUM/COUNT aggregates.
+    - [Boolean]: (OR, AND) on the low bit — set semantics / EXISTS.
+    - [Tropical_min]: (min, +) — MIN aggregates over joins (e.g. cheapest
+      matching item). A value v is encoded as M - v with M = 2^bits - 1;
+      +infinity (the plus-identity) encodes to 0 and min becomes max.
+    - [Tropical_max]: (max, +) — MAX aggregates. v encodes as v + 1;
+      -infinity encodes to 0.
+
+    Tropical values must satisfy 0 <= v and v1 + v2 < 2^bits - 1 so the
+    encoded arithmetic cannot wrap. *)
+
+type kind = Ring | Boolean | Tropical_min | Tropical_max
+
+type t = { kind : kind; zn : Secyan_crypto.Zn.t }
+
+let ring ~bits = { kind = Ring; zn = Secyan_crypto.Zn.create bits }
+let boolean = { kind = Boolean; zn = Secyan_crypto.Zn.create 1 }
+let tropical_min ~bits = { kind = Tropical_min; zn = Secyan_crypto.Zn.create bits }
+let tropical_max ~bits = { kind = Tropical_max; zn = Secyan_crypto.Zn.create bits }
+
+let bits t = Secyan_crypto.Zn.bits t.zn
+
+(** The plus-identity: always 0 by encoding (the protocol relies on it —
+    dummies, padding, and failed join partners are all annotated 0). *)
+let zero = 0L
+
+(* all-ones: the encoding of tropical-min's value 0 *)
+let top t = Int64.sub (Secyan_crypto.Zn.modulus t.zn) 1L
+
+(** The times-identity, in encoded form. *)
+let one t =
+  match t.kind with
+  | Ring | Boolean -> 1L
+  | Tropical_min -> top t (* value 0: M - 0 *)
+  | Tropical_max -> 1L (* value 0: 0 + 1 *)
+
+(** Encode a cleartext aggregate value as a semiring element. *)
+let of_value t v =
+  match t.kind with
+  | Ring -> Secyan_crypto.Zn.norm t.zn v
+  | Boolean -> Int64.logand v 1L
+  | Tropical_min ->
+      if Int64.compare v 0L < 0 || Int64.unsigned_compare v (top t) >= 0 then
+        invalid_arg "Semiring.of_value: tropical value out of range"
+      else Int64.sub (top t) v
+  | Tropical_max ->
+      if Int64.compare v 0L < 0 || Int64.unsigned_compare v (top t) >= 0 then
+        invalid_arg "Semiring.of_value: tropical value out of range"
+      else Int64.add v 1L
+
+(** Decode a semiring element; [None] is the tropical infinity (an
+    annotation that never met a join partner). *)
+let to_value t e =
+  match t.kind with
+  | Ring | Boolean -> Some e
+  | Tropical_min -> if Int64.equal e 0L then None else Some (Int64.sub (top t) e)
+  | Tropical_max -> if Int64.equal e 0L then None else Some (Int64.sub e 1L)
+
+let unsigned_max a b = if Int64.unsigned_compare a b >= 0 then a else b
+
+let add t a b =
+  match t.kind with
+  | Ring -> Secyan_crypto.Zn.add t.zn a b
+  | Boolean -> Int64.logor (Int64.logand a 1L) (Int64.logand b 1L)
+  | Tropical_min | Tropical_max ->
+      (* encoded min-of-values (resp. max) is max of encodings, and the
+         0-encoded infinity is correctly absorbed *)
+      unsigned_max a b
+
+let mul t a b =
+  match t.kind with
+  | Ring -> Secyan_crypto.Zn.mul t.zn a b
+  | Boolean -> Int64.logand (Int64.logand a 1L) (Int64.logand b 1L)
+  | Tropical_min ->
+      (* (M - v1) ⊗ (M - v2) = M - (v1 + v2); 0 (infinity) absorbs *)
+      if Int64.equal a 0L || Int64.equal b 0L then 0L
+      else Secyan_crypto.Zn.norm t.zn (Int64.sub (Int64.add a b) (top t))
+  | Tropical_max ->
+      if Int64.equal a 0L || Int64.equal b 0L then 0L
+      else Secyan_crypto.Zn.norm t.zn (Int64.sub (Int64.add a b) 1L)
+
+let sum t = List.fold_left (add t) zero
+let product t = List.fold_left (mul t) (one t)
+
+let of_int t v = Secyan_crypto.Zn.of_int t.zn v
+let to_signed_int t v = Secyan_crypto.Zn.to_signed_int t.zn v
+
+let is_zero v = Int64.equal v 0L
+
+(** Circuit realizations of the two operators, on words of width
+    [bits t]. *)
+let circuit_add t builder x y =
+  let module Bb = Secyan_crypto.Boolean_circuit.Builder in
+  match t.kind with
+  | Ring -> Secyan_crypto.Circuits.add_word builder x y
+  | Boolean -> [| Bb.bor builder x.(0) y.(0) |]
+  | Tropical_min | Tropical_max ->
+      (* unsigned max of the encodings *)
+      let lt = Secyan_crypto.Circuits.lt_word builder x y in
+      Secyan_crypto.Circuits.mux_word builder ~sel:lt y x
+
+let circuit_mul t builder x y =
+  let module C = Secyan_crypto.Circuits in
+  let module Bb = Secyan_crypto.Boolean_circuit.Builder in
+  match t.kind with
+  | Ring -> C.mul_word builder x y
+  | Boolean -> [| Bb.band builder x.(0) y.(0) |]
+  | Tropical_min | Tropical_max ->
+      let offset = if t.kind = Tropical_min then top t else 1L in
+      let s = C.sub_word builder (C.add_word builder x y) (C.const_word ~bits:(bits t) offset) in
+      let both =
+        Bb.band builder (C.nonzero_word builder x) (C.nonzero_word builder y)
+      in
+      C.zero_unless builder both s
+
+let pp fmt t =
+  match t.kind with
+  | Ring -> Fmt.pf fmt "(Z_2^%d, +, *)" (bits t)
+  | Boolean -> Fmt.string fmt "({0,1}, or, and)"
+  | Tropical_min -> Fmt.pf fmt "(min, +) over %d bits" (bits t)
+  | Tropical_max -> Fmt.pf fmt "(max, +) over %d bits" (bits t)

@@ -1,0 +1,63 @@
+(** Commutative semirings over Z_{2^bits} (paper §3.1). The plus-identity
+    is always represented by 0 — the structural invariant the protocol
+    relies on (dummies, padding, and failed join partners are annotated
+    0) — so semirings whose natural plus-identity is an infinity are
+    encoded (see the tropical constructors). *)
+
+type kind = Ring | Boolean | Tropical_min | Tropical_max
+
+type t = { kind : kind; zn : Secyan_crypto.Zn.t }
+
+(** (+, x) mod 2^bits: SUM and COUNT aggregates. *)
+val ring : bits:int -> t
+
+(** (OR, AND) on one bit: set semantics / EXISTS. *)
+val boolean : t
+
+(** (min, +) encoded with value v as 2^bits - 1 - v: MIN aggregates.
+    Values must satisfy 0 <= v and v1 + v2 < 2^bits - 1. *)
+val tropical_min : bits:int -> t
+
+(** (max, +) encoded with value v as v + 1: MAX aggregates. *)
+val tropical_max : bits:int -> t
+
+val bits : t -> int
+
+(** The plus-identity (always 0 by encoding). *)
+val zero : int64
+
+(** The times-identity, in encoded form. *)
+val one : t -> int64
+
+(** Encode a cleartext aggregate value as a semiring element.
+    @raise Invalid_argument for out-of-range tropical values. *)
+val of_value : t -> int64 -> int64
+
+(** Decode an element; [None] is the tropical infinity (an annotation
+    that never met a join partner). *)
+val to_value : t -> int64 -> int64 option
+
+val add : t -> int64 -> int64 -> int64
+val mul : t -> int64 -> int64 -> int64
+val sum : t -> int64 list -> int64
+val product : t -> int64 list -> int64
+val of_int : t -> int -> int64
+val to_signed_int : t -> int64 -> int
+val is_zero : int64 -> bool
+
+(** Circuit realizations of the two operators on [bits t]-wide words. *)
+val circuit_add :
+  t ->
+  Secyan_crypto.Boolean_circuit.Builder.b ->
+  Secyan_crypto.Circuits.word ->
+  Secyan_crypto.Circuits.word ->
+  Secyan_crypto.Circuits.word
+
+val circuit_mul :
+  t ->
+  Secyan_crypto.Boolean_circuit.Builder.b ->
+  Secyan_crypto.Circuits.word ->
+  Secyan_crypto.Circuits.word ->
+  Secyan_crypto.Circuits.word
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,53 @@
+(** Tuples: value vectors laid out according to a relation's schema.
+
+    A tuple is dummy when any of its components is a dummy value; dummies
+    are padding that can never participate in a join. [encode] maps a
+    tuple's projection onto a canonical attribute order into the 60-bit
+    element space expected by the PSI protocols. *)
+
+type t = Value.t array
+
+let arity (t : t) = Array.length t
+
+let get schema attr (t : t) = t.(Schema.index_of attr schema)
+
+let is_dummy (t : t) = Array.exists Value.is_dummy t
+
+(** A fully-dummy tuple of the given schema, sharing one fresh dummy id so
+    that its projections remain consistent. *)
+let dummy schema : t =
+  let d = Value.fresh_dummy () in
+  Array.map (fun _ -> d) schema
+
+(** Project onto [attrs] (in the canonical order of [attrs]). *)
+let project schema (attrs : Schema.t) (t : t) : t =
+  Array.map (fun a -> get schema a t) (Schema.canonical attrs)
+
+let equal (a : t) (b : t) =
+  Array.length a = Array.length b && Array.for_all2 Value.equal a b
+
+let compare (a : t) (b : t) =
+  let rec go i =
+    if i >= Array.length a then Array.length a - Array.length b
+    else
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let repr (t : t) = String.concat "|" (List.map Value.repr (Array.to_list t))
+
+(** 59-bit hash encoding of a tuple (for join keys of real tuples); the
+    region [2^59, 2^60) is reserved for dummy-tuple encodings so the two
+    can never collide, and both stay inside PSI's 60-bit element space. *)
+let encode (t : t) : int64 =
+  let digest = Secyan_crypto.Sha256.digest_string (repr t) in
+  let low59 =
+    Int64.logand (Bytes.get_int64_be digest 0) (Int64.sub (Int64.shift_left 1L 59) 1L)
+  in
+  if is_dummy t then Int64.logor (Int64.shift_left 1L 59) low59 else low59
+
+(** Encoding of the projection of [t] onto [attrs]. *)
+let encode_on schema attrs t = encode (project schema attrs t)
+
+let pp fmt (t : t) = Fmt.pf fmt "[%a]" Fmt.(array ~sep:semi Value.pp) t

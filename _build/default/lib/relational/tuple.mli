@@ -1,0 +1,34 @@
+(** Tuples: value vectors laid out by a relation's schema. A tuple is
+    dummy when any component is a dummy value. [encode] maps tuples into
+    the 60-bit element space of the PSI protocols, with real tuples below
+    2^59 and dummies in [2^59, 2^60) so they can never collide. *)
+
+type t = Value.t array
+
+val arity : t -> int
+
+(** @raise Not_found for attributes outside the schema. *)
+val get : Schema.t -> Schema.attr -> t -> Value.t
+
+val is_dummy : t -> bool
+
+(** A fully-dummy tuple of the given schema (one fresh dummy id shared by
+    all components, so projections stay consistent). *)
+val dummy : Schema.t -> t
+
+(** Project onto [attrs], in the canonical order of [attrs]. *)
+val project : Schema.t -> Schema.t -> t -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Stable serialization (hash-key material). *)
+val repr : t -> string
+
+(** 60-bit PSI element encoding of the tuple. *)
+val encode : t -> int64
+
+(** Encoding of the projection onto [attrs]. *)
+val encode_on : Schema.t -> Schema.t -> t -> int64
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,88 @@
+(** Attribute values of annotated relations.
+
+    Besides the usual scalar types, a value can be [Dummy]: the paper pads
+    relations with dummy tuples drawn from a reserved region of each
+    attribute's domain (footnote 2 in §4) so that sizes and selectivities
+    stay hidden. Every dummy carries a globally unique id, so a dummy never
+    joins with anything — in particular not with another dummy. *)
+
+type t =
+  | Int of int
+  | Str of string
+  | Date of int  (** days since 1970-01-01 *)
+  | Dummy of int
+
+let dummy_counter = ref 0
+
+(** A fresh dummy value from the reserved domain region. *)
+let fresh_dummy () =
+  incr dummy_counter;
+  Dummy !dummy_counter
+
+(** Reset the dummy id stream (tests and reproducible benchmarks). *)
+let reset_dummies () = dummy_counter := 0
+
+let is_dummy = function Dummy _ -> true | Int _ | Str _ | Date _ -> false
+
+let compare a b =
+  match a, b with
+  | Int x, Int y -> Int.compare x y
+  | Str x, Str y -> String.compare x y
+  | Date x, Date y -> Int.compare x y
+  | Dummy x, Dummy y -> Int.compare x y
+  | Int _, (Str _ | Date _ | Dummy _) -> -1
+  | (Str _ | Date _ | Dummy _), Int _ -> 1
+  | Str _, (Date _ | Dummy _) -> -1
+  | (Date _ | Dummy _), Str _ -> 1
+  | Date _, Dummy _ -> -1
+  | Dummy _, Date _ -> 1
+
+let equal a b = compare a b = 0
+
+(** Stable serialization used for hashing values into PSI elements. *)
+let repr = function
+  | Int x -> Printf.sprintf "i%d" x
+  | Str s -> Printf.sprintf "s%s" s
+  | Date d -> Printf.sprintf "d%d" d
+  | Dummy id -> Printf.sprintf "!%d" id
+
+let pp fmt = function
+  | Int x -> Fmt.int fmt x
+  | Str s -> Fmt.string fmt s
+  | Date d ->
+      (* civil date from days since epoch (Howard Hinnant's algorithm) *)
+      let z = d + 719468 in
+      let era = (if z >= 0 then z else z - 146096) / 146097 in
+      let doe = z - (era * 146097) in
+      let yoe = (doe - (doe / 1460) + (doe / 36524) - (doe / 146096)) / 365 in
+      let y = yoe + (era * 400) in
+      let doy = doe - ((365 * yoe) + (yoe / 4) - (yoe / 100)) in
+      let mp = ((5 * doy) + 2) / 153 in
+      let day = doy - (((153 * mp) + 2) / 5) + 1 in
+      let m = if mp < 10 then mp + 3 else mp - 9 in
+      let y = if m <= 2 then y + 1 else y in
+      Fmt.pf fmt "%04d-%02d-%02d" y m day
+  | Dummy id -> Fmt.pf fmt "<dummy:%d>" id
+
+(** Days since 1970-01-01 for a civil date. *)
+let date ~year ~month ~day =
+  let y = if month <= 2 then year - 1 else year in
+  let era = (if y >= 0 then y else y - 399) / 400 in
+  let yoe = y - (era * 400) in
+  let mp = if month > 2 then month - 3 else month + 9 in
+  let doy = (((153 * mp) + 2) / 5) + day - 1 in
+  let doe = (365 * yoe) + (yoe / 4) - (yoe / 100) + doy in
+  Date ((era * 146097) + doe - 719468)
+
+let year_of = function
+  | Date d ->
+      let z = d + 719468 in
+      let era = (if z >= 0 then z else z - 146096) / 146097 in
+      let doe = z - (era * 146097) in
+      let yoe = (doe - (doe / 1460) + (doe / 36524) - (doe / 146096)) / 365 in
+      let y = yoe + (era * 400) in
+      let doy = doe - ((365 * yoe) + (yoe / 4) - (yoe / 100)) in
+      let mp = ((5 * doy) + 2) / 153 in
+      let m = if mp < 10 then mp + 3 else mp - 9 in
+      if m <= 2 then y + 1 else y
+  | Int _ | Str _ | Dummy _ -> invalid_arg "Value.year_of: not a date"

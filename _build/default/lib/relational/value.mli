@@ -1,0 +1,30 @@
+(** Attribute values, including [Dummy]: padding drawn from a reserved
+    domain region (paper §4 footnote 2) with globally unique ids, so a
+    dummy never joins with anything — not even another dummy. *)
+
+type t =
+  | Int of int
+  | Str of string
+  | Date of int  (** days since 1970-01-01 *)
+  | Dummy of int
+
+(** A fresh dummy value from the reserved region. *)
+val fresh_dummy : unit -> t
+
+(** Reset the dummy id stream (tests and reproducible benchmarks). *)
+val reset_dummies : unit -> unit
+
+val is_dummy : t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+(** Stable serialization used for hashing into PSI elements. *)
+val repr : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** Days since 1970-01-01 for a civil date. *)
+val date : year:int -> month:int -> day:int -> t
+
+(** @raise Invalid_argument on non-dates. *)
+val year_of : t -> int

@@ -1,0 +1,103 @@
+(** The (plaintext) three-phase Yannakakis algorithm of paper §3.2:
+    Reduce, Semijoin, Full join. Evaluates a free-connex join-aggregate
+    query in O(IN + OUT) time given a rooted join tree witnessing
+    free-connexity.
+
+    This modified phase order (reduce pulled in front of the semijoins) is
+    exactly what the secure protocol of §6 follows, so the secure executor
+    mirrors this module's traversal step for step. *)
+
+type phase_op =
+  | Fold of { child : string; parent : string; group_on : Schema.t }
+      (** reduce: parent <- parent join aggregate(child); child removed *)
+  | Stop of { node : string; group_on : Schema.t }
+      (** reduce: node <- aggregate(node); node stays *)
+  | Root_project of { node : string; group_on : Schema.t }
+  | Semijoin_up of { child : string; parent : string }
+  | Semijoin_down of { child : string; parent : string }
+  | Join_up of { child : string; parent : string }
+
+(** Static plan: which reduce/semijoin/join steps run, in order. Depends
+    only on schemas, never on data — the secure protocol requires this. *)
+let plan (tree : Join_tree.t) ~output : phase_op list =
+  let removed = Hashtbl.create 8 in
+  let current_attrs = Hashtbl.create 8 in
+  List.iter
+    (fun label -> Hashtbl.replace current_attrs label (Join_tree.attrs tree label))
+    (Join_tree.node_labels tree);
+  let attrs_of l = Hashtbl.find current_attrs l in
+  let ops = ref [] in
+  let emit op = ops := op :: !ops in
+  (* Reduce phase *)
+  List.iter
+    (fun (child, parent) ->
+      let children_removed =
+        List.for_all (Hashtbl.mem removed) (Join_tree.children tree child)
+      in
+      if children_removed then begin
+        let f = attrs_of child and fp = attrs_of parent in
+        let f' = Schema.inter (Schema.union output fp) f in
+        if Schema.subset f' fp then begin
+          emit (Fold { child; parent; group_on = f' });
+          Hashtbl.replace removed child ()
+        end
+        else if not (Schema.equal_set f' f) then begin
+          emit (Stop { node = child; group_on = f' });
+          Hashtbl.replace current_attrs child f'
+        end
+      end)
+    (Join_tree.bottom_up_edges tree);
+  (* Root projection when non-output attributes remain there *)
+  let root = Join_tree.root tree in
+  let root_attrs = attrs_of root in
+  let root_out = Schema.inter root_attrs output in
+  let root_children_left =
+    List.exists (fun c -> not (Hashtbl.mem removed c)) (Join_tree.children tree root)
+  in
+  if (not (Schema.equal_set root_out root_attrs)) && not root_children_left then begin
+    emit (Root_project { node = root; group_on = root_out });
+    Hashtbl.replace current_attrs root root_out
+  end;
+  (* Semijoin phase over the remaining subtree *)
+  let remaining (c, p) = (not (Hashtbl.mem removed c)) && not (Hashtbl.mem removed p) in
+  let up = List.filter remaining (Join_tree.bottom_up_edges tree) in
+  List.iter (fun (child, parent) -> emit (Semijoin_up { child; parent })) up;
+  List.iter (fun (child, parent) -> emit (Semijoin_down { child; parent })) (List.rev up);
+  (* Full join phase *)
+  List.iter (fun (child, parent) -> emit (Join_up { child; parent })) up;
+  List.rev !ops
+
+(** Execute the plan in plaintext. [relations] maps node label to its
+    input relation. Returns the query result
+    pi^plus_output(join of all relations). *)
+let run semiring (tree : Join_tree.t) ~output ~(relations : (string * Relation.t) list) :
+    Relation.t =
+  let rels = Hashtbl.create 8 in
+  List.iter (fun (l, r) -> Hashtbl.replace rels l r) relations;
+  let get l =
+    match Hashtbl.find_opt rels l with
+    | Some r -> r
+    | None -> invalid_arg ("Yannakakis.run: missing relation " ^ l)
+  in
+  let set l r = Hashtbl.replace rels l r in
+  List.iter
+    (fun op ->
+      match op with
+      | Fold { child; parent; group_on } ->
+          let agg = Operators.aggregate semiring ~attrs:group_on (get child) in
+          set parent (Operators.join semiring (get parent) agg)
+      | Stop { node; group_on } | Root_project { node; group_on } ->
+          set node (Operators.aggregate semiring ~attrs:group_on (get node))
+      | Semijoin_up { child; parent } -> set parent (Operators.semijoin (get parent) (get child))
+      | Semijoin_down { child; parent } -> set child (Operators.semijoin (get child) (get parent))
+      | Join_up { child; parent } -> set parent (Operators.join semiring (get parent) (get child)))
+    (plan tree ~output);
+  let result = get (Join_tree.root tree) in
+  (* collapse any residual duplicates on the output attributes *)
+  Operators.aggregate semiring ~attrs:output result
+
+(** Naive reference: full join of everything, then aggregate. Exponential
+    in general; used to validate [run] on small inputs. *)
+let naive semiring ~output ~(relations : (string * Relation.t) list) : Relation.t =
+  let joined = Operators.join_all semiring (List.map snd relations) in
+  Operators.aggregate semiring ~attrs:output joined

@@ -1,0 +1,32 @@
+(** The (plaintext) three-phase Yannakakis algorithm of paper §3.2 —
+    Reduce, Semijoin, Full join — evaluating a free-connex join-aggregate
+    query in O(IN + OUT) time. The secure protocol of §6 executes the
+    same static plan with oblivious operators. *)
+
+type phase_op =
+  | Fold of { child : string; parent : string; group_on : Schema.t }
+      (** reduce: parent <- parent join aggregate(child); child removed *)
+  | Stop of { node : string; group_on : Schema.t }
+      (** reduce: node <- aggregate(node); node stays *)
+  | Root_project of { node : string; group_on : Schema.t }
+  | Semijoin_up of { child : string; parent : string }
+  | Semijoin_down of { child : string; parent : string }
+  | Join_up of { child : string; parent : string }
+
+(** The static plan: which reduce / semijoin / join steps run, in order.
+    Depends only on schemas, never on data — as the oblivious execution
+    requires. *)
+val plan : Join_tree.t -> output:Schema.t -> phase_op list
+
+(** Execute the plan in plaintext; returns
+    pi^plus_output(annotated join of all relations).
+
+    @raise Invalid_argument when a tree node has no relation. *)
+val run :
+  Semiring.t -> Join_tree.t -> output:Schema.t -> relations:(string * Relation.t) list ->
+  Relation.t
+
+(** Naive reference (full join, then aggregate): exponential in general;
+    validates [run] on small inputs. *)
+val naive :
+  Semiring.t -> output:Schema.t -> relations:(string * Relation.t) list -> Relation.t

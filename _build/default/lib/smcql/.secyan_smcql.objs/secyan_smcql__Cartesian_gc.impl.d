@@ -1,0 +1,1 @@
+lib/smcql/cartesian_gc.ml: Array Boolean_circuit Circuits Comm Context Gc_protocol Hashtbl Int64 List Relation Schema Secret_share Secyan Secyan_crypto Secyan_relational Semiring Tuple Unix Value

@@ -1,0 +1,1 @@
+lib/smcql/cartesian_gc.mli: Comm Context Secret_share Secyan Secyan_crypto

@@ -1,0 +1,1 @@
+lib/sql/compiler.ml: Array Ast Fmt Hashtbl Int64 List Operators Option Parser Printf Relation Schema Secyan Secyan_crypto Secyan_relational Semiring String Tuple Value

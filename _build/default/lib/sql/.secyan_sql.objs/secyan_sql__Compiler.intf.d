@@ -1,0 +1,1 @@
+lib/sql/compiler.mli: Ast Relation Secyan Secyan_crypto Secyan_relational

@@ -1,0 +1,59 @@
+(** Abstract syntax for the SQL subset accepted by the frontend: single
+    SELECT blocks describing free-connex join-aggregate queries.
+
+      SELECT g1, g2, SUM(price * (100 - discount))
+      FROM customer, orders, lineitem
+      WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+        AND c_mktsegment = 'AUTOMOBILE' AND o_orderdate < DATE '1995-03-13'
+      GROUP BY g1, g2
+
+    The aggregate may be SUM(expr), COUNT, MIN(expr) or MAX(expr);
+    MIN/MAX compile to the tropical semirings. Equality conditions between
+    columns of different tables are join conditions; every other condition
+    is a per-table selection (private selectivity by default). *)
+
+type column = { table : string option; name : string }
+
+type expr =
+  | Col of column
+  | Int_lit of int
+  | Str_lit of string
+  | Date_lit of int  (** days since epoch *)
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type condition =
+  | Compare of cmp * expr * expr
+  | In_list of expr * expr list
+  | Like of expr * string  (** only '%substring%' patterns *)
+
+type aggregate =
+  | Count
+  | Sum of expr
+  | Min of expr
+  | Max of expr
+
+type select = {
+  out_columns : column list;
+  aggregate : aggregate;
+  tables : string list;
+  where : condition list;     (** conjuncts *)
+  group_by : column list;
+}
+
+let pp_column fmt c =
+  match c.table with
+  | Some t -> Fmt.pf fmt "%s.%s" t c.name
+  | None -> Fmt.string fmt c.name
+
+let rec pp_expr fmt = function
+  | Col c -> pp_column fmt c
+  | Int_lit i -> Fmt.int fmt i
+  | Str_lit s -> Fmt.pf fmt "'%s'" s
+  | Date_lit d -> Fmt.pf fmt "DATE(%d)" d
+  | Add (a, b) -> Fmt.pf fmt "(%a + %a)" pp_expr a pp_expr b
+  | Sub (a, b) -> Fmt.pf fmt "(%a - %a)" pp_expr a pp_expr b
+  | Mul (a, b) -> Fmt.pf fmt "(%a * %a)" pp_expr a pp_expr b

@@ -1,0 +1,87 @@
+(** Hand-rolled lexer for the SQL subset. Keywords are case-insensitive;
+    identifiers keep their case. String literals use single quotes with
+    [''] as the escaped quote. *)
+
+type token =
+  | Kw of string          (** upper-cased keyword *)
+  | Ident of string
+  | Int of int
+  | String of string
+  | Symbol of string      (** punctuation / operators *)
+  | Eof
+
+exception Error of string
+
+let keywords =
+  [ "SELECT"; "FROM"; "WHERE"; "GROUP"; "BY"; "AND"; "SUM"; "COUNT"; "MIN"; "MAX";
+    "IN"; "LIKE"; "DATE"; "BETWEEN"; "AS" ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize (src : string) : token list =
+  let n = String.length src in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do incr i done;
+      emit (Int (int_of_string (String.sub src start (!i - start))))
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      let word = String.sub src start (!i - start) in
+      let upper = String.uppercase_ascii word in
+      if List.mem upper keywords then emit (Kw upper) else emit (Ident word)
+    end
+    else if c = '\'' then begin
+      incr i;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while not !closed do
+        if !i >= n then raise (Error "unterminated string literal");
+        if src.[!i] = '\'' then
+          if !i + 1 < n && src.[!i + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else begin
+          Buffer.add_char buf src.[!i];
+          incr i
+        end
+      done;
+      emit (String (Buffer.contents buf))
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      match two with
+      | "<=" | ">=" | "<>" | "!=" ->
+          emit (Symbol (if two = "!=" then "<>" else two));
+          i := !i + 2
+      | _ -> (
+          match c with
+          | '=' | '<' | '>' | '*' | '+' | '-' | '(' | ')' | ',' | '.' ->
+              emit (Symbol (String.make 1 c));
+              incr i
+          | _ -> raise (Error (Printf.sprintf "unexpected character %C at offset %d" c !i)))
+    end
+  done;
+  List.rev (Eof :: !tokens)
+
+let pp_token fmt = function
+  | Kw k -> Fmt.pf fmt "keyword %s" k
+  | Ident s -> Fmt.pf fmt "identifier %s" s
+  | Int i -> Fmt.pf fmt "integer %d" i
+  | String s -> Fmt.pf fmt "string '%s'" s
+  | Symbol s -> Fmt.pf fmt "symbol %s" s
+  | Eof -> Fmt.string fmt "end of input"

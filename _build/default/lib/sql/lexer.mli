@@ -1,0 +1,17 @@
+(** Lexer for the SQL subset: case-insensitive keywords,
+    single-quoted strings with [''] escapes. *)
+
+type token =
+  | Kw of string       (** upper-cased keyword *)
+  | Ident of string
+  | Int of int
+  | String of string
+  | Symbol of string
+  | Eof
+
+exception Error of string
+
+(** @raise Error on unexpected characters or unterminated strings. *)
+val tokenize : string -> token list
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,254 @@
+(** Recursive-descent parser for the SQL subset (see {!Ast}). *)
+
+exception Error of string
+
+type state = { mutable tokens : Lexer.token list }
+
+let fail fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+let peek st = match st.tokens with t :: _ -> t | [] -> Lexer.Eof
+
+let advance st =
+  match st.tokens with
+  | _ :: rest -> st.tokens <- rest
+  | [] -> ()
+
+let expect_kw st kw =
+  match peek st with
+  | Lexer.Kw k when k = kw -> advance st
+  | t -> fail "expected %s, found %a" kw Lexer.pp_token t
+
+let expect_symbol st sym =
+  match peek st with
+  | Lexer.Symbol s when s = sym -> advance st
+  | t -> fail "expected '%s', found %a" sym Lexer.pp_token t
+
+let accept_symbol st sym =
+  match peek st with
+  | Lexer.Symbol s when s = sym ->
+      advance st;
+      true
+  | _ -> false
+
+let ident st =
+  match peek st with
+  | Lexer.Ident s ->
+      advance st;
+      s
+  | t -> fail "expected identifier, found %a" Lexer.pp_token t
+
+(* column: ident | ident '.' ident *)
+let column st =
+  let first = ident st in
+  if accept_symbol st "." then { Ast.table = Some first; name = ident st }
+  else { Ast.table = None; name = first }
+
+let date_of_string s =
+  match String.split_on_char '-' s with
+  | [ y; m; d ] -> (
+      match int_of_string_opt y, int_of_string_opt m, int_of_string_opt d with
+      | Some year, Some month, Some day -> (
+          match Secyan_relational.Value.date ~year ~month ~day with
+          | Secyan_relational.Value.Date days -> days
+          | _ -> assert false)
+      | _ -> fail "malformed date literal '%s'" s)
+  | _ -> fail "malformed date literal '%s'" s
+
+(* expr := term (('+'|'-') term)* ; term := atom ('*' atom)* *)
+let rec expr st =
+  let left = term st in
+  match peek st with
+  | Lexer.Symbol "+" ->
+      advance st;
+      Ast.Add (left, expr st)
+  | Lexer.Symbol "-" ->
+      advance st;
+      (* left-associate subtraction chains via terms *)
+      let right = term st in
+      sub_chain st (Ast.Sub (left, right))
+  | _ -> left
+
+and sub_chain st acc =
+  match peek st with
+  | Lexer.Symbol "-" ->
+      advance st;
+      sub_chain st (Ast.Sub (acc, term st))
+  | Lexer.Symbol "+" ->
+      advance st;
+      sub_chain st (Ast.Add (acc, term st))
+  | _ -> acc
+
+and term st =
+  let left = atom st in
+  if accept_symbol st "*" then Ast.Mul (left, term st) else left
+
+and atom st =
+  match peek st with
+  | Lexer.Int i ->
+      advance st;
+      Ast.Int_lit i
+  | Lexer.String s ->
+      advance st;
+      Ast.Str_lit s
+  | Lexer.Kw "DATE" -> (
+      advance st;
+      match peek st with
+      | Lexer.String s ->
+          advance st;
+          Ast.Date_lit (date_of_string s)
+      | t -> fail "expected date string after DATE, found %a" Lexer.pp_token t)
+  | Lexer.Symbol "(" ->
+      advance st;
+      let e = expr st in
+      expect_symbol st ")";
+      e
+  | Lexer.Ident _ -> Ast.Col (column st)
+  | t -> fail "expected expression, found %a" Lexer.pp_token t
+
+let comparison_op st =
+  match peek st with
+  | Lexer.Symbol "=" ->
+      advance st;
+      Ast.Eq
+  | Lexer.Symbol "<>" ->
+      advance st;
+      Ast.Ne
+  | Lexer.Symbol "<" ->
+      advance st;
+      Ast.Lt
+  | Lexer.Symbol "<=" ->
+      advance st;
+      Ast.Le
+  | Lexer.Symbol ">" ->
+      advance st;
+      Ast.Gt
+  | Lexer.Symbol ">=" ->
+      advance st;
+      Ast.Ge
+  | t -> fail "expected comparison operator, found %a" Lexer.pp_token t
+
+(* condition := expr cmp expr | expr IN '(' expr, ... ')'
+              | expr LIKE 'pattern' | expr BETWEEN e AND e *)
+let condition st =
+  let left = expr st in
+  match peek st with
+  | Lexer.Kw "IN" ->
+      advance st;
+      expect_symbol st "(";
+      let rec items acc =
+        let e = expr st in
+        if accept_symbol st "," then items (e :: acc) else List.rev (e :: acc)
+      in
+      let list = items [] in
+      expect_symbol st ")";
+      [ Ast.In_list (left, list) ]
+  | Lexer.Kw "LIKE" -> (
+      advance st;
+      match peek st with
+      | Lexer.String s ->
+          advance st;
+          [ Ast.Like (left, s) ]
+      | t -> fail "expected pattern after LIKE, found %a" Lexer.pp_token t)
+  | Lexer.Kw "BETWEEN" ->
+      advance st;
+      let lo = expr st in
+      expect_kw st "AND";
+      let hi = expr st in
+      [ Ast.Compare (Ast.Ge, left, lo); Ast.Compare (Ast.Le, left, hi) ]
+  | _ ->
+      let op = comparison_op st in
+      [ Ast.Compare (op, left, expr st) ]
+
+(* select item: column or aggregate *)
+type item = Out_col of Ast.column | Agg of Ast.aggregate
+
+let select_item st =
+  match peek st with
+  | Lexer.Kw "SUM" ->
+      advance st;
+      expect_symbol st "(";
+      let e = expr st in
+      expect_symbol st ")";
+      Agg (Ast.Sum e)
+  | Lexer.Kw "MIN" ->
+      advance st;
+      expect_symbol st "(";
+      let e = expr st in
+      expect_symbol st ")";
+      Agg (Ast.Min e)
+  | Lexer.Kw "MAX" ->
+      advance st;
+      expect_symbol st "(";
+      let e = expr st in
+      expect_symbol st ")";
+      Agg (Ast.Max e)
+  | Lexer.Kw "COUNT" ->
+      advance st;
+      expect_symbol st "(";
+      expect_symbol st "*";
+      expect_symbol st ")";
+      Agg Ast.Count
+  | _ -> Out_col (column st)
+
+(** Parse one SELECT statement. *)
+let select (src : string) : Ast.select =
+  let st = { tokens = Lexer.tokenize src } in
+  expect_kw st "SELECT";
+  let rec items acc =
+    let item = select_item st in
+    (* optional AS alias is accepted and ignored *)
+    (match peek st with
+    | Lexer.Kw "AS" ->
+        advance st;
+        ignore (ident st)
+    | _ -> ());
+    if accept_symbol st "," then items (item :: acc) else List.rev (item :: acc)
+  in
+  let items = items [] in
+  let out_columns =
+    List.filter_map (function Out_col c -> Some c | Agg _ -> None) items
+  in
+  let aggregates = List.filter_map (function Agg a -> Some a | Out_col _ -> None) items in
+  let aggregate =
+    match aggregates with
+    | [ a ] -> a
+    | [] -> fail "exactly one aggregate is required (SUM/COUNT/MIN/MAX)"
+    | _ -> fail "only one aggregate per query; use query composition for more"
+  in
+  expect_kw st "FROM";
+  let rec tables acc =
+    let t = ident st in
+    if accept_symbol st "," then tables (t :: acc) else List.rev (t :: acc)
+  in
+  let tables = tables [] in
+  let where =
+    match peek st with
+    | Lexer.Kw "WHERE" ->
+        advance st;
+        let rec conjuncts acc =
+          let cs = condition st in
+          match peek st with
+          | Lexer.Kw "AND" ->
+              advance st;
+              conjuncts (acc @ cs)
+          | _ -> acc @ cs
+        in
+        conjuncts []
+    | _ -> []
+  in
+  let group_by =
+    match peek st with
+    | Lexer.Kw "GROUP" ->
+        advance st;
+        expect_kw st "BY";
+        let rec cols acc =
+          let c = column st in
+          if accept_symbol st "," then cols (c :: acc) else List.rev (c :: acc)
+        in
+        cols []
+    | _ -> []
+  in
+  (match peek st with
+  | Lexer.Eof -> ()
+  | t -> fail "trailing input: %a" Lexer.pp_token t);
+  { Ast.out_columns; aggregate; tables; where; group_by }

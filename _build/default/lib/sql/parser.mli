@@ -1,0 +1,7 @@
+(** Recursive-descent parser for the SQL subset (see {!Ast}). *)
+
+exception Error of string
+
+(** Parse one SELECT statement.
+    @raise Error with a human-readable message on malformed input. *)
+val select : string -> Ast.select

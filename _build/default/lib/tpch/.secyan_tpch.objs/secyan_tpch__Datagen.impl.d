@@ -1,0 +1,1 @@
+lib/tpch/datagen.ml: Array Float List Printf Relation Schema Secyan_crypto Secyan_relational Value

@@ -1,0 +1,1 @@
+lib/tpch/extra_queries.ml: Array Comm Context Datagen Hashtbl Int64 List Party Queries Relation Schema Secret_share Secyan Secyan_crypto Secyan_relational String Tuple Unix Value

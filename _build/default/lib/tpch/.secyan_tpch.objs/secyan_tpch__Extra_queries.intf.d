@@ -1,0 +1,1 @@
+lib/tpch/extra_queries.mli: Comm Context Datagen Secyan Secyan_crypto Secyan_relational Value

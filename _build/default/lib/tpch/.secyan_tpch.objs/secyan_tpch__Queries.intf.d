@@ -1,0 +1,1 @@
+lib/tpch/queries.mli: Comm Context Datagen Relation Schema Secret_share Secyan Secyan_crypto Secyan_relational Semiring Tuple Value

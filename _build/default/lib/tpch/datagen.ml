@@ -1,0 +1,202 @@
+(** Deterministic TPC-H data generator (DESIGN.md §2.6).
+
+    Reproduces the schema, key relationships, and the column distributions
+    exercised by the evaluation queries (Q3, Q8, Q9, Q10, Q18), with row
+    counts proportional to the official TPC-H ratios: at scale factor 1,
+    customer 150k / orders 1.5M / lineitem ~6M / part 200k / supplier 10k /
+    partsupp 800k. The protocols are data-oblivious, so only sizes affect
+    cost — as the paper itself notes — but we still generate realistic
+    value distributions so that the query *answers* are meaningful.
+
+    Join keys carry shared attribute names (custkey, orderkey, partkey,
+    suppkey); all other columns are prefixed as in TPC-H. Money amounts are
+    integer cents. All annotations start at 1. *)
+
+open Secyan_relational
+
+type dataset = {
+  sf : float;
+  customer : Relation.t;  (** custkey, c_name, c_mktsegment, c_nationkey *)
+  orders : Relation.t;    (** orderkey, custkey, o_orderdate, o_shippriority, o_totalprice *)
+  lineitem : Relation.t;
+      (** orderkey, partkey, suppkey, l_quantity, l_extendedprice,
+          l_discount, l_shipdate, l_returnflag *)
+  part : Relation.t;      (** partkey, p_type, p_name *)
+  supplier : Relation.t;  (** suppkey, s_nationkey *)
+  partsupp : Relation.t;  (** partkey, suppkey, ps_supplycost *)
+  nation : Relation.t;    (** n_nationkey, n_name — public knowledge *)
+}
+
+let nations =
+  [|
+    "ALGERIA"; "ARGENTINA"; "BRAZIL"; "CANADA"; "EGYPT"; "ETHIOPIA"; "FRANCE";
+    "GERMANY"; "INDIA"; "INDONESIA"; "IRAN"; "IRAQ"; "JAPAN"; "JORDAN"; "KENYA";
+    "MOROCCO"; "MOZAMBIQUE"; "PERU"; "CHINA"; "ROMANIA"; "SAUDI ARABIA";
+    "VIETNAM"; "RUSSIA"; "UNITED KINGDOM"; "UNITED STATES";
+  |]
+
+let n_nations = Array.length nations
+
+let segments = [| "AUTOMOBILE"; "BUILDING"; "FURNITURE"; "HOUSEHOLD"; "MACHINERY" |]
+
+let part_types_1 = [| "STANDARD"; "SMALL"; "MEDIUM"; "LARGE"; "ECONOMY"; "PROMO" |]
+let part_types_2 = [| "ANODIZED"; "BURNISHED"; "PLATED"; "POLISHED"; "BRUSHED" |]
+let part_types_3 = [| "TIN"; "NICKEL"; "BRASS"; "STEEL"; "COPPER" |]
+
+let colors =
+  [| "almond"; "antique"; "aquamarine"; "azure"; "beige"; "bisque"; "black";
+     "blanched"; "blue"; "blush"; "brown"; "burlywood"; "burnished"; "chartreuse";
+     "chiffon"; "chocolate"; "coral"; "cornflower"; "cream"; "cyan"; "dark";
+     "deep"; "dim"; "dodger"; "drab"; "firebrick"; "floral"; "forest"; "frosted";
+     "gainsboro"; "ghost"; "goldenrod"; "green"; "grey"; "honeydew"; "hot";
+     "indian"; "ivory"; "khaki"; "lace"; "lavender" |]
+
+let row_counts ~sf =
+  let scale base = max 1 (int_of_float (Float.round (float_of_int base *. sf))) in
+  [
+    ("customer", scale 150_000);
+    ("orders", scale 1_500_000);
+    ("part", scale 200_000);
+    ("supplier", scale 10_000);
+    ("nation", n_nations);
+  ]
+
+let count name ~sf = List.assoc name (row_counts ~sf)
+
+let generate ~sf ~seed : dataset =
+  let prg = Secyan_crypto.Prg.create seed in
+  let pick arr = arr.(Secyan_crypto.Prg.below prg (Array.length arr)) in
+  let uniform lo hi = lo + Secyan_crypto.Prg.below prg (hi - lo + 1) in
+  let n_customer = count "customer" ~sf in
+  let n_orders = count "orders" ~sf in
+  let n_part = count "part" ~sf in
+  let n_supplier = count "supplier" ~sf in
+  let date_in_range () =
+    (* order dates span 1992-01-01 .. 1998-08-02, as in TPC-H *)
+    match Value.date ~year:1992 ~month:1 ~day:1 with
+    | Value.Date base -> Value.Date (base + uniform 0 2405)
+    | _ -> assert false
+  in
+  let v_int i = Value.Int i and v_str s = Value.Str s in
+  let one = 1L in
+  (* nation *)
+  let nation =
+    Relation.of_list ~name:"nation" ~schema:(Schema.of_list [ "n_nationkey"; "n_name" ])
+      (List.init n_nations (fun i -> ([| v_int i; v_str nations.(i) |], one)))
+  in
+  (* customer *)
+  let customer =
+    Relation.of_list ~name:"customer"
+      ~schema:(Schema.of_list [ "custkey"; "c_name"; "c_mktsegment"; "c_nationkey" ])
+      (List.init n_customer (fun i ->
+           ( [|
+               v_int (i + 1);
+               v_str (Printf.sprintf "Customer#%09d" (i + 1));
+               v_str (pick segments);
+               v_int (Secyan_crypto.Prg.below prg n_nations);
+             |],
+             one )))
+  in
+  (* orders: o_custkey references a customer; shippriority always 0 as in
+     dbgen; totalprice in cents *)
+  let orders_rows =
+    List.init n_orders (fun i ->
+        ( [|
+            v_int (i + 1);
+            v_int (uniform 1 n_customer);
+            date_in_range ();
+            v_int 0;
+            v_int (uniform 100_00 500_000_00);
+          |],
+          one ))
+  in
+  let orders =
+    Relation.of_list ~name:"orders"
+      ~schema:
+        (Schema.of_list [ "orderkey"; "custkey"; "o_orderdate"; "o_shippriority"; "o_totalprice" ])
+      orders_rows
+  in
+  (* lineitem: 1..7 lines per order; shipdate = orderdate + 1..121 days *)
+  let lineitem_rows = ref [] in
+  List.iter
+    (fun (row, _) ->
+      let orderkey = row.(0) in
+      let orderdate = match row.(2) with Value.Date d -> d | _ -> assert false in
+      let lines = uniform 1 7 in
+      for _ = 1 to lines do
+        let quantity = uniform 1 50 in
+        let extended = quantity * uniform 901_00 1_100_00 / 100 in
+        lineitem_rows :=
+          ( [|
+              orderkey;
+              v_int (uniform 1 n_part);
+              v_int (uniform 1 n_supplier);
+              v_int quantity;
+              v_int extended;
+              v_int (uniform 0 10) (* discount in percent *);
+              Value.Date (orderdate + uniform 1 121);
+              v_str (pick [| "R"; "A"; "N"; "N" |]);
+            |],
+            one )
+          :: !lineitem_rows
+      done)
+    orders_rows;
+  let lineitem =
+    Relation.of_list ~name:"lineitem"
+      ~schema:
+        (Schema.of_list
+           [
+             "orderkey"; "partkey"; "suppkey"; "l_quantity"; "l_extendedprice";
+             "l_discount"; "l_shipdate"; "l_returnflag";
+           ])
+      (List.rev !lineitem_rows)
+  in
+  (* part *)
+  let part =
+    Relation.of_list ~name:"part" ~schema:(Schema.of_list [ "partkey"; "p_type"; "p_name" ])
+      (List.init n_part (fun i ->
+           let ty =
+             Printf.sprintf "%s %s %s" (pick part_types_1) (pick part_types_2)
+               (pick part_types_3)
+           in
+           let name = Printf.sprintf "%s %s" (pick colors) (pick colors) in
+           ([| v_int (i + 1); v_str ty; v_str name |], one)))
+  in
+  (* supplier *)
+  let supplier =
+    Relation.of_list ~name:"supplier" ~schema:(Schema.of_list [ "suppkey"; "s_nationkey" ])
+      (List.init n_supplier (fun i ->
+           ([| v_int (i + 1); v_int (Secyan_crypto.Prg.below prg n_nations) |], one)))
+  in
+  (* partsupp: 4 suppliers per part, as in TPC-H *)
+  let partsupp =
+    Relation.of_list ~name:"partsupp"
+      ~schema:(Schema.of_list [ "partkey"; "suppkey"; "ps_supplycost" ])
+      (List.concat
+         (List.init n_part (fun p ->
+              let base = Secyan_crypto.Prg.below prg n_supplier in
+              List.init (min 4 n_supplier) (fun k ->
+                  ( [|
+                      v_int (p + 1);
+                      v_int (1 + ((base + k) mod n_supplier));
+                      v_int (uniform 1_00 1000_00);
+                    |],
+                    one )))))
+  in
+  { sf; customer; orders; lineitem; part; supplier; partsupp; nation }
+
+(** Total tuple count across base tables (the paper's IN). *)
+let total_rows d =
+  Relation.cardinality d.customer + Relation.cardinality d.orders
+  + Relation.cardinality d.lineitem + Relation.cardinality d.part
+  + Relation.cardinality d.supplier + Relation.cardinality d.partsupp
+
+(** Named scale presets standing in for the paper's 1/3/10/33/100 MB
+    datasets (same geometric spacing, ~1/25 the absolute size so a full
+    sweep runs in minutes). *)
+let presets = [ ("xs", 4e-5); ("s", 1.2e-4); ("m", 4e-4); ("l", 1.2e-3); ("xl", 4e-3) ]
+
+let preset_sf name =
+  match List.assoc_opt name presets with
+  | Some sf -> sf
+  | None -> invalid_arg ("Datagen.preset_sf: unknown preset " ^ name)

@@ -1,0 +1,1 @@
+test/test_smcql.ml: Alcotest Array Cartesian_gc Comm Context Fmt Int64 List Party Relation Schema Secret_share Secyan Secyan_crypto Secyan_relational Secyan_smcql Semiring Value

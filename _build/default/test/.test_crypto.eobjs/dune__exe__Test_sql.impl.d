@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Array Ast Compiler Context Fmt Int64 Lexer List Parser Party Relation Schema Secyan Secyan_crypto Secyan_relational Secyan_sql Secyan_tpch Semiring Tuple Value

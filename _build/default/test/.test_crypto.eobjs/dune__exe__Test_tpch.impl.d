@@ -1,0 +1,1 @@
+test/test_tpch.ml: Alcotest Array Datagen Extra_queries Fmt Int64 List Queries Relation Secyan Secyan_crypto Secyan_relational Secyan_tpch String Tuple Value

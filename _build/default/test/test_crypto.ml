@@ -1,0 +1,787 @@
+(* Tests for the cryptographic substrate: PRG, ring, SHA-256, secret
+   sharing, circuits, garbling, GC protocol, OT, permutation networks,
+   cuckoo hashing, OEP, and the two PSI protocols. *)
+
+open Secyan_crypto
+
+let ctx_real () = Context.create ~gc_backend:Context.Real ~seed:42L ()
+let ctx_sim () = Context.create ~gc_backend:Context.Sim ~seed:42L ()
+
+let check_i64 = Alcotest.testable (fun fmt v -> Fmt.pf fmt "%Ld" v) Int64.equal
+
+(* ------------------------------------------------------------------ *)
+(* PRG *)
+
+let test_prg_deterministic () =
+  let a = Prg.create 7L and b = Prg.create 7L in
+  for _ = 1 to 100 do
+    Alcotest.check check_i64 "same stream" (Prg.next_int64 a) (Prg.next_int64 b)
+  done
+
+let test_prg_below_in_range () =
+  let prg = Prg.create 1L in
+  for _ = 1 to 1000 do
+    let v = Prg.below prg 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_prg_permutation () =
+  let prg = Prg.create 3L in
+  let p = Prg.permutation prg 100 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 100 (fun i -> i)) sorted
+
+let test_prg_bits_width () =
+  let prg = Prg.create 9L in
+  for _ = 1 to 200 do
+    let v = Prg.bits prg 20 in
+    Alcotest.(check bool) "fits in 20 bits" true (Int64.unsigned_compare v (Int64.shift_left 1L 20) < 0)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Zn *)
+
+let test_zn_ops () =
+  let r = Zn.create 8 in
+  Alcotest.check check_i64 "add wraps" 4L (Zn.add r 250L 10L);
+  Alcotest.check check_i64 "sub wraps" 246L (Zn.sub r 0L 10L);
+  Alcotest.check check_i64 "mul wraps" 0x90L (Zn.mul r 0x90L 0x31L);
+  Alcotest.check check_i64 "neg" 255L (Zn.neg r 1L)
+
+let test_zn_signed () =
+  let r = Zn.create 8 in
+  Alcotest.(check int) "positive" 100 (Zn.to_signed_int r 100L);
+  Alcotest.(check int) "negative" (-1) (Zn.to_signed_int r 255L);
+  Alcotest.(check int) "-128" (-128) (Zn.to_signed_int r 128L)
+
+let test_zn_bounds () =
+  Alcotest.check_raises "bits=0 rejected" (Invalid_argument "Zn.create: bits must be in [1, 62]")
+    (fun () -> ignore (Zn.create 0));
+  Alcotest.check_raises "bits=63 rejected" (Invalid_argument "Zn.create: bits must be in [1, 62]")
+    (fun () -> ignore (Zn.create 63))
+
+(* ------------------------------------------------------------------ *)
+(* SHA-256 FIPS vectors *)
+
+let test_sha256_vectors () =
+  let check input expected =
+    Alcotest.(check string) input expected (Sha256.to_hex (Sha256.digest_string input))
+  in
+  check "" "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855";
+  check "abc" "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad";
+  check "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1";
+  (* one full block boundary: 64 bytes of 'a' *)
+  check (String.make 64 'a') "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb"
+
+let test_sha256_incremental () =
+  (* Feeding byte-by-byte must equal one-shot hashing. *)
+  let s = "The quick brown fox jumps over the lazy dog" in
+  let t = Sha256.init () in
+  String.iter (fun c -> Sha256.feed t (Bytes.make 1 c) 0 1) s;
+  Alcotest.(check string) "incremental = one-shot"
+    (Sha256.to_hex (Sha256.digest_string s))
+    (Sha256.to_hex (Sha256.finish t))
+
+(* ------------------------------------------------------------------ *)
+(* Secret sharing *)
+
+let test_share_roundtrip () =
+  let ctx = ctx_sim () in
+  List.iter
+    (fun v ->
+      let s = Secret_share.share ctx ~owner:Party.Alice v in
+      Alcotest.check check_i64 "reconstruct" (Zn.norm ctx.Context.ring v)
+        (Secret_share.reconstruct ctx s))
+    [ 0L; 1L; 123456L; 0xFFFFFFFFL; -5L ]
+
+let test_share_linear_ops () =
+  let ctx = ctx_sim () in
+  let x = Secret_share.share ctx ~owner:Party.Alice 1000L in
+  let y = Secret_share.share ctx ~owner:Party.Bob 234L in
+  let check name expect s =
+    Alcotest.check check_i64 name expect (Secret_share.reconstruct ctx s)
+  in
+  check "add" 1234L (Secret_share.add ctx x y);
+  check "sub" 766L (Secret_share.sub ctx x y);
+  check "neg" (Zn.norm ctx.Context.ring (-1000L)) (Secret_share.neg ctx x);
+  check "add_public" 1005L (Secret_share.add_public ctx x 5L);
+  check "scale" 3000L (Secret_share.scale_public ctx x 3L);
+  check "sum" 2234L (Secret_share.sum ctx [ x; y; x ])
+
+let test_share_reveal_costs () =
+  let ctx = ctx_sim () in
+  let x = Secret_share.share ctx ~owner:Party.Alice 77L in
+  let before = Comm.tally ctx.Context.comm in
+  let v = Secret_share.reveal_to ctx Party.Alice x in
+  let after = Comm.tally ctx.Context.comm in
+  Alcotest.check check_i64 "revealed value" 77L v;
+  let d = Comm.diff after before in
+  Alcotest.(check int) "bob sent one ring element" (Zn.bits ctx.Context.ring)
+    d.Comm.bob_to_alice_bits;
+  Alcotest.(check int) "alice sent nothing" 0 d.Comm.alice_to_bob_bits
+
+let test_share_uniform_shares () =
+  (* Alice's share of a Bob-owned constant must vary with randomness. *)
+  let ctx = ctx_sim () in
+  let shares = List.init 20 (fun _ -> (Secret_share.share ctx ~owner:Party.Bob 5L).Secret_share.a) in
+  let distinct = List.sort_uniq compare shares in
+  Alcotest.(check bool) "shares look random" true (List.length distinct > 10)
+
+(* ------------------------------------------------------------------ *)
+(* Word circuits vs int64 reference semantics *)
+
+let eval_word_circuit ~bits ~n_inputs f values =
+  (* Build a circuit over [n_inputs] words, evaluate in the clear, and
+     return the single output word as an int64. *)
+  let module Bb = Boolean_circuit.Builder in
+  let b = Bb.create () in
+  let words = Array.init n_inputs (fun _ -> Circuits.input_word b bits) in
+  let out = f b words in
+  let out = Circuits.materialize_word b 0 out in
+  let circuit = Bb.finalize b ~outputs:out in
+  let input_bits =
+    Array.concat (List.map (fun v -> Circuits.bool_array_of_int64 ~bits v) (Array.to_list values))
+  in
+  Circuits.int64_of_bool_array (Boolean_circuit.eval circuit input_bits)
+
+let mask32 v = Int64.logand v 0xFFFFFFFFL
+
+let qcheck_word2 name f_circuit f_ref =
+  QCheck.Test.make ~count:200 ~name
+    QCheck.(pair (map Int64.abs int64) (map Int64.abs int64))
+    (fun (x, y) ->
+      let x = mask32 x and y = mask32 y in
+      let got = eval_word_circuit ~bits:32 ~n_inputs:2 (fun b w -> f_circuit b w.(0) w.(1)) [| x; y |] in
+      Int64.equal got (mask32 (f_ref x y)))
+
+let circuit_add = qcheck_word2 "circuit add = int64 add" Circuits.add_word Int64.add
+let circuit_sub = qcheck_word2 "circuit sub = int64 sub" Circuits.sub_word Int64.sub
+let circuit_mul = qcheck_word2 "circuit mul = int64 mul" Circuits.mul_word Int64.mul
+
+let circuit_eq =
+  QCheck.Test.make ~count:200 ~name:"circuit eq"
+    QCheck.(pair (int_bound 1000) (int_bound 1000))
+    (fun (x, y) ->
+      let x = Int64.of_int x and y = Int64.of_int y in
+      let got =
+        eval_word_circuit ~bits:32 ~n_inputs:2
+          (fun b w -> [| Circuits.eq_word b w.(0) w.(1) |])
+          [| x; y |]
+      in
+      Int64.equal got (if Int64.equal x y then 1L else 0L))
+
+let circuit_lt =
+  QCheck.Test.make ~count:200 ~name:"circuit lt (unsigned)"
+    QCheck.(pair (map Int64.abs int64) (map Int64.abs int64))
+    (fun (x, y) ->
+      let x = mask32 x and y = mask32 y in
+      let got =
+        eval_word_circuit ~bits:32 ~n_inputs:2
+          (fun b w -> [| Circuits.lt_word b w.(0) w.(1) |])
+          [| x; y |]
+      in
+      Int64.equal got (if Int64.unsigned_compare x y < 0 then 1L else 0L))
+
+let circuit_divmod =
+  QCheck.Test.make ~count:100 ~name:"circuit divmod"
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 5000))
+    (fun (x, y) ->
+      let x64 = Int64.of_int x and y64 = Int64.of_int y in
+      let q =
+        eval_word_circuit ~bits:32 ~n_inputs:2 (fun b w -> Circuits.div_word b w.(0) w.(1))
+          [| x64; y64 |]
+      in
+      let r =
+        eval_word_circuit ~bits:32 ~n_inputs:2
+          (fun b w -> snd (Circuits.divmod_word b w.(0) w.(1)))
+          [| x64; y64 |]
+      in
+      Int64.equal q (Int64.of_int (x / y)) && Int64.equal r (Int64.of_int (x mod y)))
+
+let circuit_mux =
+  QCheck.Test.make ~count:100 ~name:"circuit mux"
+    QCheck.(triple bool (int_bound 100000) (int_bound 100000))
+    (fun (sel, x, y) ->
+      let x = Int64.of_int x and y = Int64.of_int y in
+      let got =
+        eval_word_circuit ~bits:32 ~n_inputs:3
+          (fun b w -> Circuits.mux_word b ~sel:w.(0).(0) w.(1) w.(2))
+          [| (if sel then 1L else 0L); x; y |]
+      in
+      Int64.equal got (if sel then x else y))
+
+let circuit_nonzero =
+  QCheck.Test.make ~count:100 ~name:"circuit nonzero"
+    QCheck.(int_bound 1000)
+    (fun x ->
+      let got =
+        eval_word_circuit ~bits:32 ~n_inputs:1
+          (fun b w -> [| Circuits.nonzero_word b w.(0) |])
+          [| Int64.of_int x |]
+      in
+      Int64.equal got (if x <> 0 then 1L else 0L))
+
+let test_and_count_add () =
+  (* Ripple-carry add over n bits uses n-1 AND gates. *)
+  let module Bb = Boolean_circuit.Builder in
+  let b = Bb.create () in
+  let x = Circuits.input_word b 32 and y = Circuits.input_word b 32 in
+  let s = Circuits.add_word b x y in
+  let c = Bb.finalize b ~outputs:(Circuits.materialize_word b 0 s) in
+  Alcotest.(check int) "adder AND count" 31 (Boolean_circuit.and_count c)
+
+(* ------------------------------------------------------------------ *)
+(* Garbling: random circuits decode to the clear evaluation *)
+
+let random_circuit prg ~n_inputs ~n_gates =
+  let module Bb = Boolean_circuit.Builder in
+  let b = Bb.create () in
+  let wires = ref (Array.to_list (Bb.inputs b n_inputs)) in
+  let pick () =
+    let l = !wires in
+    List.nth l (Prg.below prg (List.length l))
+  in
+  for _ = 1 to n_gates do
+    let w =
+      match Prg.below prg 3 with
+      | 0 -> Bb.band b (pick ()) (pick ())
+      | 1 -> Bb.bxor b (pick ()) (pick ())
+      | _ -> Bb.bnot b (pick ())
+    in
+    wires := w :: !wires
+  done;
+  let outputs =
+    Array.of_list (List.filteri (fun i _ -> i < 8) !wires)
+    |> Array.map (fun v -> Bb.materialize b 0 v)
+  in
+  Bb.finalize b ~outputs
+
+let test_garbling_matches_clear () =
+  let prg = Prg.create 99L in
+  for _trial = 1 to 50 do
+    let circuit = random_circuit prg ~n_inputs:6 ~n_gates:40 in
+    let inputs = Array.init 6 (fun _ -> Prg.bool prg) in
+    let expected = Boolean_circuit.eval circuit inputs in
+    let g, _ = Garbling.garble prg circuit in
+    let labels = Array.mapi (fun i b -> Garbling.encode_input g i b) inputs in
+    let out_labels = Garbling.eval_labels g labels in
+    let got = Array.mapi (fun i l -> Garbling.decode_output g ~out_index:i l) out_labels in
+    Alcotest.(check (array bool)) "garbled = clear" expected got
+  done
+
+let test_garbling_label_privacy () =
+  (* The two labels of an input wire differ and have opposite colors. *)
+  let prg = Prg.create 5L in
+  let circuit = random_circuit prg ~n_inputs:4 ~n_gates:10 in
+  let g, _ = Garbling.garble prg circuit in
+  for i = 0 to 3 do
+    let l0 = Garbling.encode_input g i false and l1 = Garbling.encode_input g i true in
+    Alcotest.(check bool) "labels differ" false (Garbling.Label.equal l0 l1);
+    Alcotest.(check bool) "colors differ" true
+      (Garbling.Label.color l0 <> Garbling.Label.color l1)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* GC protocol: Real and Sim agree on values and on communication *)
+
+let run_gc ctx =
+  (* (x + y) * z with x, y private and z shared *)
+  let z = Secret_share.share ctx ~owner:Party.Alice 7L in
+  let shares =
+    Gc_protocol.eval_to_shares ctx
+      ~inputs:
+        [
+          Gc_protocol.Priv { owner = Party.Alice; value = 10L; bits = 32 };
+          Gc_protocol.Priv { owner = Party.Bob; value = 32L; bits = 32 };
+          Gc_protocol.Shared z;
+        ]
+      ~build:(fun b words ->
+        let s = Circuits.add_word b words.(0) words.(1) in
+        [ Circuits.mul_word b s words.(2) ])
+  in
+  Secret_share.reconstruct ctx shares.(0)
+
+let test_gc_real () =
+  Alcotest.check check_i64 "(10+32)*7 (real)" 294L (run_gc (ctx_real ()))
+
+let test_gc_sim () = Alcotest.check check_i64 "(10+32)*7 (sim)" 294L (run_gc (ctx_sim ()))
+
+let test_gc_backends_same_cost () =
+  let cost ctx =
+    let _ = run_gc ctx in
+    Comm.tally ctx.Context.comm
+  in
+  let real = cost (ctx_real ()) and sim = cost (ctx_sim ()) in
+  Alcotest.(check bool) "identical tallies" true (Comm.equal real sim)
+
+let test_gc_reveal () =
+  List.iter
+    (fun ctx ->
+      let got =
+        Gc_protocol.eval_reveal ctx ~to_:Party.Alice
+          ~inputs:
+            [
+              Gc_protocol.Priv { owner = Party.Alice; value = 100L; bits = 32 };
+              Gc_protocol.Priv { owner = Party.Bob; value = 42L; bits = 32 };
+            ]
+          ~build:(fun b words -> [ Circuits.sub_word b words.(0) words.(1) ])
+      in
+      Alcotest.check check_i64 "100-42 revealed" 58L got.(0))
+    [ ctx_real (); ctx_sim () ]
+
+let gc_random_agreement =
+  QCheck.Test.make ~count:50 ~name:"gc real/sim agree on random mul-add"
+    QCheck.(triple (int_bound 10000) (int_bound 10000) (int_bound 10000))
+    (fun (x, y, z) ->
+      let run ctx =
+        let zs = Secret_share.share ctx ~owner:Party.Bob (Int64.of_int z) in
+        let shares =
+          Gc_protocol.eval_to_shares ctx
+            ~inputs:
+              [
+                Gc_protocol.Priv { owner = Party.Alice; value = Int64.of_int x; bits = 32 };
+                Gc_protocol.Priv { owner = Party.Bob; value = Int64.of_int y; bits = 32 };
+                Gc_protocol.Shared zs;
+              ]
+            ~build:(fun b words ->
+              [ Circuits.add_word b (Circuits.mul_word b words.(0) words.(1)) words.(2) ])
+        in
+        Secret_share.reconstruct ctx shares.(0)
+      in
+      let expect = mask32 (Int64.of_int ((x * y) + z)) in
+      Int64.equal (run (ctx_real ())) expect && Int64.equal (run (ctx_sim ())) expect)
+
+(* ------------------------------------------------------------------ *)
+(* Oblivious transfer *)
+
+let test_ot_single () =
+  let ctx = ctx_sim () in
+  List.iter
+    (fun choice ->
+      let got =
+        Oblivious_transfer.transfer ctx ~sender:Party.Alice ~bits:32
+          ~messages:{ Oblivious_transfer.m0 = 111L; m1 = 222L }
+          ~choice_bit:choice
+      in
+      Alcotest.check check_i64 "chosen message" (if choice then 222L else 111L) got)
+    [ false; true ]
+
+let test_ot_batch () =
+  let ctx = ctx_sim () in
+  let n = 50 in
+  let prg = Prg.create 123L in
+  let messages =
+    Array.init n (fun _ ->
+        { Oblivious_transfer.m0 = Prg.bits prg 32; m1 = Prg.bits prg 32 })
+  in
+  let choices = Array.init n (fun _ -> Prg.bool prg) in
+  let got = Oblivious_transfer.transfer_batch ctx ~sender:Party.Bob ~bits:32 ~messages ~choices in
+  Array.iteri
+    (fun i g ->
+      let m = messages.(i) in
+      Alcotest.check check_i64 "batch element"
+        (if choices.(i) then m.Oblivious_transfer.m1 else m.Oblivious_transfer.m0)
+        g)
+    got
+
+(* ------------------------------------------------------------------ *)
+(* Permutation networks *)
+
+let perm_network_correct =
+  QCheck.Test.make ~count:200 ~name:"Benes network realizes its permutation"
+    QCheck.(int_range 1 64)
+    (fun n ->
+      let prg = Prg.create (Int64.of_int (n * 31)) in
+      let perm = Prg.permutation prg n in
+      let net = Permutation_network.build perm in
+      let out = Permutation_network.apply net (Array.init n (fun i -> i)) in
+      Array.for_all (fun j -> out.(j) = perm.(j)) (Array.init n (fun j -> j)))
+
+let test_perm_network_switch_count () =
+  (* Benes over 2^k wires has n log n - n/2 switches. *)
+  Alcotest.(check int) "n=8" 20 (Permutation_network.switch_count_for 8);
+  Alcotest.(check int) "n=16" 56 (Permutation_network.switch_count_for 16);
+  Alcotest.(check int) "n=2" 1 (Permutation_network.switch_count_for 2)
+
+(* ------------------------------------------------------------------ *)
+(* Cuckoo hashing *)
+
+let test_cuckoo_build () =
+  let prg = Prg.create 11L in
+  let elements = Array.init 500 (fun i -> Int64.of_int ((i * 7919) + 13)) in
+  let table = Cuckoo_hash.build prg elements in
+  Alcotest.(check bool) "every element in a candidate bin" true
+    (Cuckoo_hash.check_table table elements);
+  let occupied =
+    Array.fold_left (fun acc s -> if s = None then acc else acc + 1) 0 table.Cuckoo_hash.slots
+  in
+  Alcotest.(check int) "no element lost" 500 occupied
+
+let test_cuckoo_simple_hash_covers () =
+  let prg = Prg.create 13L in
+  let xs = Array.init 100 (fun i -> Int64.of_int ((i * 31) + 1)) in
+  let table = Cuckoo_hash.build prg xs in
+  let bins = Cuckoo_hash.simple_hash table.Cuckoo_hash.keys xs in
+  (* every x stored in bin b by cuckoo must appear in Bob's simple-hash of
+     the same set at bin b *)
+  Array.iteri
+    (fun b slot ->
+      match slot with
+      | None -> ()
+      | Some x ->
+          Alcotest.(check bool) "covered" true
+            (List.exists (fun j -> Int64.equal xs.(j) x) bins.(b)))
+    table.Cuckoo_hash.slots
+
+(* ------------------------------------------------------------------ *)
+(* OEP *)
+
+let oep_program_correct =
+  QCheck.Test.make ~count:100 ~name:"OEP networks realize xi"
+    QCheck.(pair (int_range 1 30) (int_range 1 40))
+    (fun (m, n) ->
+      let prg = Prg.create (Int64.of_int ((m * 100) + n)) in
+      let xi = Array.init n (fun _ -> Prg.below prg m) in
+      let prog = Oep.program ~m xi in
+      let data = Array.init m (fun i -> i * 10) in
+      let out = Oep.apply_clear prog data in
+      Array.length out = n && Array.for_all2 (fun o s -> o = s * 10) out xi)
+
+let test_oep_shared () =
+  let ctx = ctx_sim () in
+  let values =
+    Array.init 10 (fun i -> Secret_share.share ctx ~owner:Party.Bob (Int64.of_int (i * 100)))
+  in
+  let xi = [| 3; 3; 0; 9; 1; 1; 1 |] in
+  let out = Oep.apply_shared ctx ~holder:Party.Alice ~xi ~m:10 values in
+  Array.iteri
+    (fun i s ->
+      Alcotest.check check_i64 "permuted value"
+        (Int64.of_int (xi.(i) * 100))
+        (Secret_share.reconstruct ctx s))
+    out
+
+let test_oep_fresh_randomness () =
+  (* Output shares must not equal input shares even when xi is identity. *)
+  let ctx = ctx_sim () in
+  let values = Array.init 8 (fun i -> Secret_share.share ctx ~owner:Party.Bob (Int64.of_int i)) in
+  let xi = Array.init 8 (fun i -> i) in
+  let out = Oep.apply_shared ctx ~holder:Party.Alice ~xi ~m:8 values in
+  let same =
+    Array.for_all2
+      (fun a b -> Int64.equal a.Secret_share.a b.Secret_share.a)
+      values out
+  in
+  Alcotest.(check bool) "shares re-randomized" false same
+
+(* ------------------------------------------------------------------ *)
+(* PSI *)
+
+let test_psi_with_payloads () =
+  let ctx = ctx_sim () in
+  let alice_set = Array.init 40 (fun i -> Int64.of_int ((i * 3) + 1)) in
+  let bob_set = Array.init 30 (fun i -> Int64.of_int ((i * 2) + 1)) in
+  let bob_payloads = Array.map (fun y -> Int64.mul y 100L) bob_set in
+  let r = Psi.with_payloads ctx ~receiver:Party.Alice ~alice_set ~bob_set ~bob_payloads in
+  let bob_mem = Array.to_list bob_set in
+  Array.iteri
+    (fun i slot ->
+      let ind = Secret_share.reconstruct ctx r.Psi.ind.(i) in
+      let pay = Secret_share.reconstruct ctx r.Psi.payload.(i) in
+      match slot with
+      | Some x when List.exists (Int64.equal x) bob_mem ->
+          Alcotest.check check_i64 "member ind" 1L ind;
+          Alcotest.check check_i64 "member payload" (Int64.mul x 100L) pay
+      | Some _ ->
+          Alcotest.check check_i64 "non-member ind" 0L ind;
+          Alcotest.check check_i64 "non-member payload" 0L pay
+      | None ->
+          Alcotest.check check_i64 "empty bin ind" 0L ind;
+          Alcotest.check check_i64 "empty bin payload" 0L pay)
+    r.Psi.table.Cuckoo_hash.slots
+
+let test_psi_element_bounds () =
+  let ctx = ctx_sim () in
+  Alcotest.check_raises "element too wide"
+    (Invalid_argument "Psi: element encodings must fit in 60 bits") (fun () ->
+      ignore
+        (Psi.membership ctx ~alice_set:[| Int64.shift_left 1L 61 |] ~bob_set:[| 1L |] ()))
+
+let test_psi_shared_payload () =
+  let ctx = ctx_sim () in
+  let alice_set = Array.init 25 (fun i -> Int64.of_int ((i * 5) + 2)) in
+  let bob_set = Array.init 20 (fun i -> Int64.of_int ((i * 3) + 2)) in
+  let payload_values = Array.map (fun y -> Int64.add y 7L) bob_set in
+  let bob_payload_shares =
+    Array.map (fun v -> Secret_share.share ctx ~owner:Party.Bob v) payload_values
+  in
+  let r = Psi_shared_payload.run ctx ~receiver:Party.Alice ~alice_set ~bob_set ~bob_payload_shares in
+  let find_payload x =
+    let rec go j =
+      if j >= Array.length bob_set then None
+      else if Int64.equal bob_set.(j) x then Some payload_values.(j)
+      else go (j + 1)
+    in
+    go 0
+  in
+  Array.iteri
+    (fun i slot ->
+      let ind = Secret_share.reconstruct ctx r.Psi_shared_payload.ind.(i) in
+      let pay = Secret_share.reconstruct ctx r.Psi_shared_payload.payload.(i) in
+      match slot with
+      | Some x -> (
+          match find_payload x with
+          | Some z ->
+              Alcotest.check check_i64 "shared-payload ind" 1L ind;
+              Alcotest.check check_i64 "shared-payload value" z pay
+          | None ->
+              Alcotest.check check_i64 "miss ind" 0L ind;
+              Alcotest.check check_i64 "miss payload" 0L pay)
+      | None ->
+          Alcotest.check check_i64 "empty ind" 0L ind;
+          Alcotest.check check_i64 "empty payload" 0L pay)
+    r.Psi_shared_payload.table.Cuckoo_hash.slots
+
+(* ------------------------------------------------------------------ *)
+(* AES-128 *)
+
+let test_aes_fips_vector () =
+  (* FIPS 197 appendix C.1 *)
+  let key = Bytes.of_string "\x00\x01\x02\x03\x04\x05\x06\x07\x08\x09\x0a\x0b\x0c\x0d\x0e\x0f" in
+  let plaintext = Bytes.of_string "\x00\x11\x22\x33\x44\x55\x66\x77\x88\x99\xaa\xbb\xcc\xdd\xee\xff" in
+  let sched = Aes128.expand_key key in
+  let ct = Aes128.encrypt_block sched plaintext in
+  let hex = Sha256.to_hex ct in
+  Alcotest.(check string) "FIPS 197 C.1" "69c4e0d86a7b0430d8cdb78070b4c55a" hex
+
+let test_aes_sbox () =
+  Alcotest.(check int) "sbox(0)" 0x63 Aes128.sbox.(0);
+  Alcotest.(check int) "sbox(0x53)" 0xed Aes128.sbox.(0x53);
+  (* S-box is a permutation *)
+  let sorted = Array.copy Aes128.sbox in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "bijective" true (Array.to_list sorted = List.init 256 Fun.id)
+
+let test_garbling_aes_kdf () =
+  let prg = Prg.create 77L in
+  for _trial = 1 to 20 do
+    let circuit = random_circuit prg ~n_inputs:6 ~n_gates:40 in
+    let inputs = Array.init 6 (fun _ -> Prg.bool prg) in
+    let expected = Boolean_circuit.eval circuit inputs in
+    let g, _ = Garbling.garble ~kdf:Garbling.Aes128_kdf prg circuit in
+    let labels = Array.mapi (fun i b -> Garbling.encode_input g i b) inputs in
+    let out_labels = Garbling.eval_labels ~kdf:Garbling.Aes128_kdf g labels in
+    let got = Array.mapi (fun i l -> Garbling.decode_output g ~out_index:i l) out_labels in
+    Alcotest.(check (array bool)) "AES-kdf garbling = clear" expected got
+  done
+
+(* ------------------------------------------------------------------ *)
+(* IKNP OT extension *)
+
+let test_ot_extension_correct () =
+  let ctx = ctx_sim () in
+  let prg = Prg.create 31L in
+  let m = 300 in
+  let messages =
+    Array.init m (fun _ ->
+        ((Prg.next_int64 prg, Prg.next_int64 prg), (Prg.next_int64 prg, Prg.next_int64 prg)))
+  in
+  let choices = Array.init m (fun _ -> Prg.bool prg) in
+  let got = Ot_extension.extend ctx ~sender:Party.Alice ~messages ~choices in
+  Array.iteri
+    (fun j blk ->
+      let m0, m1 = messages.(j) in
+      let expect = if choices.(j) then m1 else m0 in
+      Alcotest.(check bool) "chosen block" true (blk = expect);
+      (* and the other message stays hidden behind an unknown pad *)
+      Alcotest.(check bool) "other differs" true (blk <> if choices.(j) then m0 else m1))
+    got
+
+let test_ot_extension_accounts_comm () =
+  let ctx = ctx_sim () in
+  let before = Comm.tally ctx.Context.comm in
+  let messages = Array.make 64 ((1L, 2L), (3L, 4L)) in
+  let choices = Array.make 64 false in
+  let _ = Ot_extension.extend ctx ~sender:Party.Bob ~messages ~choices in
+  let d = Comm.diff (Comm.tally ctx.Context.comm) before in
+  (* matrix columns one way, masked message pairs the other *)
+  Alcotest.(check int) "receiver bits" (128 * 64) d.Comm.alice_to_bob_bits;
+  Alcotest.(check int) "sender bits" (64 * 256) d.Comm.bob_to_alice_bits;
+  Alcotest.(check int) "two rounds" 2 d.Comm.rounds
+
+(* ------------------------------------------------------------------ *)
+(* Sorting networks *)
+
+let sorting_network_sorts =
+  QCheck.Test.make ~count:100 ~name:"bitonic network sorts any input"
+    QCheck.(pair (int_range 1 50) (int_bound 100000))
+    (fun (n, seed) ->
+      let prg = Prg.create (Int64.of_int seed) in
+      let data = Array.init n (fun _ -> Prg.below prg 100) in
+      let net = Sorting_network.build n in
+      let sorted = Sorting_network.apply net data in
+      let expected = Array.copy data in
+      Array.sort compare expected;
+      sorted = expected)
+
+let test_sorting_network_size () =
+  (* Theta(n log^2 n): for n = 16, bitonic uses 80 comparators *)
+  Alcotest.(check int) "n=16" 80 (Sorting_network.comparator_count (Sorting_network.build 16));
+  Alcotest.(check int) "n=2" 1 (Sorting_network.comparator_count (Sorting_network.build 2))
+
+let test_psi_boundary_sizes () =
+  (* empty and singleton sets must not break the hashing or the circuits *)
+  let ctx = ctx_sim () in
+  let r = Psi.with_payloads ctx ~receiver:Party.Alice ~alice_set:[||] ~bob_set:[| 5L |]
+      ~bob_payloads:[| 7L |] in
+  Array.iter
+    (fun s -> Alcotest.check check_i64 "empty X: all zero" 0L (Secret_share.reconstruct ctx s))
+    r.Psi.ind;
+  let ctx = ctx_sim () in
+  let r = Psi.with_payloads ctx ~receiver:Party.Alice ~alice_set:[| 5L |] ~bob_set:[||]
+      ~bob_payloads:[||] in
+  Array.iter
+    (fun s -> Alcotest.check check_i64 "empty Y: all zero" 0L (Secret_share.reconstruct ctx s))
+    r.Psi.ind;
+  let ctx = ctx_sim () in
+  let r = Psi.with_payloads ctx ~receiver:Party.Alice ~alice_set:[| 5L |] ~bob_set:[| 5L |]
+      ~bob_payloads:[| 9L |] in
+  let hits =
+    Array.fold_left (fun acc s -> Int64.add acc (Secret_share.reconstruct ctx s)) 0L r.Psi.ind
+  in
+  Alcotest.check check_i64 "singleton match" 1L hits
+
+let psi_random_sets =
+  QCheck.Test.make ~count:20 ~name:"PSI indicator sum = intersection size"
+    QCheck.(pair (int_bound 100000) (pair (int_range 1 60) (int_range 1 60)))
+    (fun (seed, (m, n)) ->
+      let prg = Prg.create (Int64.of_int seed) in
+      let set k = Array.of_list (List.sort_uniq compare
+          (List.init k (fun _ -> Int64.of_int (1 + Prg.below prg 80)))) in
+      let xs = set m and ys = set n in
+      let ctx = Context.create ~gc_backend:Context.Sim ~seed:(Int64.of_int (seed + 9)) () in
+      let r = Psi.with_payloads ctx ~receiver:Party.Bob ~alice_set:xs ~bob_set:ys
+          ~bob_payloads:(Array.map (fun _ -> 1L) ys) in
+      let hits =
+        Array.fold_left (fun acc s -> Int64.add acc (Secret_share.reconstruct ctx s)) 0L
+          r.Psi.ind
+      in
+      let expected =
+        Array.fold_left
+          (fun acc x -> if Array.exists (Int64.equal x) ys then acc + 1 else acc)
+          0 xs
+      in
+      Int64.equal hits (Int64.of_int expected))
+
+(* ------------------------------------------------------------------ *)
+(* Obliviousness: same-size inputs yield identical transcript sizes *)
+
+let test_transcript_oblivious () =
+  let run seed data =
+    let ctx = Context.create ~gc_backend:Context.Sim ~seed () in
+    let alice_set = Array.map Int64.of_int data in
+    let bob_set = [| 2L; 4L; 6L; 8L |] in
+    let _ =
+      Psi.with_payloads ctx ~receiver:Party.Alice ~alice_set ~bob_set ~bob_payloads:(Array.map (fun _ -> 1L) bob_set)
+    in
+    Comm.tally ctx.Context.comm
+  in
+  let t1 = run 1L [| 2; 4; 6; 8; 10 |] (* big intersection *) in
+  let t2 = run 2L [| 101; 103; 105; 107; 109 |] (* empty intersection *) in
+  Alcotest.(check bool) "identical transcript sizes" true (Comm.equal t1 t2)
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "secyan_crypto"
+    [
+      ( "prg",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prg_deterministic;
+          Alcotest.test_case "below in range" `Quick test_prg_below_in_range;
+          Alcotest.test_case "permutation" `Quick test_prg_permutation;
+          Alcotest.test_case "bits width" `Quick test_prg_bits_width;
+        ] );
+      ( "zn",
+        [
+          Alcotest.test_case "ops" `Quick test_zn_ops;
+          Alcotest.test_case "signed" `Quick test_zn_signed;
+          Alcotest.test_case "bounds" `Quick test_zn_bounds;
+        ] );
+      ( "sha256",
+        [
+          Alcotest.test_case "FIPS vectors" `Quick test_sha256_vectors;
+          Alcotest.test_case "incremental" `Quick test_sha256_incremental;
+        ] );
+      ( "secret-share",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_share_roundtrip;
+          Alcotest.test_case "linear ops" `Quick test_share_linear_ops;
+          Alcotest.test_case "reveal costs" `Quick test_share_reveal_costs;
+          Alcotest.test_case "uniform shares" `Quick test_share_uniform_shares;
+        ] );
+      ( "circuits",
+        Alcotest.test_case "adder AND count" `Quick test_and_count_add
+        :: qsuite
+             [
+               circuit_add; circuit_sub; circuit_mul; circuit_eq; circuit_lt;
+               circuit_divmod; circuit_mux; circuit_nonzero;
+             ] );
+      ( "garbling",
+        [
+          Alcotest.test_case "matches clear eval" `Quick test_garbling_matches_clear;
+          Alcotest.test_case "label privacy" `Quick test_garbling_label_privacy;
+        ] );
+      ( "gc-protocol",
+        [
+          Alcotest.test_case "real backend" `Quick test_gc_real;
+          Alcotest.test_case "sim backend" `Quick test_gc_sim;
+          Alcotest.test_case "backends same cost" `Quick test_gc_backends_same_cost;
+          Alcotest.test_case "reveal" `Quick test_gc_reveal;
+        ]
+        @ qsuite [ gc_random_agreement ] );
+      ( "oblivious-transfer",
+        [
+          Alcotest.test_case "single" `Quick test_ot_single;
+          Alcotest.test_case "batch" `Quick test_ot_batch;
+        ] );
+      ( "permutation-network",
+        Alcotest.test_case "switch counts" `Quick test_perm_network_switch_count
+        :: qsuite [ perm_network_correct ] );
+      ( "cuckoo",
+        [
+          Alcotest.test_case "build" `Quick test_cuckoo_build;
+          Alcotest.test_case "simple hash covers" `Quick test_cuckoo_simple_hash_covers;
+        ] );
+      ( "oep",
+        Alcotest.test_case "shared" `Quick test_oep_shared
+        :: Alcotest.test_case "fresh randomness" `Quick test_oep_fresh_randomness
+        :: qsuite [ oep_program_correct ] );
+      ( "aes",
+        [
+          Alcotest.test_case "FIPS vector" `Quick test_aes_fips_vector;
+          Alcotest.test_case "sbox" `Quick test_aes_sbox;
+          Alcotest.test_case "AES-kdf garbling" `Quick test_garbling_aes_kdf;
+        ] );
+      ( "ot-extension",
+        [
+          Alcotest.test_case "correctness" `Quick test_ot_extension_correct;
+          Alcotest.test_case "communication" `Quick test_ot_extension_accounts_comm;
+        ] );
+      ( "sorting-network",
+        Alcotest.test_case "comparator counts" `Quick test_sorting_network_size
+        :: qsuite [ sorting_network_sorts ] );
+      ( "psi",
+        [
+          Alcotest.test_case "with payloads" `Quick test_psi_with_payloads;
+          Alcotest.test_case "element bounds" `Quick test_psi_element_bounds;
+          Alcotest.test_case "shared payloads" `Quick test_psi_shared_payload;
+          Alcotest.test_case "boundary sizes" `Quick test_psi_boundary_sizes;
+          Alcotest.test_case "transcript oblivious" `Quick test_transcript_oblivious;
+        ]
+        @ qsuite [ psi_random_sets ] );
+    ]

@@ -1,0 +1,171 @@
+(* Tests for the §7 extensions: selection policies, query composition
+   (ratio / average / difference), and differential privacy on outputs. *)
+
+open Secyan_crypto
+open Secyan_relational
+open Secyan
+
+let check_i64 = Alcotest.testable (fun fmt v -> Fmt.pf fmt "%Ld" v) Int64.equal
+let ctx_sim ?(seed = 7L) () = Context.create ~gc_backend:Context.Sim ~seed ()
+let v i = Value.Int i
+
+let rel name schema rows =
+  Relation.of_list ~name ~schema:(Schema.of_list schema)
+    (List.map (fun (vs, a) -> (Array.of_list (List.map v vs), Int64.of_int a)) rows)
+
+(* ------------------------------------------------------------------ *)
+(* Selection policies *)
+
+let base_rel () = rel "R" [ "x" ] [ ([ 1 ], 10); ([ 2 ], 20); ([ 3 ], 30); ([ 4 ], 40) ]
+let pred schema t = match Tuple.get schema "x" t with Value.Int x -> x <= 2 | _ -> false
+
+let test_selection_public () =
+  let out = Selection.apply Selection.Public pred (base_rel ()) in
+  Alcotest.(check int) "shrinks" 2 (Relation.cardinality out);
+  Alcotest.(check int) "no dummies" 2 (List.length (Relation.nonzero out))
+
+let test_selection_private () =
+  let out = Selection.apply Selection.Private pred (base_rel ()) in
+  Alcotest.(check int) "size unchanged" 4 (Relation.cardinality out);
+  (* non-matching tuples are zero-annotated dummies *)
+  Alcotest.(check int) "two real tuples" 2 (List.length (Relation.nonzero out));
+  let dummies = Array.to_list out.Relation.tuples |> List.filter Tuple.is_dummy in
+  Alcotest.(check int) "two dummies" 2 (List.length dummies)
+
+let test_selection_bounded () =
+  let out = Selection.apply (Selection.Bounded 3) pred (base_rel ()) in
+  Alcotest.(check int) "padded to the bound" 3 (Relation.cardinality out);
+  Alcotest.(check int) "two real tuples" 2 (List.length (Relation.nonzero out));
+  Alcotest.check_raises "bound too small"
+    (Invalid_argument
+       "Selection.apply: 2 tuples satisfy the condition but the public bound is 1")
+    (fun () -> ignore (Selection.apply (Selection.Bounded 1) pred (base_rel ())))
+
+let test_selection_public_size () =
+  Alcotest.(check int) "private keeps size" 100
+    (Selection.public_size Selection.Private ~original:100 ~selected:7);
+  Alcotest.(check int) "public reveals" 7
+    (Selection.public_size Selection.Public ~original:100 ~selected:7);
+  Alcotest.(check int) "bounded reveals bound" 20
+    (Selection.public_size (Selection.Bounded 20) ~original:100 ~selected:7)
+
+(* ------------------------------------------------------------------ *)
+(* Composition *)
+
+let test_ratio () =
+  let ctx = ctx_sim () in
+  let num = Secret_share.share ctx ~owner:Party.Alice 355L in
+  let den = Secret_share.share ctx ~owner:Party.Bob 113L in
+  Alcotest.check check_i64 "pi * 1000" 3141L
+    (Composition.reveal_ratio ctx ~to_:Party.Alice ~scale:1000L ~num ~den ())
+
+let test_average () =
+  let ctx = ctx_sim () in
+  let sum = Secret_share.share ctx ~owner:Party.Alice 1000L in
+  let count = Secret_share.share ctx ~owner:Party.Bob 3L in
+  (* avg = 333.33, scale 100 -> 33333 *)
+  Alcotest.check check_i64 "avg x100" 33333L
+    (Composition.reveal_average ctx ~to_:Party.Alice ~scale:100L ~sum ~count ())
+
+let test_difference () =
+  let ctx = ctx_sim () in
+  let pos = Secret_share.share ctx ~owner:Party.Alice 500L in
+  let neg = Secret_share.share ctx ~owner:Party.Bob 123L in
+  Alcotest.check check_i64 "difference" 377L
+    (Composition.reveal_difference ctx ~to_:Party.Alice ~pos ~neg)
+
+let test_greater () =
+  let ctx = ctx_sim () in
+  let big = Secret_share.share ctx ~owner:Party.Alice 500L in
+  let small = Secret_share.share ctx ~owner:Party.Bob 123L in
+  Alcotest.(check bool) "500 > 123" true
+    (Composition.reveal_greater ctx ~to_:Party.Alice ~lhs:big ~rhs:small);
+  Alcotest.(check bool) "123 > 500 is false" false
+    (Composition.reveal_greater ctx ~to_:Party.Alice ~lhs:small ~rhs:big)
+
+let ratio_random =
+  QCheck.Test.make ~count:50 ~name:"ratio circuit = integer division"
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 10_000))
+    (fun (n, d) ->
+      let ctx = ctx_sim ~seed:(Int64.of_int (n + d)) () in
+      let num = Secret_share.share ctx ~owner:Party.Alice (Int64.of_int n) in
+      let den = Secret_share.share ctx ~owner:Party.Bob (Int64.of_int d) in
+      let got = Composition.reveal_ratio ctx ~to_:Party.Alice ~scale:10L ~num ~den () in
+      Int64.equal got (Int64.of_int (n * 10 / d)))
+
+(* ------------------------------------------------------------------ *)
+(* Differential privacy *)
+
+let test_sensitivity_circuit () =
+  let ctx = ctx_sim () in
+  Alcotest.check check_i64 "max multiplicity" 17L
+    (Dp.join_count_sensitivity ctx ~alice_mult:5 ~bob_mult:17);
+  let ctx = ctx_sim () in
+  Alcotest.check check_i64 "other side" 21L
+    (Dp.join_count_sensitivity ctx ~alice_mult:21 ~bob_mult:17)
+
+let test_max_multiplicity () =
+  let r = rel "R" [ "k"; "x" ] [ ([ 1; 1 ], 1); ([ 1; 2 ], 1); ([ 1; 3 ], 1); ([ 2; 4 ], 1) ] in
+  Alcotest.(check int) "max mult" 3 (Dp.max_multiplicity r ~attrs:(Schema.of_list [ "k" ]))
+
+let test_laplace_distribution () =
+  let prg = Prg.create 42L in
+  let n = 5000 in
+  let samples = List.init n (fun _ -> Int64.to_float (Dp.laplace prg ~scale:10.)) in
+  let mean = List.fold_left ( +. ) 0. samples /. float_of_int n in
+  let mad =
+    List.fold_left (fun acc s -> acc +. Float.abs s) 0. samples /. float_of_int n
+  in
+  (* Laplace(b): mean 0, mean absolute deviation b *)
+  Alcotest.(check bool) "mean near 0" true (Float.abs mean < 1.);
+  Alcotest.(check bool) "MAD near scale" true (mad > 8. && mad < 12.)
+
+let test_privatize_shifts_by_noise () =
+  let ctx = ctx_sim () in
+  let s = Secret_share.share ctx ~owner:Party.Alice 10_000L in
+  let noised = Dp.privatize ctx s ~delta:2L ~epsilon:0.5 in
+  let value = Secret_share.reconstruct ctx noised in
+  let delta = Int64.sub value 10_000L in
+  (* Laplace(4) noise: |noise| < 200 except with probability < 2^-70 *)
+  Alcotest.(check bool) "noise bounded" true (Int64.abs delta < 200L);
+  (* with epsilon huge the noise collapses to 0 *)
+  let exact = Dp.privatize ctx s ~delta:1L ~epsilon:1e9 in
+  Alcotest.check check_i64 "huge epsilon = exact" 10_000L (Secret_share.reconstruct ctx exact)
+
+let test_reveal_noised () =
+  let ctx = ctx_sim () in
+  let s = Secret_share.share ctx ~owner:Party.Bob 777L in
+  let got = Dp.reveal_noised ctx s ~delta:1L ~epsilon:1e9 in
+  Alcotest.check check_i64 "revealed" 777L got;
+  Alcotest.check_raises "bad epsilon" (Invalid_argument "Dp.privatize: epsilon must be positive")
+    (fun () -> ignore (Dp.privatize ctx s ~delta:1L ~epsilon:0.))
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "secyan_extensions"
+    [
+      ( "selection",
+        [
+          Alcotest.test_case "public" `Quick test_selection_public;
+          Alcotest.test_case "private" `Quick test_selection_private;
+          Alcotest.test_case "bounded" `Quick test_selection_bounded;
+          Alcotest.test_case "public size" `Quick test_selection_public_size;
+        ] );
+      ( "composition",
+        [
+          Alcotest.test_case "ratio" `Quick test_ratio;
+          Alcotest.test_case "average" `Quick test_average;
+          Alcotest.test_case "difference" `Quick test_difference;
+          Alcotest.test_case "greater" `Quick test_greater;
+        ]
+        @ qsuite [ ratio_random ] );
+      ( "differential-privacy",
+        [
+          Alcotest.test_case "sensitivity circuit" `Quick test_sensitivity_circuit;
+          Alcotest.test_case "max multiplicity" `Quick test_max_multiplicity;
+          Alcotest.test_case "laplace distribution" `Quick test_laplace_distribution;
+          Alcotest.test_case "privatize" `Quick test_privatize_shifts_by_noise;
+          Alcotest.test_case "reveal noised" `Quick test_reveal_noised;
+        ] );
+    ]

@@ -1,0 +1,257 @@
+(* Tests for the TPC-H substrate: generator invariants and the five
+   evaluation queries of §8.1, secure execution vs plaintext reference. *)
+
+open Secyan_relational
+open Secyan_tpch
+
+let check_i64 = Alcotest.testable (fun fmt v -> Fmt.pf fmt "%Ld" v) Int64.equal
+
+(* ------------------------------------------------------------------ *)
+(* Data generator *)
+
+let small () = Datagen.generate ~sf:1.2e-4 ~seed:12L
+
+let test_datagen_deterministic () =
+  let d1 = Datagen.generate ~sf:4e-5 ~seed:5L and d2 = Datagen.generate ~sf:4e-5 ~seed:5L in
+  let dump (r : Relation.t) =
+    Array.to_list r.Relation.tuples |> List.map Tuple.repr |> String.concat ";"
+  in
+  Alcotest.(check string) "same lineitem" (dump d1.Datagen.lineitem) (dump d2.Datagen.lineitem);
+  Alcotest.(check string) "same customer" (dump d1.Datagen.customer) (dump d2.Datagen.customer)
+
+let test_datagen_row_counts () =
+  let d = small () in
+  Alcotest.(check int) "customers" 18 (Relation.cardinality d.Datagen.customer);
+  Alcotest.(check int) "orders" 180 (Relation.cardinality d.Datagen.orders);
+  Alcotest.(check int) "nation" 25 (Relation.cardinality d.Datagen.nation);
+  let li = Relation.cardinality d.Datagen.lineitem in
+  Alcotest.(check bool) "lineitem 1..7 per order" true (li >= 180 && li <= 7 * 180);
+  (* TPC-H ratio: 4 partsupp rows per part (capped by supplier count) *)
+  Alcotest.(check int) "partsupp = 4x part"
+    (min 4 (Relation.cardinality d.Datagen.supplier) * Relation.cardinality d.Datagen.part)
+    (Relation.cardinality d.Datagen.partsupp)
+
+let test_datagen_fk_integrity () =
+  let d = small () in
+  let keys (r : Relation.t) attr =
+    Array.to_list r.Relation.tuples
+    |> List.map (fun t ->
+           match Tuple.get r.Relation.schema attr t with
+           | Value.Int i -> i
+           | _ -> Alcotest.fail "expected int key")
+  in
+  let customers = keys d.Datagen.customer "custkey" in
+  let orders_cust = keys d.Datagen.orders "custkey" in
+  Alcotest.(check bool) "orders -> customer" true
+    (List.for_all (fun k -> List.mem k customers) orders_cust);
+  let orderkeys = keys d.Datagen.orders "orderkey" in
+  let li_orders = keys d.Datagen.lineitem "orderkey" in
+  Alcotest.(check bool) "lineitem -> orders" true
+    (List.for_all (fun k -> List.mem k orderkeys) li_orders)
+
+let test_datagen_value_ranges () =
+  let d = small () in
+  let s = d.Datagen.lineitem.Relation.schema in
+  Array.iter
+    (fun t ->
+      let get a = Tuple.get s a t in
+      (match get "l_discount" with
+      | Value.Int disc -> Alcotest.(check bool) "discount 0..10" true (disc >= 0 && disc <= 10)
+      | _ -> Alcotest.fail "discount");
+      match get "l_quantity" with
+      | Value.Int q -> Alcotest.(check bool) "quantity 1..50" true (q >= 1 && q <= 50)
+      | _ -> Alcotest.fail "quantity")
+    d.Datagen.lineitem.Relation.tuples
+
+let test_presets () =
+  Alcotest.(check int) "five presets" 5 (List.length Datagen.presets);
+  (* geometric ~3x spacing like the paper's 1/3/10/33/100 MB *)
+  let sfs = List.map snd Datagen.presets in
+  List.iter2
+    (fun a b ->
+      let ratio = b /. a in
+      Alcotest.(check bool) "~3x apart" true (ratio > 2.5 && ratio < 3.5))
+    (List.filteri (fun i _ -> i < 4) sfs)
+    (List.tl sfs)
+
+(* ------------------------------------------------------------------ *)
+(* Queries: secure execution = plaintext reference *)
+
+let project_content output (r : Relation.t) =
+  Relation.nonzero r
+  |> List.filter (fun (t, _) -> not (Tuple.is_dummy t))
+  |> List.map (fun (t, a) -> (Tuple.repr (Tuple.project r.Relation.schema output t), a))
+  |> List.sort compare
+
+let check_query q =
+  let ctx = Queries.context ~seed:99L () in
+  let revealed, stats = Secyan.Secure_yannakakis.run ctx q in
+  let expected = Secyan.Query.plaintext q in
+  Alcotest.(check (list (pair string check_i64)))
+    (q.Secyan.Query.name ^ " secure = plaintext")
+    (project_content q.Secyan.Query.output expected)
+    (project_content q.Secyan.Query.output revealed);
+  stats
+
+let xs () = Datagen.generate ~sf:4e-5 ~seed:1L
+
+let test_q3 () = ignore (check_query (Queries.q3 (xs ())))
+let test_q10 () = ignore (check_query (Queries.q10 (xs ())))
+
+let test_q18 () =
+  (* default threshold 300 (rarely met at tiny scale): still must agree *)
+  ignore (check_query (Queries.q18 (xs ())));
+  (* lowered threshold so the result is certainly non-empty *)
+  let q = Queries.q18 ~threshold:100 (xs ()) in
+  let plain = Secyan.Query.plaintext q in
+  Alcotest.(check bool) "non-empty result" true (Relation.nonzero plain <> []);
+  ignore (check_query q)
+
+let test_q3_result_nonempty () =
+  let q = Queries.q3 (xs ()) in
+  let plain = Secyan.Query.plaintext q in
+  Alcotest.(check bool) "q3 has results" true (Relation.nonzero plain <> [])
+
+(* Transcript sizes must depend only on public information (input sizes
+   and OUT): an isomorphic instance — all join keys shifted by a constant,
+   so selections and join structure are untouched — must generate a
+   byte-identical transcript. *)
+let test_q3_transcript_oblivious () =
+  let shift_keys delta (r : Relation.t) =
+    let shifted =
+      Array.map
+        (fun t ->
+          Array.mapi
+            (fun i v ->
+              let attr = r.Relation.schema.(i) in
+              match v, attr with
+              | Value.Int k, ("custkey" | "orderkey") -> Value.Int (k + delta)
+              | _ -> v)
+            t)
+        r.Relation.tuples
+    in
+    { r with Relation.tuples = shifted }
+  in
+  let run delta =
+    let d = Datagen.generate ~sf:4e-5 ~seed:1L in
+    let d =
+      {
+        d with
+        Datagen.customer = shift_keys delta d.Datagen.customer;
+        orders = shift_keys delta d.Datagen.orders;
+        lineitem = shift_keys delta d.Datagen.lineitem;
+      }
+    in
+    let ctx = Queries.context ~seed:50L () in
+    let _, stats = Secyan.Secure_yannakakis.run ctx (Queries.q3 d) in
+    stats.Secyan.Secure_yannakakis.tally
+  in
+  Alcotest.(check bool) "identical transcript sizes" true
+    (Secyan_crypto.Comm.equal (run 0) (run 1_000_003))
+
+let test_q8_composed () =
+  let d = small () in
+  let ctx = Queries.context ~seed:7L () in
+  let r = Queries.run_q8 ctx d in
+  let expected = Queries.q8_plaintext d in
+  Alcotest.(check bool) "non-empty" true (expected <> []);
+  Alcotest.(check (list (pair int check_i64))) "q8 secure = plaintext" expected
+    r.Queries.shares_per_year
+
+let test_q9_composed () =
+  let d = small () in
+  let expected = Queries.q9_plaintext ~nations:[ 3 ] d in
+  Alcotest.(check bool) "non-empty" true (expected <> []);
+  let ctx = Queries.context ~seed:8L () in
+  let r = Queries.run_q9 ~nations:[ 3 ] ctx d in
+  let got = List.filter (fun (_, _, a) -> a <> 0) r.Queries.rows in
+  Alcotest.(check (list (triple int int int))) "q9 secure = plaintext"
+    (List.sort compare expected) (List.sort compare got)
+
+(* the paper: round count depends only on the query, not the data size *)
+let test_rounds_scale_free () =
+  let rounds sf =
+    let d = Datagen.generate ~sf ~seed:1L in
+    let ctx = Queries.context ~seed:3L () in
+    let _, stats = Secyan.Secure_yannakakis.run ctx (Queries.q3 d) in
+    stats.Secyan.Secure_yannakakis.tally.Secyan_crypto.Comm.rounds
+  in
+  Alcotest.(check int) "rounds independent of data size" (rounds 4e-5) (rounds 1.2e-4)
+
+(* Figure 6 measures one nation and multiplies by 25: valid only if the
+   oblivious per-nation runs cost exactly the same. *)
+let test_q9_per_nation_cost_uniform () =
+  let d = xs () in
+  let tally n =
+    let ctx = Queries.context ~seed:33L () in
+    (Queries.run_q9 ~nations:[ n ] ctx d).Queries.tally
+  in
+  let t2 = tally 2 and t17 = tally 17 in
+  Alcotest.(check int) "same bits"
+    (Secyan_crypto.Comm.total_bits t2)
+    (Secyan_crypto.Comm.total_bits t17)
+
+let test_effective_input_size_monotone () =
+  let size sf = Queries.effective_input_bytes (Queries.q3 (Datagen.generate ~sf ~seed:1L)) in
+  Alcotest.(check bool) "monotone in scale" true (size 1.2e-4 > size 4e-5)
+
+(* ------------------------------------------------------------------ *)
+(* Extra queries beyond the paper's evaluation *)
+
+let test_q1_single_relation () =
+  let q = Extra_queries.q1 (xs ()) in
+  let stats = check_query q in
+  (* one relation: reduce + reveal only, very few rounds *)
+  Alcotest.(check bool) "few rounds" true
+    (stats.Secyan.Secure_yannakakis.tally.Secyan_crypto.Comm.rounds < 30);
+  let plain = Secyan.Query.plaintext q in
+  Alcotest.(check bool) "non-empty" true (Relation.nonzero plain <> [])
+
+let test_q4_exists_subquery () =
+  let d = xs () in
+  let q = Extra_queries.q4 d in
+  ignore (check_query q)
+
+let test_q14_composition () =
+  let d = small () in
+  let expected = Extra_queries.q14_plaintext d in
+  let ctx = Queries.context ~seed:21L () in
+  let r = Extra_queries.run_q14 ctx d in
+  Alcotest.check check_i64 "q14 secure = plaintext" expected
+    r.Extra_queries.promo_share_millis;
+  (* a sensible share: promo is one of six type prefixes *)
+  Alcotest.(check bool) "share within [0, 1000]" true
+    (Int64.compare r.Extra_queries.promo_share_millis 0L >= 0
+    && Int64.compare r.Extra_queries.promo_share_millis 1000L <= 0)
+
+let () =
+  Alcotest.run "secyan_tpch"
+    [
+      ( "datagen",
+        [
+          Alcotest.test_case "deterministic" `Quick test_datagen_deterministic;
+          Alcotest.test_case "row counts" `Quick test_datagen_row_counts;
+          Alcotest.test_case "FK integrity" `Quick test_datagen_fk_integrity;
+          Alcotest.test_case "value ranges" `Quick test_datagen_value_ranges;
+          Alcotest.test_case "presets" `Quick test_presets;
+        ] );
+      ( "queries",
+        [
+          Alcotest.test_case "Q3" `Quick test_q3;
+          Alcotest.test_case "Q3 non-empty" `Quick test_q3_result_nonempty;
+          Alcotest.test_case "Q10" `Quick test_q10;
+          Alcotest.test_case "Q18" `Quick test_q18;
+          Alcotest.test_case "Q8 composed" `Quick test_q8_composed;
+          Alcotest.test_case "Q9 composed" `Quick test_q9_composed;
+          Alcotest.test_case "Q1 (extra)" `Quick test_q1_single_relation;
+          Alcotest.test_case "Q4 (extra)" `Quick test_q4_exists_subquery;
+          Alcotest.test_case "Q14 (extra)" `Quick test_q14_composition;
+        ] );
+      ( "cost-structure",
+        [
+          Alcotest.test_case "Q3 transcript oblivious" `Quick test_q3_transcript_oblivious;
+          Alcotest.test_case "rounds scale-free" `Quick test_rounds_scale_free;
+          Alcotest.test_case "Q9 per-nation cost uniform" `Quick test_q9_per_nation_cost_uniform;
+          Alcotest.test_case "effective input size" `Quick test_effective_input_size_monotone;
+        ] );
+    ]
