@@ -14,6 +14,7 @@
 
 open Secyan_crypto
 open Secyan_relational
+open Secyan_obs
 
 let seed = 20210618L (* SIGMOD'21 *)
 
@@ -35,6 +36,65 @@ type series_point = {
   plain_s : float;
   plain_mb : float;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results: every figure point is also accumulated as a
+   JSON record and written to BENCH_1.json at exit (EXPERIMENTS.md
+   documents the schema). *)
+
+let bench_records : Json.t list ref = ref []
+
+(* Depth-1 span breakdown of a traced run: one entry per protocol phase. *)
+let phase_breakdown root =
+  Json.List
+    (List.map
+       (fun (c : Span.t) ->
+         let t = Span.tally c in
+         Json.Obj
+           [
+             ("name", Json.Str c.Span.name);
+             ("seconds", Json.Float c.Span.dur_s);
+             ("alice_to_bob_bits", Json.Int t.Comm.alice_to_bob_bits);
+             ("bob_to_alice_bits", Json.Int t.Comm.bob_to_alice_bits);
+             ("rounds", Json.Int t.Comm.rounds);
+           ])
+       (Span.children root))
+
+let record ~section ~query ~sf (p : series_point) ~phases =
+  bench_records :=
+    Json.Obj
+      [
+        ("section", Json.Str section);
+        ("query", Json.Str query);
+        ("scale", Json.Str p.scale);
+        ("sf", Json.Float sf);
+        ("eff_input_kb", Json.Float p.eff_kb);
+        ("secyan_seconds", Json.Float p.secyan_s);
+        ("secyan_mb", Json.Float p.secyan_mb);
+        ("rounds", Json.Int p.rounds);
+        ("gc_seconds_extrapolated", Json.Float p.gc_s);
+        ("gc_mb_extrapolated", Json.Float p.gc_mb);
+        ("plain_seconds", Json.Float p.plain_s);
+        ("plain_mb", Json.Float p.plain_mb);
+        ("phases", phases);
+      ]
+    :: !bench_records
+
+let write_bench_json () =
+  let path = "BENCH_1.json" in
+  let doc =
+    Json.Obj
+      [
+        ("harness", Json.Str "secyan-bench");
+        ("seed", Json.Str (Int64.to_string seed));
+        ("records", Json.List (List.rev !bench_records));
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  line "wrote %s (%d records)" path (List.length !bench_records)
 
 let print_series title points =
   hrule ();
@@ -74,48 +134,63 @@ let seconds_per_and q =
       line "(garbled-circuit baseline calibrated: %.3g s per AND gate, real half-gates garbling)" s;
       s
 
-(* One figure point for a query expressed as a single Query.t. *)
-let measure_simple_point ~scale ~sf ~(make : Secyan_tpch.Datagen.dataset -> Secyan.Query.t) =
+(* One figure point for a query expressed as a single Query.t. The secure
+   run executes under a tracer so the record carries a per-phase
+   breakdown; the tracer adds only span bookkeeping to the timed region. *)
+let measure_simple_point ~section ~scale ~sf ~(make : Secyan_tpch.Datagen.dataset -> Secyan.Query.t) =
   let d = Secyan_tpch.Datagen.generate ~sf ~seed in
   let q = make d in
   let eff = Secyan_tpch.Queries.effective_input_bytes q in
   let ctx = Secyan_tpch.Queries.context ~seed () in
-  let (_, stats), secyan_s = time (fun () -> Secyan.Secure_yannakakis.run ctx q) in
+  let ((_, stats), root), secyan_s =
+    time (fun () ->
+        Trace.with_tracing ~name:q.Secyan.Query.name ctx (fun () ->
+            Secyan.Secure_yannakakis.run ctx q))
+  in
   let _, plain_s = time (fun () -> Secyan.Query.plaintext q) in
   let est =
     Secyan_smcql.Cartesian_gc.estimate ~seconds_per_and:(seconds_per_and q) ~kappa:128 q
   in
-  {
-    scale;
-    eff_kb = float_of_int eff /. 1024.;
-    secyan_s;
-    secyan_mb = Comm.total_megabytes stats.Secyan.Secure_yannakakis.tally;
-    rounds = stats.Secyan.Secure_yannakakis.tally.Comm.rounds;
-    gc_s = est.Secyan_smcql.Cartesian_gc.seconds;
-    gc_mb = est.Secyan_smcql.Cartesian_gc.comm_bytes /. (1024. *. 1024.);
-    plain_s;
-    plain_mb = float_of_int eff /. (1024. *. 1024.);
-  }
+  let p =
+    {
+      scale;
+      eff_kb = float_of_int eff /. 1024.;
+      secyan_s;
+      secyan_mb = Comm.total_megabytes stats.Secyan.Secure_yannakakis.tally;
+      rounds = stats.Secyan.Secure_yannakakis.tally.Comm.rounds;
+      gc_s = est.Secyan_smcql.Cartesian_gc.seconds;
+      gc_mb = est.Secyan_smcql.Cartesian_gc.comm_bytes /. (1024. *. 1024.);
+      plain_s;
+      plain_mb = float_of_int eff /. (1024. *. 1024.);
+    }
+  in
+  record ~section ~query:q.Secyan.Query.name ~sf p ~phases:(phase_breakdown root);
+  p
 
 (* Settle the heap between measurement points so that one point's garbage
    does not distort the next point's timing. *)
 let settle () = Gc.compact ()
 
-let figure_simple ~title ~make () =
+let figure_simple ~section ~title ~make () =
   let points =
     List.map
       (fun (scale, sf) ->
         settle ();
-        measure_simple_point ~scale ~sf ~make)
+        measure_simple_point ~section ~scale ~sf ~make)
       Secyan_tpch.Datagen.presets
   in
   print_series title points
 
-let figure2 () = figure_simple ~title:"Figure 2: TPC-H Query 3" ~make:Secyan_tpch.Queries.q3 ()
-let figure3 () = figure_simple ~title:"Figure 3: TPC-H Query 10" ~make:Secyan_tpch.Queries.q10 ()
+let figure2 () =
+  figure_simple ~section:"figure2" ~title:"Figure 2: TPC-H Query 3"
+    ~make:Secyan_tpch.Queries.q3 ()
+
+let figure3 () =
+  figure_simple ~section:"figure3" ~title:"Figure 3: TPC-H Query 10"
+    ~make:Secyan_tpch.Queries.q10 ()
 
 let figure4 () =
-  figure_simple ~title:"Figure 4: TPC-H Query 18"
+  figure_simple ~section:"figure4" ~title:"Figure 4: TPC-H Query 18"
     ~make:(fun d -> Secyan_tpch.Queries.q18 d)
     ()
 
@@ -127,7 +202,10 @@ let figure5 () =
         settle ();
         let d = Secyan_tpch.Datagen.generate ~sf ~seed in
         let ctx = Secyan_tpch.Queries.context ~seed () in
-        let r, secyan_s = time (fun () -> Secyan_tpch.Queries.run_q8 ctx d) in
+        let (r, root), secyan_s =
+          time (fun () ->
+              Trace.with_tracing ~name:"q8" ctx (fun () -> Secyan_tpch.Queries.run_q8 ctx d))
+        in
         let _, plain_s = time (fun () -> Secyan_tpch.Queries.q8_plaintext d) in
         let q_num = Secyan_tpch.Queries.q8_inner d ~numerator:true in
         let eff = 2 * Secyan_tpch.Queries.effective_input_bytes q_num in
@@ -135,17 +213,21 @@ let figure5 () =
           Secyan_smcql.Cartesian_gc.estimate ~seconds_per_and:(seconds_per_and q_num)
             ~kappa:128 q_num
         in
-        {
-          scale;
-          eff_kb = float_of_int eff /. 1024.;
-          secyan_s;
-          secyan_mb = Comm.total_megabytes r.Secyan_tpch.Queries.tally;
-          rounds = r.Secyan_tpch.Queries.tally.Comm.rounds;
-          gc_s = 2. *. est.Secyan_smcql.Cartesian_gc.seconds;
-          gc_mb = 2. *. est.Secyan_smcql.Cartesian_gc.comm_bytes /. (1024. *. 1024.);
-          plain_s;
-          plain_mb = float_of_int eff /. (1024. *. 1024.);
-        })
+        let p =
+          {
+            scale;
+            eff_kb = float_of_int eff /. 1024.;
+            secyan_s;
+            secyan_mb = Comm.total_megabytes r.Secyan_tpch.Queries.tally;
+            rounds = r.Secyan_tpch.Queries.tally.Comm.rounds;
+            gc_s = 2. *. est.Secyan_smcql.Cartesian_gc.seconds;
+            gc_mb = 2. *. est.Secyan_smcql.Cartesian_gc.comm_bytes /. (1024. *. 1024.);
+            plain_s;
+            plain_mb = float_of_int eff /. (1024. *. 1024.);
+          }
+        in
+        record ~section:"figure5" ~query:"Q8" ~sf p ~phases:(phase_breakdown root);
+        p)
       Secyan_tpch.Datagen.presets
   in
   print_series "Figure 5: TPC-H Query 8 (ratio of two sums, composed per section 7)" points
@@ -162,9 +244,11 @@ let figure6 () =
         let d = Secyan_tpch.Datagen.generate ~sf ~seed in
         let measure_nations nations =
           let ctx = Secyan_tpch.Queries.context ~seed () in
-          time (fun () -> Secyan_tpch.Queries.run_q9 ~nations ctx d)
+          time (fun () ->
+              Trace.with_tracing ~name:"q9" ctx (fun () ->
+                  Secyan_tpch.Queries.run_q9 ~nations ctx d))
         in
-        let factor, (r, secyan_s) =
+        let factor, ((r, root), secyan_s) =
           if sf <= 1.5e-4 then
             (1., measure_nations (List.init Secyan_tpch.Datagen.n_nations Fun.id))
           else (float_of_int Secyan_tpch.Datagen.n_nations, measure_nations [ 2 ])
@@ -177,17 +261,21 @@ let figure6 () =
             ~kappa:128 q_one
         in
         let n_runs = 2. *. float_of_int Secyan_tpch.Datagen.n_nations in
-        {
-          scale;
-          eff_kb = float_of_int eff /. 1024.;
-          secyan_s = secyan_s *. factor;
-          secyan_mb = Comm.total_megabytes r.Secyan_tpch.Queries.tally *. factor;
-          rounds = r.Secyan_tpch.Queries.tally.Comm.rounds;
-          gc_s = n_runs *. est.Secyan_smcql.Cartesian_gc.seconds;
-          gc_mb = n_runs *. est.Secyan_smcql.Cartesian_gc.comm_bytes /. (1024. *. 1024.);
-          plain_s;
-          plain_mb = float_of_int eff /. (1024. *. 1024.);
-        })
+        let p =
+          {
+            scale;
+            eff_kb = float_of_int eff /. 1024.;
+            secyan_s = secyan_s *. factor;
+            secyan_mb = Comm.total_megabytes r.Secyan_tpch.Queries.tally *. factor;
+            rounds = r.Secyan_tpch.Queries.tally.Comm.rounds;
+            gc_s = n_runs *. est.Secyan_smcql.Cartesian_gc.seconds;
+            gc_mb = n_runs *. est.Secyan_smcql.Cartesian_gc.comm_bytes /. (1024. *. 1024.);
+            plain_s;
+            plain_mb = float_of_int eff /. (1024. *. 1024.);
+          }
+        in
+        record ~section:"figure6" ~query:"Q9" ~sf p ~phases:(phase_breakdown root);
+        p)
       Secyan_tpch.Datagen.presets
   in
   print_series
@@ -471,4 +559,5 @@ let () =
       match List.assoc_opt name all_sections with
       | Some f -> f ()
       | None -> line "unknown section %s" name)
-    sections
+    sections;
+  write_bench_json ()

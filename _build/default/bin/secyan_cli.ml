@@ -41,6 +41,50 @@ let verify_arg =
   let doc = "Cross-check the secure result against the plaintext Yannakakis run." in
   Arg.(value & flag & info [ "verify" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Trace the protocol and export the span tree. $(docv) is $(b,pretty) (aligned text \
+     tree, the default), $(b,chrome) (Chrome trace-event JSON, loadable in Perfetto or \
+     chrome://tracing), or $(b,jsonl) (one JSON object per span per line, for diffing)."
+  in
+  Arg.(value
+    & opt ~vopt:(Some `Pretty)
+        (some (enum [ ("pretty", `Pretty); ("chrome", `Chrome); ("jsonl", `Jsonl) ]))
+        None
+    & info [ "trace" ] ~docv:"FORMAT" ~doc)
+
+let trace_out_arg =
+  let doc = "Write the trace to $(docv) instead of stdout." in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+(* Run [f] under a tracer when requested and export the resulting span
+   tree; untraced runs call [f] directly (no sink installed at all). *)
+let traced ?(name = "query") trace trace_out ctx f =
+  match trace with
+  | None -> f ()
+  | Some format ->
+      let result, root = Secyan_obs.Trace.with_tracing ~name ctx f in
+      let export ppf =
+        match format with
+        | `Pretty -> Secyan_obs.Export.pretty ppf root
+        | `Chrome ->
+            Format.fprintf ppf "%s@." (Secyan_obs.Export.chrome_string root)
+        | `Jsonl -> Secyan_obs.Export.jsonl ppf root
+      in
+      (match trace_out with
+      | None ->
+          Fmt.pr "@.";
+          export Format.std_formatter;
+          Format.pp_print_flush Format.std_formatter ()
+      | Some file ->
+          let oc = open_out file in
+          let ppf = Format.formatter_of_out_channel oc in
+          export ppf;
+          Format.pp_print_flush ppf ();
+          close_out oc;
+          Fmt.pr "trace written to %s@." file);
+      result
+
 let resolve_sf scale sf =
   match sf, scale with
   | Some sf, _ -> sf
@@ -69,7 +113,7 @@ let content output (r : Relation.t) =
   |> List.map (fun (t, a) -> (Tuple.repr (Tuple.project r.Relation.schema output t), a))
   |> List.sort compare
 
-let run_cmd query scale sf seed backend verify =
+let run_cmd query scale sf seed backend verify trace trace_out =
   let sf = resolve_sf scale sf in
   let d = Secyan_tpch.Datagen.generate ~sf ~seed in
   Fmt.pr "dataset: sf=%g (%d total rows)@." sf (Secyan_tpch.Datagen.total_rows d);
@@ -77,7 +121,10 @@ let run_cmd query scale sf seed backend verify =
   let simple q =
     Fmt.pr "query %s, join tree %a (root %s)@." q.Secyan.Query.name Join_tree.pp
       q.Secyan.Query.tree (Join_tree.root q.Secyan.Query.tree);
-    let revealed, stats = Secyan.Secure_yannakakis.run ctx q in
+    let revealed, stats =
+      traced ~name:q.Secyan.Query.name trace trace_out ctx (fun () ->
+          Secyan.Secure_yannakakis.run ctx q)
+    in
     print_rows revealed;
     print_cost stats.Secyan.Secure_yannakakis.tally stats.Secyan.Secure_yannakakis.seconds;
     if verify then begin
@@ -92,7 +139,7 @@ let run_cmd query scale sf seed backend verify =
   | `Q10 -> simple (Secyan_tpch.Queries.q10 d)
   | `Q18 -> simple (Secyan_tpch.Queries.q18 d)
   | `Q8 ->
-      let r = Secyan_tpch.Queries.run_q8 ctx d in
+      let r = traced ~name:"q8" trace trace_out ctx (fun () -> Secyan_tpch.Queries.run_q8 ctx d) in
       Fmt.pr "market share per year (x1000):@.";
       List.iter (fun (y, v) -> Fmt.pr "  %d -> %Ld@." y v) r.Secyan_tpch.Queries.shares_per_year;
       print_cost r.Secyan_tpch.Queries.tally r.Secyan_tpch.Queries.seconds;
@@ -102,7 +149,7 @@ let run_cmd query scale sf seed backend verify =
         if not ok then exit 1
       end
   | `Q9 ->
-      let r = Secyan_tpch.Queries.run_q9 ctx d in
+      let r = traced ~name:"q9" trace trace_out ctx (fun () -> Secyan_tpch.Queries.run_q9 ctx d) in
       let rows = List.filter (fun (_, _, a) -> a <> 0) r.Secyan_tpch.Queries.rows in
       Fmt.pr "profit per (nation, year), cents:@.";
       List.iter (fun (n, y, a) -> Fmt.pr "  nation %2d, %d -> %d@." n y a) rows;
@@ -259,7 +306,8 @@ let statement_arg =
 
 let run_t =
   Cmd.v (Cmd.info "run" ~doc:"Run a query through the secure Yannakakis protocol")
-    Term.(const run_cmd $ query_arg $ scale_arg $ sf_arg $ seed_arg $ backend_arg $ verify_arg)
+    Term.(const run_cmd $ query_arg $ scale_arg $ sf_arg $ seed_arg $ backend_arg $ verify_arg
+          $ trace_arg $ trace_out_arg)
 
 let plan_t =
   Cmd.v (Cmd.info "plan" ~doc:"Show a query's join tree and protocol plan")

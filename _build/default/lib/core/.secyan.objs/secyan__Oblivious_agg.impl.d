@@ -1,1 +1,1 @@
-lib/core/oblivious_agg.ml: Array Boolean_circuit Circuits Gc_protocol List Oep Relation Schema Secyan_crypto Secyan_relational Semiring Shared_relation String Tuple
+lib/core/oblivious_agg.ml: Array Boolean_circuit Circuits Context Gc_protocol List Oep Relation Schema Secyan_crypto Secyan_relational Semiring Shared_relation String Tuple

@@ -1,1 +1,1 @@
-lib/core/selection.ml: Printf Relation Schema Secyan_relational Tuple
+lib/core/selection.ml: Context Printf Relation Schema Secyan_crypto Secyan_relational Tuple

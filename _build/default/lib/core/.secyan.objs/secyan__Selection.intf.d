@@ -1,1 +1,1 @@
-lib/core/selection.mli: Relation Schema Secyan_relational Tuple
+lib/core/selection.mli: Context Relation Schema Secyan_crypto Secyan_relational Tuple

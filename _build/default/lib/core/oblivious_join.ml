@@ -68,8 +68,15 @@ let reveal_to_alice ctx semiring (sr : Shared_relation.t) : Relation.t =
     Bob. *)
 let run ctx semiring (relations : Shared_relation.t list) : t =
   if relations = [] then invalid_arg "Oblivious_join.run: no relations";
+  Context.with_span ctx "oblivious-join" @@ fun () ->
   (* Step 1: reveal R*_F to Alice (dummies in place of dangling tuples). *)
-  let views = List.map (fun sr -> (sr, reveal_to_alice ctx semiring sr)) relations in
+  let views =
+    List.map
+      (fun (sr : Shared_relation.t) ->
+        Context.with_span ctx ("reveal:" ^ sr.Shared_relation.rel.Relation.name) @@ fun () ->
+        (sr, reveal_to_alice ctx semiring sr))
+      relations
+  in
   (* Step 2: local plaintext join of the views; each view's annotations
      carry its keep-mask, so suppressed (zero) tuples never join. *)
   let joined =

@@ -14,6 +14,7 @@
 
 open Secyan_crypto
 open Secyan_relational
+open Secyan_obs
 
 type result = {
   joined : Relation.t;              (** J* (tuples known to Alice) *)
@@ -22,65 +23,79 @@ type result = {
   seconds : float;                  (** wall-clock protocol time *)
 }
 
+let is_reduce_op = function
+  | Yannakakis.Fold _ | Yannakakis.Stop _ | Yannakakis.Root_project _ -> true
+  | Yannakakis.Semijoin_up _ | Yannakakis.Semijoin_down _ | Yannakakis.Join_up _ -> false
+
 (** Run the protocol, leaving the result annotations in shared form (needed
     for query composition, §7). *)
 let run_shared ctx (q : Query.t) : result =
-  let before = Comm.tally ctx.Context.comm in
-  let t0 = Unix.gettimeofday () in
-  let semiring = q.Query.semiring in
-  let rels : (string, Shared_relation.t) Hashtbl.t = Hashtbl.create 8 in
-  List.iter
-    (fun (label, (i : Query.input)) ->
-      Hashtbl.replace rels label
-        (Shared_relation.of_plain ctx ~owner:i.Query.owner i.Query.relation))
-    q.Query.inputs;
-  let get l = Hashtbl.find rels l in
-  let set l r = Hashtbl.replace rels l r in
-  let plan = Yannakakis.plan q.Query.tree ~output:q.Query.output in
-  let remaining = ref (Join_tree.node_labels q.Query.tree) in
-  List.iter
-    (fun op ->
+  let join, seconds, tally =
+    Trace.measure ctx @@ fun () ->
+    let semiring = q.Query.semiring in
+    let rels : (string, Shared_relation.t) Hashtbl.t = Hashtbl.create 8 in
+    Trace.with_span ctx "phase:share" (fun () ->
+        List.iter
+          (fun (label, (i : Query.input)) ->
+            Trace.with_span ctx ("share:" ^ label) @@ fun () ->
+            Hashtbl.replace rels label
+              (Shared_relation.of_plain ctx ~owner:i.Query.owner i.Query.relation))
+          q.Query.inputs);
+    let get l = Hashtbl.find rels l in
+    let set l r = Hashtbl.replace rels l r in
+    let plan = Yannakakis.plan q.Query.tree ~output:q.Query.output in
+    (* the plan is phase-ordered: all reduce ops precede all semijoin ops *)
+    let reduce_ops, semijoin_ops = List.partition is_reduce_op plan in
+    let remaining = ref (Join_tree.node_labels q.Query.tree) in
+    let exec op =
       match (op : Yannakakis.phase_op) with
       | Yannakakis.Fold { child; parent; group_on } ->
-          let agg = Oblivious_agg.aggregate ctx semiring (get child) ~attrs:group_on in
-          set parent (Oblivious_semijoin.join_constrained ctx semiring ~left:(get parent) ~right:agg);
+          Trace.with_span ctx ("fold:" ^ child ^ "->" ^ parent) (fun () ->
+              let agg = Oblivious_agg.aggregate ctx semiring (get child) ~attrs:group_on in
+              set parent
+                (Oblivious_semijoin.join_constrained ctx semiring ~left:(get parent) ~right:agg));
           remaining := List.filter (fun l -> not (String.equal l child)) !remaining
-      | Yannakakis.Stop { node; group_on } | Yannakakis.Root_project { node; group_on } ->
-          set node (Oblivious_agg.aggregate ctx semiring (get node) ~attrs:group_on)
+      | Yannakakis.Stop { node; group_on } ->
+          Trace.with_span ctx ("stop:" ^ node) (fun () ->
+              set node (Oblivious_agg.aggregate ctx semiring (get node) ~attrs:group_on))
+      | Yannakakis.Root_project { node; group_on } ->
+          Trace.with_span ctx ("project:" ^ node) (fun () ->
+              set node (Oblivious_agg.aggregate ctx semiring (get node) ~attrs:group_on))
       | Yannakakis.Semijoin_up { child; parent } ->
-          set parent (Oblivious_semijoin.semijoin ctx semiring ~left:(get parent) ~right:(get child))
+          Trace.with_span ctx ("semijoin-up:" ^ child ^ "->" ^ parent) (fun () ->
+              set parent
+                (Oblivious_semijoin.semijoin ctx semiring ~left:(get parent) ~right:(get child)))
       | Yannakakis.Semijoin_down { child; parent } ->
-          set child (Oblivious_semijoin.semijoin ctx semiring ~left:(get child) ~right:(get parent))
+          Trace.with_span ctx ("semijoin-down:" ^ parent ^ "->" ^ child) (fun () ->
+              set child
+                (Oblivious_semijoin.semijoin ctx semiring ~left:(get child) ~right:(get parent)))
       | Yannakakis.Join_up _ ->
           (* the oblivious join protocol handles the whole phase at once *)
-          ())
-    plan;
-  let final_rels = List.map get !remaining in
-  let join = Oblivious_join.run ctx semiring final_rels in
-  let after = Comm.tally ctx.Context.comm in
+          ()
+    in
+    Trace.with_span ctx "phase:reduce" (fun () -> List.iter exec reduce_ops);
+    Trace.with_span ctx "phase:semijoin" (fun () -> List.iter exec semijoin_ops);
+    let final_rels = List.map get !remaining in
+    Trace.with_span ctx "phase:join" (fun () -> Oblivious_join.run ctx semiring final_rels)
+  in
   {
     joined = join.Oblivious_join.joined;
     annots = join.Oblivious_join.annots;
-    tally = Comm.diff after before;
-    seconds = Unix.gettimeofday () -. t0;
+    tally;
+    seconds;
   }
 
 (** Run the protocol and reveal the result annotations to Alice (the
     designated receiver): the standard top-level entry point. *)
 let run ctx (q : Query.t) : Relation.t * result =
   let r = run_shared ctx q in
-  let before = Comm.tally ctx.Context.comm in
-  let t0 = Unix.gettimeofday () in
-  let annots = Secret_share.reveal_batch ctx Party.Alice r.annots in
-  let revealed = Relation.with_annots r.joined annots in
-  let after = Comm.tally ctx.Context.comm in
-  let r =
-    {
-      r with
-      tally = Comm.add r.tally (Comm.diff after before);
-      seconds = r.seconds +. (Unix.gettimeofday () -. t0);
-    }
+  let revealed, seconds, tally =
+    Trace.measure ctx @@ fun () ->
+    Trace.with_span ctx "reveal" @@ fun () ->
+    let annots = Secret_share.reveal_batch ctx Party.Alice r.annots in
+    Relation.with_annots r.joined annots
   in
+  let r = { r with tally = Comm.add r.tally tally; seconds = r.seconds +. seconds } in
   (* group once more on the output attributes: J* tuples are distinct, but
      callers expect canonical attribute order *)
   (revealed, r)

@@ -1,1 +1,1 @@
-lib/crypto/context.ml: Comm Party Prg Zn
+lib/crypto/context.ml: Comm Party Prg Trace_sink Zn

@@ -1,1 +1,1 @@
-lib/crypto/context.mli: Comm Party Prg Zn
+lib/crypto/context.mli: Comm Party Prg Trace_sink Zn

@@ -1,1 +1,1 @@
-lib/crypto/oep.ml: Array Comm Context Cost_model Party Permutation_network Secret_share
+lib/crypto/oep.ml: Array Comm Context Cost_model Party Permutation_network Secret_share Trace_sink

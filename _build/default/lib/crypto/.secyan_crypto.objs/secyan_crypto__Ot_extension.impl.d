@@ -1,1 +1,1 @@
-lib/crypto/ot_extension.ml: Array Bytes Char Comm Context Int64 Party Prg Sha256
+lib/crypto/ot_extension.ml: Array Bytes Char Comm Context Int64 Party Prg Sha256 Trace_sink

@@ -1,1 +1,1 @@
-lib/crypto/psi.ml: Array Circuits Comm Context Cuckoo_hash Gc_protocol Int64 List Oprf Party Prg Secret_share
+lib/crypto/psi.ml: Array Circuits Comm Context Cuckoo_hash Gc_protocol Int64 List Oprf Party Prg Secret_share Trace_sink

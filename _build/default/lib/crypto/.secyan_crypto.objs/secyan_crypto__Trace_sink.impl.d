@@ -1,0 +1,1 @@
+lib/crypto/trace_sink.ml:

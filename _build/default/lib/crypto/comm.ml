@@ -19,19 +19,39 @@ type t = {
   mutable alice_to_bob : int;
   mutable bob_to_alice : int;
   mutable rounds : int;
+  (* Listener hooks, None (no-op) by default: a tracer subscribes to
+     attribute traffic to its active span. Kept as options so the
+     untraced [send] hot path pays exactly one branch and allocates
+     nothing. *)
+  mutable send_listener : (from:Party.t -> bits:int -> unit) option;
+  mutable rounds_listener : (int -> unit) option;
 }
 
-let create () = { alice_to_bob = 0; bob_to_alice = 0; rounds = 0 }
+let create () =
+  { alice_to_bob = 0; bob_to_alice = 0; rounds = 0;
+    send_listener = None; rounds_listener = None }
+
+(** Subscribe to (or with [None] unsubscribe from) every subsequent [send]
+    event. At most one listener at a time; no-op by default. *)
+let on_send t listener = t.send_listener <- listener
+
+(** Subscribe to (or with [None] unsubscribe from) every subsequent
+    [bump_rounds] event. At most one listener at a time; no-op by
+    default. *)
+let on_rounds t listener = t.rounds_listener <- listener
 
 let send t ~from ~bits =
   if bits < 0 then invalid_arg "Comm.send: negative bit count";
-  match (from : Party.t) with
+  (match (from : Party.t) with
   | Alice -> t.alice_to_bob <- t.alice_to_bob + bits
-  | Bob -> t.bob_to_alice <- t.bob_to_alice + bits
+  | Bob -> t.bob_to_alice <- t.bob_to_alice + bits);
+  match t.send_listener with None -> () | Some f -> f ~from ~bits
 
 (** Declare [n] additional communication rounds. Primitive protocols bump
     this by their (constant) round count. *)
-let bump_rounds t n = t.rounds <- t.rounds + n
+let bump_rounds t n =
+  t.rounds <- t.rounds + n;
+  match t.rounds_listener with None -> () | Some f -> f n
 
 let tally t =
   { alice_to_bob_bits = t.alice_to_bob; bob_to_alice_bits = t.bob_to_alice; rounds = t.rounds }

@@ -15,12 +15,23 @@ type t
 
 val create : unit -> t
 
-(** Account [bits] sent by [from] to the other party.
+(** Account [bits] sent by [from] to the other party. [bits = 0] is legal
+    and a no-op on the tally (listeners still fire).
     @raise Invalid_argument on negative counts. *)
 val send : t -> from:Party.t -> bits:int -> unit
 
 (** Declare [n] additional communication rounds. *)
 val bump_rounds : t -> int -> unit
+
+(** [on_send t (Some f)] subscribes [f] to every subsequent {!send} event
+    (after the tally is updated); [on_send t None] unsubscribes. At most
+    one listener at a time; the default is no listener, in which case
+    {!send} pays exactly one extra branch and allocates nothing. Used by
+    the tracing layer to attribute traffic to its active span. *)
+val on_send : t -> (from:Party.t -> bits:int -> unit) option -> unit
+
+(** Like {!on_send}, for {!bump_rounds} events. *)
+val on_rounds : t -> (int -> unit) option -> unit
 
 val tally : t -> tally
 val diff : tally -> tally -> tally

@@ -20,6 +20,8 @@ type t = {
   prg_alice : Prg.t;
   prg_bob : Prg.t;
   dealer : Prg.t;
+  mutable sink : Trace_sink.t;
+      (** observability sink; {!Trace_sink.noop} unless a tracer attached *)
 }
 
 let create ?(bits = 32) ?(kappa = 128) ?(sigma = 40) ?(gc_backend = Sim) ~seed () =
@@ -33,7 +35,33 @@ let create ?(bits = 32) ?(kappa = 128) ?(sigma = 40) ?(gc_backend = Sim) ~seed (
     prg_alice = Prg.split master;
     prg_bob = Prg.split master;
     dealer = Prg.split master;
+    sink = Trace_sink.noop;
   }
+
+let set_sink t sink = t.sink <- sink
+
+let traced t = t.sink != Trace_sink.noop
+
+(** Run [f] inside a span named [name] of the attached tracer; when no
+    tracer is attached this is just [f ()]. The span is closed even when
+    [f] raises. The sink never draws randomness, so tracing cannot perturb
+    the protocol transcript. *)
+let with_span t name f =
+  let sink = t.sink in
+  if sink == Trace_sink.noop then f ()
+  else begin
+    sink.Trace_sink.enter name;
+    match f () with
+    | r ->
+        sink.Trace_sink.exit ();
+        r
+    | exception e ->
+        sink.Trace_sink.exit ();
+        raise e
+  end
+
+(** Bump a typed primitive counter of the active span (no-op untraced). *)
+let bump t counter n = t.sink.Trace_sink.bump counter n
 
 let prg_of t = function
   | Party.Alice -> t.prg_alice

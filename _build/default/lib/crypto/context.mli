@@ -16,6 +16,8 @@ type t = {
   prg_alice : Prg.t;
   prg_bob : Prg.t;
   dealer : Prg.t;
+  mutable sink : Trace_sink.t;
+      (** observability sink; {!Trace_sink.noop} unless a tracer attached *)
 }
 
 (** Defaults match the paper's evaluation: bits = 32 annotation ring,
@@ -26,6 +28,19 @@ val create :
 val prg_of : t -> Party.t -> Prg.t
 
 val ring_bits : t -> int
+
+(** Replace the observability sink (tracers attach/detach through this). *)
+val set_sink : t -> Trace_sink.t -> unit
+
+(** Whether a non-noop sink is attached. *)
+val traced : t -> bool
+
+(** Run [f] inside a span named [name] of the attached tracer; just
+    [f ()] when untraced. The span closes even if [f] raises. *)
+val with_span : t -> string -> (unit -> 'a) -> 'a
+
+(** Bump a typed primitive counter of the active span (no-op untraced). *)
+val bump : t -> Trace_sink.counter -> int -> unit
 
 (** Run [f] and return its result together with the communication it
     generated. *)

@@ -91,6 +91,9 @@ let account_executions ctx (bc : built) (sample_bits : (Party.t * bool) array) ~
       0 sample_bits
   in
   let n_alice_inputs = Array.length sample_bits - n_bob_inputs in
+  Context.bump ctx Trace_sink.Gc_circuits times;
+  Context.bump ctx Trace_sink.And_gates (times * Boolean_circuit.and_count bc.circuit);
+  Context.bump ctx Trace_sink.Ots (times * n_bob_inputs);
   Comm.send comm ~from:Party.Alice
     ~bits:
       (times
@@ -140,6 +143,8 @@ let run_with ctx bc input_bits =
 let b2a ctx (bits : bool_share array) : Secret_share.t =
   let comm = ctx.Context.comm in
   let width = Array.length bits in
+  Context.bump ctx Trace_sink.B2a_words 1;
+  Context.bump ctx Trace_sink.Ots width;
   Comm.send comm ~from:Party.Alice
     ~bits:(Cost_model.b2a_word_bits ~kappa:ctx.Context.kappa ~bits:width / 2);
   Comm.send comm ~from:Party.Bob
@@ -173,7 +178,8 @@ let slice_outputs widths (flat : 'a array) =
     rounds for the whole batch. *)
 let eval_to_shares_batch ctx ~(items : input list array) ~build : Secret_share.t array array =
   if Array.length items = 0 then [||]
-  else begin
+  else
+    Context.with_span ctx "gc:shares" @@ fun () ->
     let bc = build_circuit ctx ~inputs:items.(0) ~build in
     let all_bits = Array.map (bits_of_inputs ctx) items in
     Array.iter
@@ -193,7 +199,6 @@ let eval_to_shares_batch ctx ~(items : input list array) ~build : Secret_share.t
     in
     Comm.bump_rounds ctx.Context.comm 1;
     results
-  end
 
 (** Single-item variant. *)
 let eval_to_shares ctx ~inputs ~build : Secret_share.t array =
@@ -205,7 +210,8 @@ let eval_to_shares ctx ~inputs ~build : Secret_share.t array =
     only (one decode message, one round). *)
 let eval_reveal_batch ctx ~to_ ~(items : input list array) ~build : int64 array array =
   if Array.length items = 0 then [||]
-  else begin
+  else
+    Context.with_span ctx "gc:reveal" @@ fun () ->
     let bc = build_circuit ctx ~inputs:items.(0) ~build in
     let all_bits = Array.map (bits_of_inputs ctx) items in
     account_executions ctx bc all_bits.(0) ~times:(Array.length items);
@@ -224,7 +230,6 @@ let eval_reveal_batch ctx ~to_ ~(items : input list array) ~build : int64 array 
                  (Array.map (fun bs -> bs.alice_bit <> bs.bob_bit) word))
              words))
       all_bits
-  end
 
 (** Single-item variant of [eval_reveal_batch]. *)
 let eval_reveal ctx ~to_ ~inputs ~build : int64 array =

@@ -119,6 +119,7 @@ let account ctx prog =
   let bits_per_switch =
     Cost_model.oep_switch_bits ~kappa:ctx.Context.kappa ~bits:(Context.ring_bits ctx)
   in
+  Context.bump ctx Trace_sink.Oep_switches (n_switches prog);
   let total = n_switches prog * bits_per_switch in
   (* OT per switch: receiver column one way, masked pair the other. *)
   Comm.send ctx.Context.comm ~from:Party.Alice ~bits:(total / 2);
@@ -130,6 +131,7 @@ let account ctx prog =
 let apply_shared ctx ~holder ~xi ~m (values : Secret_share.t array) : Secret_share.t array =
   ignore (holder : Party.t);
   if Array.length values <> m then invalid_arg "Oep.apply_shared: vector length mismatch";
+  Context.with_span ctx "oep:shared" @@ fun () ->
   let prog = program ~m xi in
   account ctx prog;
   Array.map
@@ -143,6 +145,7 @@ let apply_shared ctx ~holder ~xi ~m (values : Secret_share.t array) : Secret_sha
 let apply_clear_input ctx ~holder ~xi ~m (values : int64 array) : Secret_share.t array =
   ignore (holder : Party.t);
   if Array.length values <> m then invalid_arg "Oep.apply_clear_input: vector length mismatch";
+  Context.with_span ctx "oep:clear" @@ fun () ->
   let prog = program ~m xi in
   account ctx prog;
   Array.map (fun src -> Secret_share.fresh_of_value ctx values.(src)) xi

@@ -15,6 +15,7 @@ let batch ctx ~sender ~out_bits ~(programming : (int64 * int64) list array)
     ~(queries : int64 array) : int64 array =
   let n_bins = Array.length programming in
   if Array.length queries <> n_bins then invalid_arg "Oprf.batch: bin count mismatch";
+  Context.with_span ctx "oprf:batch" @@ fun () ->
   let receiver = Party.other sender in
   let comm = ctx.Context.comm in
   let per_bin = Cost_model.opprf_bin_bits ~kappa:ctx.Context.kappa ~sigma:ctx.Context.sigma in

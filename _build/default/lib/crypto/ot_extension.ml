@@ -63,6 +63,8 @@ let extend ctx ~sender ~(messages : (block * block) array) ~(choices : bool arra
     block array =
   let m = Array.length messages in
   if Array.length choices <> m then invalid_arg "Ot_extension.extend: length mismatch";
+  Context.with_span ctx "ot:extend" @@ fun () ->
+  Context.bump ctx Trace_sink.Ots m;
   let receiver = Party.other sender in
   let kappa = 128 in
   let recv_prg = Context.prg_of ctx receiver in

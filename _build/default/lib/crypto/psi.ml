@@ -44,6 +44,7 @@ let with_payloads ctx ~receiver ~(alice_set : int64 array)
   Array.iter check_element bob_set;
   if Array.length bob_set <> Array.length bob_payloads then
     invalid_arg "Psi.with_payloads: payload count mismatch";
+  Context.with_span ctx "psi:payloads" @@ fun () ->
   let comm = ctx.Context.comm in
   let ring_bits = Context.ring_bits ctx in
   let cmp = cmp_bits ctx in
@@ -52,6 +53,7 @@ let with_payloads ctx ~receiver ~(alice_set : int64 array)
   Comm.send comm ~from:receiver ~bits:(3 * 64);
   Comm.bump_rounds comm 1;
   let b = table.Cuckoo_hash.keys.Cuckoo_hash.n_bins in
+  Context.bump ctx Trace_sink.Cuckoo_bins b;
   (* 2. The sender simple-hashes Y and draws per-bin targets and masks. *)
   let bob_bins = Cuckoo_hash.simple_hash table.Cuckoo_hash.keys bob_set in
   let sender_prg = Context.prg_of ctx sender in

@@ -29,6 +29,7 @@ let run ctx ~receiver ~(alice_set : int64 array) ~(bob_set : int64 array)
   let n = Array.length bob_set in
   if Array.length bob_payload_shares <> n then
     invalid_arg "Psi_shared_payload.run: payload count mismatch";
+  Context.with_span ctx "psi:shared-payloads" @@ fun () ->
   (* The sender's random permutation over [N+B] requires B, which is
      determined by the receiver's cuckoo table size. *)
   let b = Cuckoo_hash.n_bins_for (Array.length alice_set) in

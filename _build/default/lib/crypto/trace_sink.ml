@@ -1,0 +1,65 @@
+(** The hook interface between the protocol substrate and an observability
+    layer living above it.
+
+    The crypto library cannot depend on the tracing library (the tracer
+    needs [Context] and [Comm]), so the coupling is inverted: every
+    [Context.t] carries a sink — a record of callbacks — that defaults to
+    {!noop}. Primitives announce span boundaries and bump typed counters
+    through the sink; an attached tracer replaces it with recording
+    closures. Untraced runs pay one physical-equality check per span and a
+    call to a shared no-op closure per counter bump — no allocation. *)
+
+(** Typed event counters bumped by the primitives. Semantics:
+
+    - [And_gates]: AND gates garbled (or cost-equivalently simulated) by
+      the GC protocol, summed over every execution of every batch.
+    - [Ots]: 1-out-of-2 oblivious transfers executed or accounted —
+      evaluator-input OTs of the GC protocol, the OTs underlying B2A
+      conversion, and real {!Ot_extension} transfers. OEP switches are
+      also realized by one OT each but are counted separately as
+      [Oep_switches], never double-counted here.
+    - [Oep_switches]: switches of programmed permutation networks
+      (Benes + duplication layer) evaluated obliviously.
+    - [Cuckoo_bins]: cuckoo bins processed by circuit-PSI (the batched
+      OPPRF and the per-bin match circuits are sized by this).
+    - [B2a_words]: Boolean-to-arithmetic share conversions of one output
+      word each.
+    - [Gc_circuits]: individual circuit executions (batch size times
+      batches) passed through the GC protocol. *)
+type counter =
+  | And_gates
+  | Ots
+  | Oep_switches
+  | Cuckoo_bins
+  | B2a_words
+  | Gc_circuits
+
+let n_counters = 6
+
+let counter_index = function
+  | And_gates -> 0
+  | Ots -> 1
+  | Oep_switches -> 2
+  | Cuckoo_bins -> 3
+  | B2a_words -> 4
+  | Gc_circuits -> 5
+
+let counter_name = function
+  | And_gates -> "and_gates"
+  | Ots -> "ots"
+  | Oep_switches -> "oep_switches"
+  | Cuckoo_bins -> "cuckoo_bins"
+  | B2a_words -> "b2a_words"
+  | Gc_circuits -> "gc_circuits"
+
+let all_counters = [ And_gates; Ots; Oep_switches; Cuckoo_bins; B2a_words; Gc_circuits ]
+
+type t = {
+  enter : string -> unit;  (** open a child span under the active span *)
+  exit : unit -> unit;     (** close the active span *)
+  bump : counter -> int -> unit;  (** add to a counter of the active span *)
+}
+
+(** The default sink: does nothing. Compared with [==] by fast paths, so
+    keep this the unique physical no-op value. *)
+let noop = { enter = (fun _ -> ()); exit = (fun () -> ()); bump = (fun _ _ -> ()) }

@@ -1,0 +1,38 @@
+(** Hook interface between the protocol substrate and an observability
+    layer above it: each {!Context.t} carries a sink (default {!noop})
+    through which primitives announce span boundaries and bump typed
+    counters. A tracer attaches by replacing the sink with recording
+    closures; untraced runs cost one physical-equality check (no
+    allocation). *)
+
+(** Typed event counters bumped by the primitives:
+    AND gates garbled, OTs executed (GC evaluator inputs, B2A, OT
+    extension — OEP switches are counted separately), permutation-network
+    switches, circuit-PSI cuckoo bins, B2A word conversions, and GC
+    circuit executions. *)
+type counter =
+  | And_gates
+  | Ots
+  | Oep_switches
+  | Cuckoo_bins
+  | B2a_words
+  | Gc_circuits
+
+val n_counters : int
+
+(** Dense index in [0, n_counters), stable across a run. *)
+val counter_index : counter -> int
+
+(** Stable snake_case name used by exporters and metrics files. *)
+val counter_name : counter -> string
+
+val all_counters : counter list
+
+type t = {
+  enter : string -> unit;  (** open a child span under the active span *)
+  exit : unit -> unit;     (** close the active span *)
+  bump : counter -> int -> unit;  (** add to a counter of the active span *)
+}
+
+(** The unique no-op sink; fast paths compare against it physically. *)
+val noop : t

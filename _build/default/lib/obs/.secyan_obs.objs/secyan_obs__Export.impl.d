@@ -1,0 +1,1 @@
+lib/obs/export.ml: Array Buffer Comm Format Json List Printf Secyan_crypto Span String Trace_sink

@@ -1,0 +1,1 @@
+lib/obs/span.ml: Array Comm Hashtbl List Printf Secyan_crypto Trace_sink

@@ -1,0 +1,1 @@
+lib/obs/span.mli: Comm Secyan_crypto Trace_sink

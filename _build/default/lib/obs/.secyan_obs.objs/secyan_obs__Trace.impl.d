@@ -1,0 +1,1 @@
+lib/obs/trace.ml: Array Comm Context Party Secyan_crypto Span Trace_sink Unix

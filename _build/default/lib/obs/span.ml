@@ -1,0 +1,88 @@
+(** One node of a protocol trace: a named interval with the communication,
+    rounds, and primitive-counter deltas that occurred while it was the
+    innermost open span ("self" metrics), plus its child spans.
+
+    Inclusive metrics (self + all descendants) are derived on demand, so
+    recording stays allocation-light: the tracer only mutates integer
+    fields of the active span. *)
+
+open Secyan_crypto
+
+type t = {
+  name : string;
+  start_s : float;    (** seconds since the trace origin *)
+  mutable dur_s : float;  (** set when the span closes; -1 while open *)
+  mutable self_alice_to_bob_bits : int;
+  mutable self_bob_to_alice_bits : int;
+  mutable self_rounds : int;
+  mutable self_sends : int;  (** number of [Comm.send] events *)
+  self_counters : int array;  (** indexed by [Trace_sink.counter_index] *)
+  mutable rev_children : t list;  (** newest first *)
+}
+
+let create ~name ~start_s =
+  {
+    name;
+    start_s;
+    dur_s = -1.;
+    self_alice_to_bob_bits = 0;
+    self_bob_to_alice_bits = 0;
+    self_rounds = 0;
+    self_sends = 0;
+    self_counters = Array.make Trace_sink.n_counters 0;
+    rev_children = [];
+  }
+
+let add_child parent child = parent.rev_children <- child :: parent.rev_children
+
+let children t = List.rev t.rev_children
+
+let self_tally t : Comm.tally =
+  {
+    Comm.alice_to_bob_bits = t.self_alice_to_bob_bits;
+    bob_to_alice_bits = t.self_bob_to_alice_bits;
+    rounds = t.self_rounds;
+  }
+
+(** Inclusive communication: self plus all descendants. *)
+let rec tally t : Comm.tally =
+  List.fold_left (fun acc c -> Comm.add acc (tally c)) (self_tally t) t.rev_children
+
+(** Inclusive [Comm.send] event count. *)
+let rec sends t = List.fold_left (fun acc c -> acc + sends c) t.self_sends t.rev_children
+
+(** Inclusive counters, indexed by [Trace_sink.counter_index]. *)
+let rec counters t =
+  let acc = Array.copy t.self_counters in
+  List.iter
+    (fun child ->
+      let cc = counters child in
+      Array.iteri (fun i v -> acc.(i) <- acc.(i) + v) cc)
+    t.rev_children;
+  acc
+
+(** Inclusive value of one typed counter. *)
+let counter t c = (counters t).(Trace_sink.counter_index c)
+
+let rec n_spans t = List.fold_left (fun acc c -> acc + n_spans c) 1 t.rev_children
+
+(** Pre-order traversal with depth and slash-separated path. Sibling
+    spans sharing a name get "#2", "#3", ... suffixes in their path
+    segment (the first keeps the plain name), so paths are unique and
+    two traces of the same plan can be joined path-by-path. *)
+let iter f t =
+  let rec go ~depth ~prefix ~segment t =
+    let path = if prefix = "" then segment else prefix ^ "/" ^ segment in
+    f ~depth ~path t;
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun c ->
+        let n = try Hashtbl.find seen c.name with Not_found -> 0 in
+        Hashtbl.replace seen c.name (n + 1);
+        let segment =
+          if n = 0 then c.name else Printf.sprintf "%s#%d" c.name (n + 1)
+        in
+        go ~depth:(depth + 1) ~prefix:path ~segment c)
+      (children t)
+  in
+  go ~depth:0 ~prefix:"" ~segment:t.name t

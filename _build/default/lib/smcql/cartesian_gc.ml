@@ -17,6 +17,7 @@
 
 open Secyan_crypto
 open Secyan_relational
+open Secyan_obs
 
 (* Equality constraints of the natural join: for each attribute appearing
    in several relations, consecutive occurrences must agree. Returns
@@ -147,9 +148,10 @@ type measurement = {
     Cartesian product through the GC protocol; used both to validate the
     baseline and to calibrate seconds-per-AND for [estimate]. *)
 let run_small ctx (q : Secyan.Query.t) ~max_rows : measurement =
-  let t0 = Unix.gettimeofday () in
-  let before = Comm.tally ctx.Context.comm in
-  let rels = List.map snd q.Secyan.Query.inputs in
+  let (rows_run, total), wall, tally =
+    Trace.measure ctx @@ fun () ->
+    Trace.with_span ctx "smcql:cartesian" @@ fun () ->
+    let rels = List.map snd q.Secyan.Query.inputs in
   let sizes = List.map (fun (i : Secyan.Query.input) -> Relation.cardinality i.relation) rels in
   let k = List.length rels in
   (* enumerate the product in row-major order, capped at max_rows *)
@@ -191,13 +193,13 @@ let run_small ctx (q : Secyan.Query.t) ~max_rows : measurement =
   let total =
     Array.fold_left (fun acc s -> Secret_share.add ctx acc s.(0)) Secret_share.zero shares
   in
-  let after = Comm.tally ctx.Context.comm in
-  let wall = Unix.gettimeofday () -. t0 in
+  (rows_run, total)
+  in
   let total_ands = float_of_int (rows_run * row_and_gates q) in
   {
     rows_run;
     total;
-    tally = Comm.diff after before;
+    tally;
     wall_seconds = wall;
     seconds_per_and = (if total_ands > 0. then wall /. total_ands else 0.);
   }

@@ -1,1 +1,1 @@
-lib/tpch/extra_queries.ml: Array Comm Context Datagen Hashtbl Int64 List Party Queries Relation Schema Secret_share Secyan Secyan_crypto Secyan_relational String Tuple Unix Value
+lib/tpch/extra_queries.ml: Array Comm Datagen Hashtbl Int64 List Party Queries Relation Schema Secret_share Secyan Secyan_crypto Secyan_obs Secyan_relational String Trace Tuple Value

@@ -13,6 +13,7 @@
 
 open Secyan_crypto
 open Secyan_relational
+open Secyan_obs
 
 (** Annotation ring for all TPC-H queries: 52 bits leaves headroom for
     cent-scale revenues summed over millions of rows. *)
@@ -268,13 +269,12 @@ let index_by_int_key (r : Secyan.Secure_yannakakis.result) =
     sums, then one garbled division circuit per year revealing
     sum(brazil volume) * 1000 / sum(volume) to Alice. *)
 let run_q8 ctx (d : Datagen.dataset) : q8_result =
-  let t0 = Unix.gettimeofday () in
-  let before = Comm.tally ctx.Context.comm in
-  let num = Secyan.Secure_yannakakis.run_shared ctx (q8_inner d ~numerator:true) in
-  let den = Secyan.Secure_yannakakis.run_shared ctx (q8_inner d ~numerator:false) in
-  let num_by_year = index_by_int_key num in
-  let den_by_year = index_by_int_key den in
-  let shares_per_year =
+  let shares_per_year, seconds, tally =
+    Trace.measure ctx @@ fun () ->
+    let num = Secyan.Secure_yannakakis.run_shared ctx (q8_inner d ~numerator:true) in
+    let den = Secyan.Secure_yannakakis.run_shared ctx (q8_inner d ~numerator:false) in
+    let num_by_year = index_by_int_key num in
+    let den_by_year = index_by_int_key den in
     List.map
       (fun (year, den_share) ->
         let num_share =
@@ -292,8 +292,7 @@ let run_q8 ctx (d : Datagen.dataset) : q8_result =
         (year, out.(0)))
       (List.sort compare den_by_year)
   in
-  let after = Comm.tally ctx.Context.comm in
-  { shares_per_year; tally = Comm.diff after before; seconds = Unix.gettimeofday () -. t0 }
+  { shares_per_year; tally; seconds }
 
 (** Plaintext reference for Q8. *)
 let q8_plaintext (d : Datagen.dataset) : (int * int64) list =
@@ -386,9 +385,8 @@ let run_q9 ?nations ctx (d : Datagen.dataset) : q9_result =
   let nations =
     match nations with Some l -> l | None -> List.init Datagen.n_nations (fun i -> i)
   in
-  let t0 = Unix.gettimeofday () in
-  let before = Comm.tally ctx.Context.comm in
-  let rows =
+  let rows, seconds, tally =
+    Trace.measure ctx @@ fun () ->
     List.concat_map
       (fun nationkey ->
         let rev = Secyan.Secure_yannakakis.run_shared ctx (q9_inner d ~nationkey ~volume:true) in
@@ -410,8 +408,7 @@ let run_q9 ?nations ctx (d : Datagen.dataset) : q9_result =
           years)
       nations
   in
-  let after = Comm.tally ctx.Context.comm in
-  { rows; tally = Comm.diff after before; seconds = Unix.gettimeofday () -. t0 }
+  { rows; tally; seconds }
 
 (** Plaintext reference for Q9. *)
 let q9_plaintext ?nations (d : Datagen.dataset) : (int * int * int) list =

@@ -693,12 +693,76 @@ let test_transcript_oblivious () =
   Alcotest.(check bool) "identical transcript sizes" true (Comm.equal t1 t2)
 
 (* ------------------------------------------------------------------ *)
+(* Comm accounting *)
+
+let check_tally = Alcotest.testable Comm.pp Comm.equal
+
+let test_comm_send_zero () =
+  let c = Comm.create () in
+  Comm.send c ~from:Party.Alice ~bits:0;
+  Comm.send c ~from:Party.Bob ~bits:0;
+  Alcotest.check check_tally "zero-bit sends leave the tally empty" Comm.empty_tally
+    (Comm.tally c)
+
+let test_comm_send_negative () =
+  let c = Comm.create () in
+  Alcotest.check_raises "negative count rejected"
+    (Invalid_argument "Comm.send: negative bit count") (fun () ->
+      Comm.send c ~from:Party.Alice ~bits:(-1))
+
+let test_comm_tally_arithmetic () =
+  let c = Comm.create () in
+  Comm.send c ~from:Party.Alice ~bits:100;
+  Comm.bump_rounds c 1;
+  let mid = Comm.tally c in
+  Comm.send c ~from:Party.Bob ~bits:40;
+  Comm.send c ~from:Party.Alice ~bits:7;
+  Comm.bump_rounds c 2;
+  let final = Comm.tally c in
+  let delta = Comm.diff final mid in
+  Alcotest.(check int) "delta a->b" 7 delta.Comm.alice_to_bob_bits;
+  Alcotest.(check int) "delta b->a" 40 delta.Comm.bob_to_alice_bits;
+  Alcotest.(check int) "delta rounds" 2 delta.Comm.rounds;
+  Alcotest.check check_tally "diff then add round-trips" final (Comm.add mid delta);
+  Alcotest.(check int) "total bits" 147 (Comm.total_bits final);
+  Alcotest.(check bool) "equal is structural" true
+    (Comm.equal final { Comm.alice_to_bob_bits = 107; bob_to_alice_bits = 40; rounds = 3 })
+
+let test_comm_listeners () =
+  let c = Comm.create () in
+  let sends = ref [] and rounds = ref 0 in
+  Comm.on_send c (Some (fun ~from ~bits -> sends := (from, bits) :: !sends));
+  Comm.on_rounds c (Some (fun n -> rounds := !rounds + n));
+  Comm.send c ~from:Party.Alice ~bits:5;
+  Comm.send c ~from:Party.Bob ~bits:0;
+  Comm.bump_rounds c 3;
+  Alcotest.(check int) "both sends observed (even zero-bit)" 2 (List.length !sends);
+  Alcotest.(check bool) "direction and size reported" true
+    (List.mem (Party.Alice, 5) !sends && List.mem (Party.Bob, 0) !sends);
+  Alcotest.(check int) "rounds observed" 3 !rounds;
+  Comm.on_send c None;
+  Comm.on_rounds c None;
+  Comm.send c ~from:Party.Alice ~bits:9;
+  Comm.bump_rounds c 1;
+  Alcotest.(check int) "unsubscribed send listener silent" 2 (List.length !sends);
+  Alcotest.(check int) "unsubscribed rounds listener silent" 3 !rounds;
+  (* the tally kept counting regardless of listeners *)
+  Alcotest.(check int) "tally still complete" 14 (Comm.tally c).Comm.alice_to_bob_bits
+
+(* ------------------------------------------------------------------ *)
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
   Alcotest.run "secyan_crypto"
     [
+      ( "comm",
+        [
+          Alcotest.test_case "zero-bit send" `Quick test_comm_send_zero;
+          Alcotest.test_case "negative send rejected" `Quick test_comm_send_negative;
+          Alcotest.test_case "tally arithmetic" `Quick test_comm_tally_arithmetic;
+          Alcotest.test_case "listeners" `Quick test_comm_listeners;
+        ] );
       ( "prg",
         [
           Alcotest.test_case "deterministic" `Quick test_prg_deterministic;

@@ -59,6 +59,7 @@ let emit_output (sorted : Relation.t) ~attrs equal_next out_annots ~owner ~name 
 let aggregate ctx semiring (sr : Shared_relation.t) ~attrs : Shared_relation.t =
   let owner = sr.Shared_relation.owner in
   let name = sr.Shared_relation.rel.Relation.name ^ "'" in
+  Context.with_span ctx ("agg:" ^ sr.Shared_relation.rel.Relation.name) @@ fun () ->
   let sorted, aligned, equal_next = prepare ctx sr ~attrs in
   let n = Relation.cardinality sorted in
   if n = 0 then emit_output sorted ~attrs equal_next [||] ~owner ~name
@@ -98,6 +99,7 @@ let aggregate ctx semiring (sr : Shared_relation.t) ~attrs : Shared_relation.t =
 let project_nonzero ctx semiring (sr : Shared_relation.t) ~attrs : Shared_relation.t =
   let owner = sr.Shared_relation.owner in
   let name = sr.Shared_relation.rel.Relation.name ^ "^1" in
+  Context.with_span ctx ("agg1:" ^ sr.Shared_relation.rel.Relation.name) @@ fun () ->
   let sorted, aligned, equal_next = prepare ctx sr ~attrs in
   let n = Relation.cardinality sorted in
   if n = 0 then emit_output sorted ~attrs equal_next [||] ~owner ~name

@@ -57,6 +57,8 @@ let join_constrained ctx semiring ~(left : Shared_relation.t) ~(right : Shared_r
   let key_attrs = Shared_relation.schema right in
   if not (Schema.subset key_attrs (Shared_relation.schema left)) then
     invalid_arg "Oblivious_semijoin.join_constrained: requires F' subset of F";
+  Context.with_span ctx ("join-constrained:" ^ left.Shared_relation.rel.Relation.name)
+  @@ fun () ->
   let m = Shared_relation.cardinality left in
   let owner = left.Shared_relation.owner in
   let z' =
@@ -142,6 +144,7 @@ let join_constrained ctx semiring ~(left : Shared_relation.t) ~(right : Shared_r
     partner become [0]; everything else is preserved. Tuples unchanged. *)
 let semijoin ctx semiring ~(left : Shared_relation.t) ~(right : Shared_relation.t) :
     Shared_relation.t =
+  Context.with_span ctx ("semijoin:" ^ left.Shared_relation.rel.Relation.name) @@ fun () ->
   let key_attrs =
     Schema.inter (Shared_relation.schema left) (Shared_relation.schema right)
   in

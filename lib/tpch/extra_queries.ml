@@ -14,6 +14,7 @@
 
 open Secyan_crypto
 open Secyan_relational
+open Secyan_obs
 
 let semiring = Queries.semiring
 let ring_bits = Queries.ring_bits
@@ -146,26 +147,20 @@ type q14_result = {
     circuit revealing only the ratio. *)
 let run_q14 ?(month_start = Value.date ~year:1995 ~month:9 ~day:1) ctx (d : Datagen.dataset)
     : q14_result =
-  let t0 = Unix.gettimeofday () in
-  let before = Comm.tally ctx.Context.comm in
-  let scalar_share q =
-    let r = Secyan.Secure_yannakakis.run_shared ctx q in
-    match r.Secyan.Secure_yannakakis.annots with
-    | [| s |] -> s
-    | [||] -> Secret_share.zero
-    | _ -> invalid_arg "q14: scalar aggregate expected"
-  in
-  let promo = scalar_share (q14_inner d ~promo_only:true ~month_start) in
-  let total = scalar_share (q14_inner d ~promo_only:false ~month_start) in
-  let share =
+  let share, seconds, tally =
+    Trace.measure ctx @@ fun () ->
+    let scalar_share q =
+      let r = Secyan.Secure_yannakakis.run_shared ctx q in
+      match r.Secyan.Secure_yannakakis.annots with
+      | [| s |] -> s
+      | [||] -> Secret_share.zero
+      | _ -> invalid_arg "q14: scalar aggregate expected"
+    in
+    let promo = scalar_share (q14_inner d ~promo_only:true ~month_start) in
+    let total = scalar_share (q14_inner d ~promo_only:false ~month_start) in
     Secyan.Composition.reveal_ratio ctx ~to_:Party.Alice ~scale:1000L ~num:promo ~den:total ()
   in
-  let after = Comm.tally ctx.Context.comm in
-  {
-    promo_share_millis = share;
-    tally = Comm.diff after before;
-    seconds = Unix.gettimeofday () -. t0;
-  }
+  { promo_share_millis = share; tally; seconds }
 
 (** Plaintext reference for Q14. *)
 let q14_plaintext ?(month_start = Value.date ~year:1995 ~month:9 ~day:1)
