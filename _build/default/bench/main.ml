@@ -502,7 +502,8 @@ let micro () =
       Test.make ~name:"benes-route-256"
         (Staged.stage (fun () -> ignore (Permutation_network.build perm)));
       Test.make ~name:"garble-32b-mul-sha"
-        (Staged.stage (fun () -> ignore (Garbling.garble garble_prg circuit)));
+        (Staged.stage (fun () ->
+             ignore (Garbling.garble ~kdf:Garbling.Sha256_kdf garble_prg circuit)));
       Test.make ~name:"garble-32b-mul-aes"
         (Staged.stage (fun () ->
              ignore (Garbling.garble ~kdf:Garbling.Aes128_kdf garble_prg circuit)));
@@ -526,6 +527,139 @@ let micro () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* GC engine performance: KDF microbenches, garbling throughput, and
+   parallel batch wall-clock. Results go to BENCH_2.json (EXPERIMENTS.md
+   documents the schema). [--domains N] sets the largest pool measured. *)
+
+let requested_domains = ref 1
+
+let bench2_records : Json.t list ref = ref []
+
+let write_bench2_json () =
+  let path = "BENCH_2.json" in
+  let doc =
+    Json.Obj
+      [
+        ("harness", Json.Str "secyan-bench");
+        ("section", Json.Str "gc-perf");
+        ("seed", Json.Str (Int64.to_string seed));
+        ("cores", Json.Int (Domain.recommended_domain_count ()));
+        ("records", Json.List (List.rev !bench2_records));
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  line "wrote %s (%d records)" path (List.length !bench2_records)
+
+(* Bechamel OLS estimate for one run of [f], in nanoseconds. *)
+let ns_per_run name f =
+  let open Bechamel in
+  let open Bechamel.Toolkit in
+  let test = Test.make ~name (Staged.stage f) in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
+  let results = Benchmark.all cfg Instance.[ monotonic_clock ] test in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let analysis = Analyze.all ols Instance.monotonic_clock results in
+  let est = ref nan in
+  Hashtbl.iter
+    (fun _ r -> match Analyze.OLS.estimates r with Some [ e ] -> est := e | _ -> ())
+    analysis;
+  !est
+
+let gc_perf () =
+  hrule ();
+  line "GC engine performance (label hashes, garbling throughput, parallel batches)";
+  hrule ();
+  (* 1. per-label KDF cost: the acceptance criterion is AES < SHA-256 *)
+  let prg = Prg.create 3L in
+  let label = Garbling.Label.random prg in
+  let sha_ns = ns_per_run "label-hash-sha256" (fun () ->
+      ignore (Garbling.Label.hash label ~tweak:42L)) in
+  let aes_ns = ns_per_run "label-hash-aes128" (fun () ->
+      ignore (Garbling.Label.hash_aes label ~tweak:42L)) in
+  line "%-24s %12.1f ns/op" "label-hash-sha256" sha_ns;
+  line "%-24s %12.1f ns/op  (%.2fx faster)" "label-hash-aes128" aes_ns (sha_ns /. aes_ns);
+  List.iter
+    (fun (kdf, ns) ->
+      bench2_records :=
+        Json.Obj
+          [
+            ("kind", Json.Str "label-hash"); ("kdf", Json.Str kdf);
+            ("ns_per_op", Json.Float ns);
+          ]
+        :: !bench2_records)
+    [ ("sha256", sha_ns); ("aes128", aes_ns) ];
+  (* 2. whole-circuit garbling throughput in AND gates per second *)
+  let circuit =
+    let module Bb = Boolean_circuit.Builder in
+    let b = Bb.create () in
+    let x = Circuits.input_word b 32 and y = Circuits.input_word b 32 in
+    let out = Circuits.mul_word b x y in
+    Bb.finalize b ~outputs:(Circuits.materialize_word b 0 out)
+  in
+  let ands = Boolean_circuit.and_count circuit in
+  let garble_prg = Prg.create 2L in
+  List.iter
+    (fun (name, kdf) ->
+      let ns = ns_per_run ("garble-" ^ name) (fun () ->
+          ignore (Garbling.garble ~kdf garble_prg circuit)) in
+      let gates_per_s = float_of_int ands /. (ns *. 1e-9) in
+      line "%-24s %12.1f ns/circuit  %10.0f AND gates/s" ("garble-32b-mul-" ^ name) ns
+        gates_per_s;
+      bench2_records :=
+        Json.Obj
+          [
+            ("kind", Json.Str "garble-throughput"); ("kdf", Json.Str name);
+            ("and_gates", Json.Int ands); ("ns_per_circuit", Json.Float ns);
+            ("and_gates_per_s", Json.Float gates_per_s);
+          ]
+        :: !bench2_records)
+    [ ("sha256", Garbling.Sha256_kdf); ("aes128", Garbling.Aes128_kdf) ];
+  (* 3. batch wall-clock across pool sizes, with a determinism cross-check *)
+  let items = 48 in
+  let batch domains =
+    let ctx = Context.create ~gc_backend:Context.Real ~domains ~seed () in
+    let inp = Prg.create 7L in
+    let inputs =
+      Array.init items (fun _ ->
+          [
+            Gc_protocol.Priv { owner = Party.Alice; value = Prg.bits inp 16; bits = 32 };
+            Gc_protocol.Priv { owner = Party.Bob; value = Prg.bits inp 16; bits = 32 };
+          ])
+    in
+    let build b words = [ Circuits.mul_word b words.(0) words.(1) ] in
+    let shares, secs =
+      time (fun () -> Gc_protocol.eval_to_shares_batch ctx ~items:inputs ~build)
+    in
+    Context.shutdown_pool ctx;
+    (shares, secs)
+  in
+  let pool_sizes = List.sort_uniq compare [ 1; 2; max 1 !requested_domains ] in
+  let baseline, base_secs = batch 1 in
+  List.iter
+    (fun domains ->
+      let shares, secs = if domains = 1 then (baseline, base_secs) else batch domains in
+      let identical = shares = baseline in
+      line "%-24s %12.3f ms  (%d items, speedup %.2fx, identical %b)"
+        (Printf.sprintf "batch-garble-%dd" domains)
+        (secs *. 1e3) items (base_secs /. secs) identical;
+      if not identical then line "  !! parallel batch diverged from sequential";
+      bench2_records :=
+        Json.Obj
+          [
+            ("kind", Json.Str "batch-wallclock"); ("domains", Json.Int domains);
+            ("items", Json.Int items); ("and_gates", Json.Int (ands * items));
+            ("seconds", Json.Float secs);
+            ("and_gates_per_s", Json.Float (float_of_int (ands * items) /. secs));
+            ("speedup_vs_domains1", Json.Float (base_secs /. secs));
+            ("identical_to_sequential", Json.Bool identical);
+          ]
+        :: !bench2_records)
+    pool_sizes
+
+(* ------------------------------------------------------------------ *)
 
 let all_sections =
   [
@@ -533,12 +667,26 @@ let all_sections =
     ("figure5", figure5); ("figure6", figure6);
     ("ablation-psi", ablation_psi); ("ablation-gc", ablation_gc);
     ("ablation-ring", ablation_ring); ("breakdown", breakdown);
-    ("extra-queries", extra_queries); ("micro", micro);
+    ("extra-queries", extra_queries); ("micro", micro); ("gc-perf", gc_perf);
   ]
 
 let () =
+  (* consume [--domains N] (or --domains=N) before section selection *)
+  let rec strip_domains = function
+    | [] -> []
+    | "--domains" :: n :: rest ->
+        requested_domains := int_of_string n;
+        strip_domains rest
+    | arg :: rest when String.length arg > 10 && String.sub arg 0 10 = "--domains=" ->
+        requested_domains :=
+          int_of_string (String.sub arg 10 (String.length arg - 10));
+        strip_domains rest
+    | arg :: rest -> arg :: strip_domains rest
+  in
   let requested =
-    match Array.to_list Sys.argv with _ :: args when args <> [] -> args | _ -> [ "all" ]
+    match strip_domains (List.tl (Array.to_list Sys.argv)) with
+    | [] -> [ "all" ]
+    | args -> args
   in
   let sections =
     List.concat_map
@@ -560,4 +708,5 @@ let () =
       | Some f -> f ()
       | None -> line "unknown section %s" name)
     sections;
-  write_bench_json ()
+  if !bench_records <> [] then write_bench_json ();
+  if !bench2_records <> [] then write_bench2_json ()

@@ -41,6 +41,14 @@ let verify_arg =
   let doc = "Cross-check the secure result against the plaintext Yannakakis run." in
   Arg.(value & flag & info [ "verify" ] ~doc)
 
+let domains_arg =
+  let doc =
+    "Worker domains for the garbled-circuit batch engine (default 1 = sequential). \
+     Results, communication, and round counts are bit-identical for every value; \
+     only wall-clock changes."
+  in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+
 let trace_arg =
   let doc =
     "Trace the protocol and export the span tree. $(docv) is $(b,pretty) (aligned text \
@@ -113,11 +121,11 @@ let content output (r : Relation.t) =
   |> List.map (fun (t, a) -> (Tuple.repr (Tuple.project r.Relation.schema output t), a))
   |> List.sort compare
 
-let run_cmd query scale sf seed backend verify trace trace_out =
+let run_cmd query scale sf seed backend domains verify trace trace_out =
   let sf = resolve_sf scale sf in
   let d = Secyan_tpch.Datagen.generate ~sf ~seed in
   Fmt.pr "dataset: sf=%g (%d total rows)@." sf (Secyan_tpch.Datagen.total_rows d);
-  let ctx = Secyan_tpch.Queries.context ~gc_backend:backend ~seed () in
+  let ctx = Secyan_tpch.Queries.context ~gc_backend:backend ~domains ~seed () in
   let simple q =
     Fmt.pr "query %s, join tree %a (root %s)@." q.Secyan.Query.name Join_tree.pp
       q.Secyan.Query.tree (Join_tree.root q.Secyan.Query.tree);
@@ -160,6 +168,7 @@ let run_cmd query scale sf seed backend verify trace trace_out =
         Fmt.pr "verify vs plaintext: %s@." (if ok then "OK" else "MISMATCH");
         if not ok then exit 1
       end);
+  Context.shutdown_pool ctx;
   0
 
 (* --- plan ---------------------------------------------------------- *)
@@ -261,7 +270,7 @@ let generate_cmd scale sf seed =
 
 (* --- sql ------------------------------------------------------------ *)
 
-let sql_cmd statement scale sf seed backend =
+let sql_cmd statement scale sf seed backend domains =
   let sf = resolve_sf scale sf in
   let d = Secyan_tpch.Datagen.generate ~sf ~seed in
   (* odd tables to Alice, even to Bob: the worst-case partition *)
@@ -287,7 +296,7 @@ let sql_cmd statement scale sf seed backend =
       Fmt.pr "join tree: %a (root %s)@." Join_tree.pp q.Secyan.Query.tree
         (Join_tree.root q.Secyan.Query.tree);
       let ctx = Context.create ~bits:(Semiring.bits q.Secyan.Query.semiring)
-          ~gc_backend:backend ~seed () in
+          ~gc_backend:backend ~domains ~seed () in
       let revealed, stats = Secyan.Secure_yannakakis.run ctx q in
       List.iter
         (fun (t, a) ->
@@ -296,6 +305,7 @@ let sql_cmd statement scale sf seed backend =
           | None -> ())
         (Relation.nonzero revealed);
       print_cost stats.Secyan.Secure_yannakakis.tally stats.Secyan.Secure_yannakakis.seconds;
+      Context.shutdown_pool ctx;
       0
 
 let statement_arg =
@@ -306,8 +316,8 @@ let statement_arg =
 
 let run_t =
   Cmd.v (Cmd.info "run" ~doc:"Run a query through the secure Yannakakis protocol")
-    Term.(const run_cmd $ query_arg $ scale_arg $ sf_arg $ seed_arg $ backend_arg $ verify_arg
-          $ trace_arg $ trace_out_arg)
+    Term.(const run_cmd $ query_arg $ scale_arg $ sf_arg $ seed_arg $ backend_arg
+          $ domains_arg $ verify_arg $ trace_arg $ trace_out_arg)
 
 let plan_t =
   Cmd.v (Cmd.info "plan" ~doc:"Show a query's join tree and protocol plan")
@@ -323,7 +333,8 @@ let generate_t =
 
 let sql_t =
   Cmd.v (Cmd.info "sql" ~doc:"Run an ad-hoc SQL query securely over the TPC-H catalog")
-    Term.(const sql_cmd $ statement_arg $ scale_arg $ sf_arg $ seed_arg $ backend_arg)
+    Term.(const sql_cmd $ statement_arg $ scale_arg $ sf_arg $ seed_arg $ backend_arg
+          $ domains_arg)
 
 let () =
   let doc = "secure Yannakakis: join-aggregate queries over private data" in

@@ -1,1 +1,1 @@
-lib/crypto/aes128.ml: Array Bytes Char Int64 Lazy
+lib/crypto/aes128.ml: Array Bytes Char Domain Int64

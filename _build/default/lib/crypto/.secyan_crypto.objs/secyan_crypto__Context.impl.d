@@ -1,1 +1,1 @@
-lib/crypto/context.ml: Comm Party Prg Trace_sink Zn
+lib/crypto/context.ml: Comm Domain_pool Garbling Lazy Party Prg Trace_sink Zn

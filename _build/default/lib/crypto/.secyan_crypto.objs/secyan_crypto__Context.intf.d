@@ -1,1 +1,1 @@
-lib/crypto/context.mli: Comm Party Prg Trace_sink Zn
+lib/crypto/context.mli: Comm Domain_pool Garbling Lazy Party Prg Trace_sink Zn

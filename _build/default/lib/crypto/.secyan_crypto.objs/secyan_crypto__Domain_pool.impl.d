@@ -1,0 +1,1 @@
+lib/crypto/domain_pool.ml: Atomic Condition Domain List Mutex

@@ -1,0 +1,1 @@
+lib/crypto/domain_pool.mli:

@@ -1,1 +1,1 @@
-lib/crypto/gc_protocol.ml: Array Boolean_circuit Circuits Comm Context Cost_model Garbling Int64 List Party Prg Secret_share Trace_sink
+lib/crypto/gc_protocol.ml: Array Boolean_circuit Circuits Comm Context Cost_model Domain_pool Garbling Int64 List Party Prg Secret_share Trace_sink

@@ -1,1 +1,1 @@
-lib/crypto/trace_sink.ml:
+lib/crypto/trace_sink.ml: Array List

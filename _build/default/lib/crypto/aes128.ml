@@ -6,7 +6,14 @@
     garbled row). The S-box is derived from the field arithmetic rather
     than embedded as a table; encryption is validated against the FIPS-197
     vectors in the test suite. Only encryption is implemented — the KDF
-    never decrypts. *)
+    never decrypts.
+
+    The hot path is {!label_hash_with}: rounds run in place over a 16-int
+    state held in domain-local scratch (safe under parallel garbling), the
+    GF(2^8) doublings/triplings come from precomputed tables, and the
+    fixed key schedule is expanded once at module initialization — the
+    per-gate hash does no [Bytes] traffic, no lazy checks, and no schedule
+    lookups. *)
 
 (* --- GF(2^8) arithmetic -------------------------------------------- *)
 
@@ -58,6 +65,10 @@ let sbox =
       done;
       !out)
 
+(* MixColumns multiplier tables: x2[b] = 2*b, x3[b] = 3*b in GF(2^8). *)
+let x2 = Array.init 256 xtime
+let x3 = Array.init 256 (fun b -> xtime b lxor b)
+
 let rcon = [| 0x01; 0x02; 0x04; 0x08; 0x10; 0x20; 0x40; 0x80; 0x1b; 0x36 |]
 
 (* --- key schedule ---------------------------------------------------- *)
@@ -96,65 +107,115 @@ let expand_key (key : Bytes.t) : schedule =
 
 (* --- rounds ----------------------------------------------------------- *)
 
-(* state: 16 bytes in column-major order, as FIPS 197 *)
-
-let add_round_key state rk = Array.iteri (fun i b -> state.(i) <- b lxor rk.(i)) state
-
-let sub_bytes state = Array.iteri (fun i b -> state.(i) <- sbox.(b)) state
-
-let shift_rows state =
-  let s = Array.copy state in
-  (* row r (bytes r, r+4, r+8, r+12) rotates left by r *)
-  for r = 1 to 3 do
-    for c = 0 to 3 do
-      state.(r + (4 * c)) <- s.(r + (4 * ((c + r) mod 4)))
-    done
-  done
-
-let mix_columns state =
-  for c = 0 to 3 do
-    let a0 = state.(4 * c) and a1 = state.((4 * c) + 1) in
-    let a2 = state.((4 * c) + 2) and a3 = state.((4 * c) + 3) in
-    state.(4 * c) <- gf_mul a0 2 lxor gf_mul a1 3 lxor a2 lxor a3;
-    state.((4 * c) + 1) <- a0 lxor gf_mul a1 2 lxor gf_mul a2 3 lxor a3;
-    state.((4 * c) + 2) <- a0 lxor a1 lxor gf_mul a2 2 lxor gf_mul a3 3;
-    state.((4 * c) + 3) <- gf_mul a0 3 lxor a1 lxor a2 lxor gf_mul a3 2
-  done
+(* State: 16 bytes in column-major order as FIPS 197, held as an int
+   array. Rounds run fully in place; SubBytes and ShiftRows are fused
+   into the register reads of each round (new[r + 4c] reads
+   old[r + 4((c + r) mod 4)] through the S-box), then MixColumns and
+   AddRoundKey write the column back. *)
+let encrypt_state (sched : schedule) (st : int array) : unit =
+  let rk = sched.(0) in
+  for i = 0 to 15 do
+    st.(i) <- st.(i) lxor rk.(i)
+  done;
+  for round = 1 to 9 do
+    let rk = sched.(round) in
+    let s0 = sbox.(st.(0)) and s1 = sbox.(st.(5)) and s2 = sbox.(st.(10)) and s3 = sbox.(st.(15)) in
+    let s4 = sbox.(st.(4)) and s5 = sbox.(st.(9)) and s6 = sbox.(st.(14)) and s7 = sbox.(st.(3)) in
+    let s8 = sbox.(st.(8)) and s9 = sbox.(st.(13)) and s10 = sbox.(st.(2)) and s11 = sbox.(st.(7)) in
+    let s12 = sbox.(st.(12)) and s13 = sbox.(st.(1)) and s14 = sbox.(st.(6)) and s15 = sbox.(st.(11)) in
+    st.(0) <- x2.(s0) lxor x3.(s1) lxor s2 lxor s3 lxor rk.(0);
+    st.(1) <- s0 lxor x2.(s1) lxor x3.(s2) lxor s3 lxor rk.(1);
+    st.(2) <- s0 lxor s1 lxor x2.(s2) lxor x3.(s3) lxor rk.(2);
+    st.(3) <- x3.(s0) lxor s1 lxor s2 lxor x2.(s3) lxor rk.(3);
+    st.(4) <- x2.(s4) lxor x3.(s5) lxor s6 lxor s7 lxor rk.(4);
+    st.(5) <- s4 lxor x2.(s5) lxor x3.(s6) lxor s7 lxor rk.(5);
+    st.(6) <- s4 lxor s5 lxor x2.(s6) lxor x3.(s7) lxor rk.(6);
+    st.(7) <- x3.(s4) lxor s5 lxor s6 lxor x2.(s7) lxor rk.(7);
+    st.(8) <- x2.(s8) lxor x3.(s9) lxor s10 lxor s11 lxor rk.(8);
+    st.(9) <- s8 lxor x2.(s9) lxor x3.(s10) lxor s11 lxor rk.(9);
+    st.(10) <- s8 lxor s9 lxor x2.(s10) lxor x3.(s11) lxor rk.(10);
+    st.(11) <- x3.(s8) lxor s9 lxor s10 lxor x2.(s11) lxor rk.(11);
+    st.(12) <- x2.(s12) lxor x3.(s13) lxor s14 lxor s15 lxor rk.(12);
+    st.(13) <- s12 lxor x2.(s13) lxor x3.(s14) lxor s15 lxor rk.(13);
+    st.(14) <- s12 lxor s13 lxor x2.(s14) lxor x3.(s15) lxor rk.(14);
+    st.(15) <- x3.(s12) lxor s13 lxor s14 lxor x2.(s15) lxor rk.(15)
+  done;
+  let rk = sched.(10) in
+  let s0 = sbox.(st.(0)) and s1 = sbox.(st.(5)) and s2 = sbox.(st.(10)) and s3 = sbox.(st.(15)) in
+  let s4 = sbox.(st.(4)) and s5 = sbox.(st.(9)) and s6 = sbox.(st.(14)) and s7 = sbox.(st.(3)) in
+  let s8 = sbox.(st.(8)) and s9 = sbox.(st.(13)) and s10 = sbox.(st.(2)) and s11 = sbox.(st.(7)) in
+  let s12 = sbox.(st.(12)) and s13 = sbox.(st.(1)) and s14 = sbox.(st.(6)) and s15 = sbox.(st.(11)) in
+  st.(0) <- s0 lxor rk.(0);
+  st.(1) <- s1 lxor rk.(1);
+  st.(2) <- s2 lxor rk.(2);
+  st.(3) <- s3 lxor rk.(3);
+  st.(4) <- s4 lxor rk.(4);
+  st.(5) <- s5 lxor rk.(5);
+  st.(6) <- s6 lxor rk.(6);
+  st.(7) <- s7 lxor rk.(7);
+  st.(8) <- s8 lxor rk.(8);
+  st.(9) <- s9 lxor rk.(9);
+  st.(10) <- s10 lxor rk.(10);
+  st.(11) <- s11 lxor rk.(11);
+  st.(12) <- s12 lxor rk.(12);
+  st.(13) <- s13 lxor rk.(13);
+  st.(14) <- s14 lxor rk.(14);
+  st.(15) <- s15 lxor rk.(15)
 
 let encrypt_block (sched : schedule) (input : Bytes.t) : Bytes.t =
   if Bytes.length input <> 16 then invalid_arg "Aes128.encrypt_block: 16-byte block required";
   let state = Array.init 16 (fun i -> Char.code (Bytes.get input i)) in
-  add_round_key state sched.(0);
-  for round = 1 to 9 do
-    sub_bytes state;
-    shift_rows state;
-    mix_columns state;
-    add_round_key state sched.(round)
-  done;
-  sub_bytes state;
-  shift_rows state;
-  add_round_key state sched.(10);
+  encrypt_state sched state;
   let out = Bytes.create 16 in
   Array.iteri (fun i b -> Bytes.set out i (Char.chr b)) state;
   out
 
 (* --- int64-pair convenience for wire labels -------------------------- *)
 
+(* Pack/unpack between an (hi, lo) big-endian pair and the int state,
+   avoiding Bytes round-trips on the hot path. *)
+let state_of_pair (st : int array) hi lo =
+  for i = 0 to 7 do
+    st.(i) <- Int64.to_int (Int64.logand (Int64.shift_right_logical hi (56 - (8 * i))) 0xFFL);
+    st.(8 + i) <- Int64.to_int (Int64.logand (Int64.shift_right_logical lo (56 - (8 * i))) 0xFFL)
+  done
+
+let pair_of_state (st : int array) =
+  let word off =
+    let v = ref 0L in
+    for i = 0 to 7 do
+      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int st.(off + i))
+    done;
+    !v
+  in
+  (word 0, word 8)
+
+(* Per-domain scratch state: parallel garblers each get their own. *)
+let scratch = Domain.DLS.new_key (fun () -> Array.make 16 0)
+
 let encrypt_pair sched (hi, lo) =
-  let block = Bytes.create 16 in
-  Bytes.set_int64_be block 0 hi;
-  Bytes.set_int64_be block 8 lo;
-  let c = encrypt_block sched block in
-  (Bytes.get_int64_be c 0, Bytes.get_int64_be c 8)
+  let st = Domain.DLS.get scratch in
+  state_of_pair st hi lo;
+  encrypt_state sched st;
+  pair_of_state st
 
-(** The fixed key used for garbling KDFs (a nothing-up-my-sleeve value). *)
-let fixed_schedule =
-  lazy (expand_key (Bytes.of_string "\x00\x01\x02\x03\x04\x05\x06\x07\x08\x09\x0a\x0b\x0c\x0d\x0e\x0f"))
+(** The fixed key used for garbling KDFs (a nothing-up-my-sleeve value),
+    expanded once at module initialization. *)
+let fixed_key : schedule =
+  expand_key (Bytes.of_string "\x00\x01\x02\x03\x04\x05\x06\x07\x08\x09\x0a\x0b\x0c\x0d\x0e\x0f")
 
-(** Fixed-key hash for wire labels: H(x, tweak) = pi(x') XOR x' where
-    x' = 2x XOR tweak (the standard correlation-robust construction). *)
-let label_hash ~tweak (hi, lo) =
+let fixed_schedule = lazy fixed_key
+
+(** Fixed-key hash for wire labels under an explicit (pre-expanded)
+    schedule: H(x, tweak) = pi(x') XOR x' where x' = 2x XOR tweak (the
+    standard correlation-robust construction). *)
+let label_hash_with (sched : schedule) ~tweak (hi, lo) =
   let hi' = Int64.logxor (Int64.shift_left hi 1) tweak in
   let lo' = Int64.logxor (Int64.shift_left lo 1) (Int64.lognot tweak) in
-  let chi, clo = encrypt_pair (Lazy.force fixed_schedule) (hi', lo') in
+  let st = Domain.DLS.get scratch in
+  state_of_pair st hi' lo';
+  encrypt_state sched st;
+  let chi, clo = pair_of_state st in
   (Int64.logxor chi hi', Int64.logxor clo lo')
+
+let label_hash ~tweak pair = label_hash_with fixed_key ~tweak pair

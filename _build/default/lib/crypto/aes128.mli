@@ -1,6 +1,9 @@
 (** AES-128 encryption (FIPS 197), pure OCaml, used as a fixed-key
     permutation for fast garbled-circuit key derivation. Encryption only;
-    validated against the FIPS-197 vectors. *)
+    validated against the FIPS-197 vectors. The label-hash hot path runs
+    in place over domain-local scratch (safe under parallel garbling) with
+    table-driven MixColumns and a key schedule expanded once at module
+    initialization. *)
 
 (** The AES S-box, derived from the GF(2^8) arithmetic (test hook). *)
 val sbox : int array
@@ -16,9 +19,17 @@ val encrypt_block : schedule -> Bytes.t -> Bytes.t
 (** Encrypt a 128-bit block given as an int64 pair. *)
 val encrypt_pair : schedule -> int64 * int64 -> int64 * int64
 
-(** The fixed key schedule used by garbling KDFs. *)
+(** The fixed key schedule used by garbling KDFs, expanded at module
+    initialization (no lazy check on the hot path). *)
+val fixed_key : schedule
+
+(** [lazy fixed_key]; kept for callers that want an explicit suspension. *)
 val fixed_schedule : schedule Lazy.t
 
-(** Fixed-key correlation-robust hash for wire labels:
+(** Fixed-key correlation-robust hash for wire labels under an explicit
+    pre-expanded schedule (the per-gate fast path):
     H(x, tweak) = pi(x') XOR x' with x' derived from x and the tweak. *)
+val label_hash_with : schedule -> tweak:int64 -> int64 * int64 -> int64 * int64
+
+(** {!label_hash_with} under {!fixed_key}. *)
 val label_hash : tweak:int64 -> int64 * int64 -> int64 * int64

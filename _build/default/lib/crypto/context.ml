@@ -17,6 +17,11 @@ type t = {
   kappa : int;        (** computational security parameter (bits) *)
   sigma : int;        (** statistical security parameter (bits) *)
   gc_backend : gc_backend;
+  gc_kdf : Garbling.kdf;
+      (** key-derivation function for garbled rows (default fixed-key AES) *)
+  domains : int;      (** parallelism of the batch-garbling engine *)
+  pool : Domain_pool.t Lazy.t;
+      (** the work pool, spawned on first parallel batch; size [domains] *)
   prg_alice : Prg.t;
   prg_bob : Prg.t;
   dealer : Prg.t;
@@ -24,7 +29,9 @@ type t = {
       (** observability sink; {!Trace_sink.noop} unless a tracer attached *)
 }
 
-let create ?(bits = 32) ?(kappa = 128) ?(sigma = 40) ?(gc_backend = Sim) ~seed () =
+let create ?(bits = 32) ?(kappa = 128) ?(sigma = 40) ?(gc_backend = Sim)
+    ?(gc_kdf = Garbling.Aes128_kdf) ?(domains = 1) ~seed () =
+  let domains = max 1 domains in
   let master = Prg.create seed in
   {
     comm = Comm.create ();
@@ -32,11 +39,23 @@ let create ?(bits = 32) ?(kappa = 128) ?(sigma = 40) ?(gc_backend = Sim) ~seed (
     kappa;
     sigma;
     gc_backend;
+    gc_kdf;
+    domains;
+    pool = lazy (Domain_pool.create domains);
     prg_alice = Prg.split master;
     prg_bob = Prg.split master;
     dealer = Prg.split master;
     sink = Trace_sink.noop;
   }
+
+(** The context's work pool (spawned on first use). *)
+let pool t = Lazy.force t.pool
+
+(** Join the pool's worker domains, if any were ever spawned. Contexts
+    never need this for correctness (pools also shut down [at_exit]), but
+    tests and long-lived processes that churn through many parallel
+    contexts should release the domains promptly. *)
+let shutdown_pool t = if Lazy.is_val t.pool then Domain_pool.shutdown (Lazy.force t.pool)
 
 let set_sink t sink = t.sink <- sink
 

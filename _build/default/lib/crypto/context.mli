@@ -13,6 +13,11 @@ type t = {
   kappa : int;        (** computational security parameter (bits) *)
   sigma : int;        (** statistical security parameter (bits) *)
   gc_backend : gc_backend;
+  gc_kdf : Garbling.kdf;
+      (** key-derivation function for garbled rows (default fixed-key AES) *)
+  domains : int;      (** parallelism of the batch-garbling engine *)
+  pool : Domain_pool.t Lazy.t;
+      (** the work pool, spawned on first parallel batch; size [domains] *)
   prg_alice : Prg.t;
   prg_bob : Prg.t;
   dealer : Prg.t;
@@ -21,9 +26,21 @@ type t = {
 }
 
 (** Defaults match the paper's evaluation: bits = 32 annotation ring,
-    kappa = 128, sigma = 40, simulated GC backend. *)
+    kappa = 128, sigma = 40, simulated GC backend, fixed-key AES KDF,
+    [domains = 1] (fully sequential). [domains > 1] parallelizes the GC
+    batch entry points with bit-identical results, communication, and
+    rounds (see DESIGN.md §9). *)
 val create :
-  ?bits:int -> ?kappa:int -> ?sigma:int -> ?gc_backend:gc_backend -> seed:int64 -> unit -> t
+  ?bits:int -> ?kappa:int -> ?sigma:int -> ?gc_backend:gc_backend ->
+  ?gc_kdf:Garbling.kdf -> ?domains:int -> seed:int64 -> unit -> t
+
+(** The context's work pool (spawned on first use). *)
+val pool : t -> Domain_pool.t
+
+(** Join the pool's worker domains if any were spawned. Never needed for
+    correctness (pools also shut down [at_exit]); promptly releases the
+    domains of short-lived parallel contexts. *)
+val shutdown_pool : t -> unit
 
 val prg_of : t -> Party.t -> Prg.t
 

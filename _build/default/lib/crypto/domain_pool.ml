@@ -1,0 +1,134 @@
+(** A dependency-free work pool over [Domain.spawn] (OCaml 5 stdlib only).
+
+    The pool runs index-parallel loops: [run pool ~n ~f] executes [f i]
+    exactly once for every [i] in [0, n), spreading the items over the
+    pool's domains plus the calling domain. Items must be independent —
+    the pool provides no ordering between them, only a completion barrier
+    (all items finished, and their writes published, before [run]
+    returns).
+
+    A pool of size 1 spawns no domains and [run] degenerates to a plain
+    sequential [for] loop — exactly the pre-pool behaviour, with zero
+    synchronization.
+
+    Workers are persistent: they are spawned once at [create] and park on
+    a mutex/condition-variable queue between batches, so per-batch
+    overhead is one broadcast plus one atomic fetch-and-add per item.
+    [shutdown] joins the workers; pools also register an [at_exit] hook so
+    forgotten pools cannot hang program termination. *)
+
+type job = {
+  f : int -> unit;
+  n : int;
+  next : int Atomic.t;      (* next unclaimed index *)
+  finished : int Atomic.t;  (* items fully processed *)
+  failure : exn option Atomic.t;  (* first exception raised by [f] *)
+}
+
+type t = {
+  size : int;
+  lock : Mutex.t;
+  work : Condition.t;  (* a job was posted, or shutdown requested *)
+  idle : Condition.t;  (* a job completed *)
+  mutable pending : job option;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let size t = t.size
+
+(* Claim and run items of [job] until the index space is exhausted. The
+   first participant to see exhaustion unpublishes the job so parked
+   workers do not rediscover it. Exceptions from [f] are recorded (first
+   wins) and re-raised by [run] on the calling domain; the item still
+   counts as finished so the barrier cannot deadlock. *)
+let drain t job =
+  let rec go () =
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i >= job.n then begin
+      Mutex.lock t.lock;
+      (match t.pending with
+      | Some j when j == job -> t.pending <- None
+      | _ -> ());
+      Mutex.unlock t.lock
+    end
+    else begin
+      (try job.f i
+       with e -> ignore (Atomic.compare_and_set job.failure None (Some e)));
+      if Atomic.fetch_and_add job.finished 1 = job.n - 1 then begin
+        Mutex.lock t.lock;
+        Condition.broadcast t.idle;
+        Mutex.unlock t.lock
+      end;
+      go ()
+    end
+  in
+  go ()
+
+let rec worker t =
+  Mutex.lock t.lock;
+  while t.pending = None && not t.stop do
+    Condition.wait t.work t.lock
+  done;
+  if t.stop then Mutex.unlock t.lock
+  else begin
+    let job = match t.pending with Some j -> j | None -> assert false in
+    Mutex.unlock t.lock;
+    drain t job;
+    worker t
+  end
+
+let shutdown t =
+  Mutex.lock t.lock;
+  if t.stop then Mutex.unlock t.lock
+  else begin
+    t.stop <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.lock;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+
+let create size =
+  let size = max 1 (min size 128) in
+  let t =
+    {
+      size;
+      lock = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      pending = None;
+      stop = false;
+      domains = [];
+    }
+  in
+  if size > 1 then begin
+    t.domains <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+    (* A parked worker would keep the program alive at exit; make sure
+       forgotten pools wind down. [shutdown] is idempotent. *)
+    at_exit (fun () -> shutdown t)
+  end;
+  t
+
+let run t ~n ~f =
+  if n > 0 then
+    if t.size = 1 || n = 1 || t.stop then
+      for i = 0 to n - 1 do
+        f i
+      done
+    else begin
+      let job =
+        { f; n; next = Atomic.make 0; finished = Atomic.make 0; failure = Atomic.make None }
+      in
+      Mutex.lock t.lock;
+      t.pending <- Some job;
+      Condition.broadcast t.work;
+      Mutex.unlock t.lock;
+      drain t job;
+      Mutex.lock t.lock;
+      while Atomic.get job.finished < n do
+        Condition.wait t.idle t.lock
+      done;
+      Mutex.unlock t.lock;
+      match Atomic.get job.failure with Some e -> raise e | None -> ()
+    end

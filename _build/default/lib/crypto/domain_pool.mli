@@ -1,0 +1,27 @@
+(** A dependency-free work pool over [Domain.spawn]: persistent worker
+    domains parked on a mutex/condvar queue, fed index-parallel loops.
+
+    Size 1 spawns no domains and runs loops as plain sequential [for] —
+    exactly the single-domain behaviour, with zero synchronization. *)
+
+type t
+
+(** [create size] spawns [size - 1] persistent worker domains (the caller
+    of {!run} is the remaining participant). [size] is clamped to
+    [\[1, 128\]]. Pools register an [at_exit] {!shutdown} so a forgotten
+    pool cannot hang program termination. *)
+val create : int -> t
+
+(** Total parallelism, including the calling domain. *)
+val size : t -> int
+
+(** [run t ~n ~f] executes [f i] exactly once for every [i] in [0, n),
+    across the pool's domains plus the caller, and returns once every
+    item has finished (a full barrier: the items' writes are published to
+    the caller). Items must be mutually independent. If any [f i] raises,
+    the first exception is re-raised in the caller after the barrier. *)
+val run : t -> n:int -> f:(int -> unit) -> unit
+
+(** Join the worker domains. Idempotent; a shut-down pool still accepts
+    {!run}, which then executes sequentially on the caller. *)
+val shutdown : t -> unit

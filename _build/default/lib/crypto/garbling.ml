@@ -1,10 +1,18 @@
 (** Garbled circuits: half-gates garbling with free-XOR and
-    point-and-permute (Zahur–Rosulek–Evans), over 128-bit wire labels with
-    a SHA-256-based key derivation.
+    point-and-permute (Zahur–Rosulek–Evans), over 128-bit wire labels.
 
     This is the [Real] backend of the GC protocol: circuits are actually
     garbled by the generator and evaluated on labels by the evaluator. Each
-    AND gate costs two 128-bit ciphertexts; XOR and NOT are free. *)
+    AND gate costs two 128-bit ciphertexts; XOR and NOT are free.
+
+    Two key-derivation functions are supported: fixed-key AES-128 (the
+    default — the standard choice in MPC practice) and SHA-256. The
+    garble/eval inner loops are allocation-lean: wire labels live in two
+    preallocated [int64] planes ([hi]/[lo] arrays indexed by wire id)
+    rather than one boxed record per wire, and the AES schedule is
+    resolved once per circuit, not per gate. The {!Label} module remains
+    the boxed representation used at the protocol boundary (input
+    encoding, output labels). *)
 
 module Label = struct
   type t = { hi : int64; lo : int64 }
@@ -41,91 +49,174 @@ type kdf = Sha256_kdf | Aes128_kdf
 let hash_with kdf =
   match kdf with Sha256_kdf -> Label.hash | Aes128_kdf -> Label.hash_aes
 
+(* The flat (plane-level) hash: tweak, hi, lo -> (hi, lo). The AES branch
+   captures the pre-expanded fixed schedule so the per-gate call does no
+   lazy checks or schedule lookups. *)
+let flat_hash kdf : int64 -> int64 -> int64 -> int64 * int64 =
+  match kdf with
+  | Aes128_kdf ->
+      let sched = Aes128.fixed_key in
+      fun tweak hi lo -> Aes128.label_hash_with sched ~tweak (hi, lo)
+  | Sha256_kdf ->
+      fun tweak hi lo ->
+        let d = Sha256.digest_int64s [ hi; lo; tweak ] in
+        (Bytes.get_int64_be d 0, Bytes.get_int64_be d 8)
+
 type garbled = {
   circuit : Boolean_circuit.t;
-  input_false_labels : Label.t array;  (** false label of each input wire *)
-  delta : Label.t;
-  tables : (Label.t * Label.t) array;  (** (T_G, T_E) per AND gate, in gate order *)
-  output_decode : bool array;          (** color of the false label of each output *)
+  input_hi : int64 array;  (** false-label [hi] plane of each input wire *)
+  input_lo : int64 array;  (** false-label [lo] plane of each input wire *)
+  delta_hi : int64;
+  delta_lo : int64;
+  table_g_hi : int64 array;  (** generator half-gate ciphertext T_G, per AND gate *)
+  table_g_lo : int64 array;
+  table_e_hi : int64 array;  (** evaluator half-gate ciphertext T_E, per AND gate *)
+  table_e_lo : int64 array;
+  output_decode : bool array;  (** color of the false label of each output *)
 }
 
 (** Garble [circuit] with randomness from [prg] (the generator's stream).
-    Returns the garbled tables plus the generator's secrets. *)
-let garble ?(kdf = Sha256_kdf) prg circuit =
+    Label planes are preallocated per call; the inner loop allocates
+    nothing but the hash results. *)
+let garble ?(kdf = Aes128_kdf) prg circuit =
   let open Boolean_circuit in
-  let hash = hash_with kdf in
-  let delta = Label.random_delta prg in
+  let hash = flat_hash kdf in
+  (* Draw order matches Label.random_delta / Label.random: hi then lo. *)
+  let delta_hi = Prg.next_int64 prg in
+  let delta_lo = Int64.logor (Prg.next_int64 prg) 1L in
   let n_wires = n_wires circuit in
-  let false_labels = Array.make n_wires Label.zero in
+  let hi = Array.make n_wires 0L in
+  let lo = Array.make n_wires 0L in
   for i = 0 to circuit.n_inputs - 1 do
-    false_labels.(i) <- Label.random prg
+    hi.(i) <- Prg.next_int64 prg;
+    lo.(i) <- Prg.next_int64 prg
   done;
-  let tables = Array.make circuit.and_count (Label.zero, Label.zero) in
+  let table_g_hi = Array.make circuit.and_count 0L in
+  let table_g_lo = Array.make circuit.and_count 0L in
+  let table_e_hi = Array.make circuit.and_count 0L in
+  let table_e_lo = Array.make circuit.and_count 0L in
   let and_idx = ref 0 in
   Array.iteri
     (fun i gate ->
       let out = circuit.n_inputs + i in
       match gate with
-      | Xor (x, y) -> false_labels.(out) <- Label.xor false_labels.(x) false_labels.(y)
-      | Not x -> false_labels.(out) <- Label.xor false_labels.(x) delta
+      | Xor (x, y) ->
+          hi.(out) <- Int64.logxor hi.(x) hi.(y);
+          lo.(out) <- Int64.logxor lo.(x) lo.(y)
+      | Not x ->
+          hi.(out) <- Int64.logxor hi.(x) delta_hi;
+          lo.(out) <- Int64.logxor lo.(x) delta_lo
       | And (x, y) ->
-          let j = Int64.of_int (2 * !and_idx) in
-          let j' = Int64.of_int ((2 * !and_idx) + 1) in
-          let wa0 = false_labels.(x) and wb0 = false_labels.(y) in
-          let wa1 = Label.xor wa0 delta and wb1 = Label.xor wb0 delta in
-          let pa = Label.color wa0 and pb = Label.color wb0 in
+          let k = !and_idx in
+          let j = Int64.of_int (2 * k) in
+          let j' = Int64.of_int ((2 * k) + 1) in
+          let wa0_hi = hi.(x) and wa0_lo = lo.(x) in
+          let wb0_hi = hi.(y) and wb0_lo = lo.(y) in
+          let pa = Int64.logand wa0_lo 1L = 1L in
+          let pb = Int64.logand wb0_lo 1L = 1L in
           (* generator half-gate *)
-          let h_a0 = hash wa0 ~tweak:j and h_a1 = hash wa1 ~tweak:j in
-          let t_g = Label.cond_xor pb (Label.xor h_a0 h_a1) delta in
-          let w_g0 = Label.cond_xor pa h_a0 t_g in
+          let ha0_hi, ha0_lo = hash j wa0_hi wa0_lo in
+          let ha1_hi, ha1_lo =
+            hash j (Int64.logxor wa0_hi delta_hi) (Int64.logxor wa0_lo delta_lo)
+          in
+          let tg_hi = Int64.logxor ha0_hi ha1_hi and tg_lo = Int64.logxor ha0_lo ha1_lo in
+          let tg_hi = if pb then Int64.logxor tg_hi delta_hi else tg_hi in
+          let tg_lo = if pb then Int64.logxor tg_lo delta_lo else tg_lo in
+          let wg0_hi = if pa then Int64.logxor ha0_hi tg_hi else ha0_hi in
+          let wg0_lo = if pa then Int64.logxor ha0_lo tg_lo else ha0_lo in
           (* evaluator half-gate *)
-          let h_b0 = hash wb0 ~tweak:j' and h_b1 = hash wb1 ~tweak:j' in
-          let t_e = Label.xor (Label.xor h_b0 h_b1) wa0 in
-          let w_e0 = Label.cond_xor pb h_b0 (Label.xor t_e wa0) in
-          false_labels.(out) <- Label.xor w_g0 w_e0;
-          tables.(!and_idx) <- (t_g, t_e);
+          let hb0_hi, hb0_lo = hash j' wb0_hi wb0_lo in
+          let hb1_hi, hb1_lo =
+            hash j' (Int64.logxor wb0_hi delta_hi) (Int64.logxor wb0_lo delta_lo)
+          in
+          let te_hi = Int64.logxor (Int64.logxor hb0_hi hb1_hi) wa0_hi in
+          let te_lo = Int64.logxor (Int64.logxor hb0_lo hb1_lo) wa0_lo in
+          let we0_hi = if pb then Int64.logxor hb0_hi (Int64.logxor te_hi wa0_hi) else hb0_hi in
+          let we0_lo = if pb then Int64.logxor hb0_lo (Int64.logxor te_lo wa0_lo) else hb0_lo in
+          hi.(out) <- Int64.logxor wg0_hi we0_hi;
+          lo.(out) <- Int64.logxor wg0_lo we0_lo;
+          table_g_hi.(k) <- tg_hi;
+          table_g_lo.(k) <- tg_lo;
+          table_e_hi.(k) <- te_hi;
+          table_e_lo.(k) <- te_lo;
           incr and_idx)
     circuit.gates;
-  let input_false_labels = Array.sub false_labels 0 circuit.n_inputs in
-  let output_decode = Array.map (fun w -> Label.color false_labels.(w)) circuit.outputs in
-  let all_false_labels = false_labels in
-  ( { circuit; input_false_labels; delta; tables; output_decode }, all_false_labels )
+  let output_decode =
+    Array.map (fun w -> Int64.logand lo.(w) 1L = 1L) circuit.outputs
+  in
+  {
+    circuit;
+    input_hi = Array.sub hi 0 circuit.n_inputs;
+    input_lo = Array.sub lo 0 circuit.n_inputs;
+    delta_hi;
+    delta_lo;
+    table_g_hi;
+    table_g_lo;
+    table_e_hi;
+    table_e_lo;
+    output_decode;
+  }
 
 (** The label encoding bit [b] on input wire [i]. *)
 let encode_input g i b =
-  if b then Label.xor g.input_false_labels.(i) g.delta else g.input_false_labels.(i)
+  if b then
+    { Label.hi = Int64.logxor g.input_hi.(i) g.delta_hi;
+      lo = Int64.logxor g.input_lo.(i) g.delta_lo }
+  else { Label.hi = g.input_hi.(i); lo = g.input_lo.(i) }
 
 (** Evaluate on active labels; returns the active label of each output.
-    [kdf] must match the one used at garbling time. *)
-let eval_labels ?(kdf = Sha256_kdf) g (input_labels : Label.t array) =
+    [kdf] must match the one used at garbling time. Like {!garble}, the
+    inner loop works on preallocated [int64] planes. *)
+let eval_labels ?(kdf = Aes128_kdf) g (input_labels : Label.t array) =
   let open Boolean_circuit in
-  let hash = hash_with kdf in
+  let hash = flat_hash kdf in
   let circuit = g.circuit in
   if Array.length input_labels <> circuit.n_inputs then
     invalid_arg "Garbling.eval_labels: wrong number of input labels";
-  let labels = Array.make (n_wires circuit) Label.zero in
-  Array.blit input_labels 0 labels 0 circuit.n_inputs;
+  let n_wires = n_wires circuit in
+  let hi = Array.make n_wires 0L in
+  let lo = Array.make n_wires 0L in
+  Array.iteri
+    (fun i (l : Label.t) ->
+      hi.(i) <- l.Label.hi;
+      lo.(i) <- l.Label.lo)
+    input_labels;
   let and_idx = ref 0 in
   Array.iteri
     (fun i gate ->
       let out = circuit.n_inputs + i in
       match gate with
-      | Xor (x, y) -> labels.(out) <- Label.xor labels.(x) labels.(y)
-      | Not x -> labels.(out) <- labels.(x)
+      | Xor (x, y) ->
+          hi.(out) <- Int64.logxor hi.(x) hi.(y);
+          lo.(out) <- Int64.logxor lo.(x) lo.(y)
+      | Not x ->
+          hi.(out) <- hi.(x);
+          lo.(out) <- lo.(x)
           (* NOT is free: same label, decoded with flipped semantics via the
              garbler's false-label offset (handled in [garble]). *)
       | And (x, y) ->
-          let j = Int64.of_int (2 * !and_idx) in
-          let j' = Int64.of_int ((2 * !and_idx) + 1) in
-          let t_g, t_e = g.tables.(!and_idx) in
-          let wa = labels.(x) and wb = labels.(y) in
-          let sa = Label.color wa and sb = Label.color wb in
-          let w_g = Label.cond_xor sa (hash wa ~tweak:j) t_g in
-          let w_e = Label.cond_xor sb (hash wb ~tweak:j') (Label.xor t_e wa) in
-          labels.(out) <- Label.xor w_g w_e;
+          let k = !and_idx in
+          let j = Int64.of_int (2 * k) in
+          let j' = Int64.of_int ((2 * k) + 1) in
+          let wa_hi = hi.(x) and wa_lo = lo.(x) in
+          let wb_hi = hi.(y) and wb_lo = lo.(y) in
+          let sa = Int64.logand wa_lo 1L = 1L in
+          let sb = Int64.logand wb_lo 1L = 1L in
+          let ha_hi, ha_lo = hash j wa_hi wa_lo in
+          let wg_hi = if sa then Int64.logxor ha_hi g.table_g_hi.(k) else ha_hi in
+          let wg_lo = if sa then Int64.logxor ha_lo g.table_g_lo.(k) else ha_lo in
+          let hb_hi, hb_lo = hash j' wb_hi wb_lo in
+          let we_hi =
+            if sb then Int64.logxor hb_hi (Int64.logxor g.table_e_hi.(k) wa_hi) else hb_hi
+          in
+          let we_lo =
+            if sb then Int64.logxor hb_lo (Int64.logxor g.table_e_lo.(k) wa_lo) else hb_lo
+          in
+          hi.(out) <- Int64.logxor wg_hi we_hi;
+          lo.(out) <- Int64.logxor wg_lo we_lo;
           incr and_idx)
     circuit.gates;
-  Array.map (fun w -> labels.(w)) circuit.outputs
+  Array.map (fun w -> { Label.hi = hi.(w); lo = lo.(w) }) circuit.outputs
 
 (** Decode an output's active label to its cleartext bit using the decode
     (color-of-false-label) information. *)

@@ -1,7 +1,12 @@
 (** Garbled circuits: half-gates garbling (Zahur–Rosulek–Evans) with
     free-XOR and point-and-permute over 128-bit wire labels. Two AND-gate
     ciphertexts per gate; XOR and NOT are free. This is the [Real] backend
-    of {!Gc_protocol}. *)
+    of {!Gc_protocol}.
+
+    The garble/eval inner loops are allocation-lean: wire labels live in
+    preallocated [int64] [hi]/[lo] planes instead of one boxed {!Label.t}
+    record per wire. {!Label.t} remains the boxed representation at the
+    protocol boundary. *)
 
 module Label : sig
   type t = { hi : int64; lo : int64 }
@@ -27,22 +32,27 @@ module Label : sig
   val cond_xor : bool -> t -> t -> t
 end
 
-(** Key-derivation function used for garbled rows. *)
+(** Key-derivation function used for garbled rows. The default throughout
+    is [Aes128_kdf] (the standard choice in MPC practice). *)
 type kdf = Sha256_kdf | Aes128_kdf
 
 val hash_with : kdf -> Label.t -> tweak:int64 -> Label.t
 
 type garbled = {
   circuit : Boolean_circuit.t;
-  input_false_labels : Label.t array;
-  delta : Label.t;
-  tables : (Label.t * Label.t) array;  (** (T_G, T_E) per AND gate *)
-  output_decode : bool array;          (** color of each output's false label *)
+  input_hi : int64 array;  (** false-label [hi] plane of each input wire *)
+  input_lo : int64 array;  (** false-label [lo] plane of each input wire *)
+  delta_hi : int64;
+  delta_lo : int64;
+  table_g_hi : int64 array;  (** T_G ciphertext planes, per AND gate in gate order *)
+  table_g_lo : int64 array;
+  table_e_hi : int64 array;  (** T_E ciphertext planes, per AND gate in gate order *)
+  table_e_lo : int64 array;
+  output_decode : bool array;  (** color of each output's false label *)
 }
 
-(** Garble a circuit with the generator's randomness; also returns the
-    false labels of every wire (generator secrets, used by tests). *)
-val garble : ?kdf:kdf -> Prg.t -> Boolean_circuit.t -> garbled * Label.t array
+(** Garble a circuit with the generator's randomness. *)
+val garble : ?kdf:kdf -> Prg.t -> Boolean_circuit.t -> garbled
 
 (** The label encoding bit [b] on input wire [i]. *)
 val encode_input : garbled -> int -> bool -> Label.t

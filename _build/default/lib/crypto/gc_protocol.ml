@@ -20,6 +20,13 @@
     (garbled afresh per item under [Real]), and the whole batch costs a
     constant number of rounds.
 
+    Batches fan their independent items across the context's
+    {!Domain_pool} ([Context.domains], default 1 = sequential). Each item
+    runs in a per-item context whose PRGs are split sequentially from the
+    shared streams and whose channel/counters are private, merged once
+    per batch — so results, communication, rounds, and primitive counters
+    are bit-identical for every pool size (see DESIGN.md §9).
+
     Alice is always the generator, Bob the evaluator. *)
 
 type input =
@@ -109,13 +116,14 @@ let account_executions ctx (bc : built) (sample_bits : (Party.t * bool) array) ~
 type bool_share = { alice_bit : bool; bob_bit : bool }
 
 let run_real ctx (bc : built) (input_bits : (Party.t * bool) array) : bool_share array =
-  let g, _ = Garbling.garble ctx.Context.prg_alice bc.circuit in
+  let kdf = ctx.Context.gc_kdf in
+  let g = Garbling.garble ~kdf ctx.Context.prg_alice bc.circuit in
   let input_labels =
     Array.mapi (fun i (_, bit) -> Garbling.encode_input g i bit) input_bits
   in
   (* Bob's labels arrive via OT (accounted by the caller); functionally he
      receives exactly the label of his input bit. *)
-  let out_labels = Garbling.eval_labels g input_labels in
+  let out_labels = Garbling.eval_labels ~kdf g input_labels in
   Array.mapi
     (fun i label ->
       { alice_bit = g.Garbling.output_decode.(i); bob_bit = Garbling.Label.color label })
@@ -173,6 +181,47 @@ let slice_outputs widths (flat : 'a array) =
   in
   go 0 widths
 
+(* Run [f] over the [n] independent batch items on the context's pool.
+
+   Each item gets a private context: child PRGs split *sequentially* from
+   the shared streams (so the derivation depends only on the item index,
+   never on scheduling), a fresh private channel, and — when traced — an
+   accumulator sink. After the pool barrier the private deltas are folded
+   back into the parent context in one aggregated step per direction:
+   sums are order-independent, so tallies, span counters, and listener
+   totals are bit-identical for every pool size, including 1. Item code
+   must not open spans (the accumulator ignores span boundaries). *)
+let map_batch ctx ~n (f : Context.t -> int -> 'a) : 'a array =
+  let traced = Context.traced ctx in
+  let item_ctxs =
+    Array.init n (fun _ ->
+        let prg_alice = Prg.split ctx.Context.prg_alice in
+        let prg_bob = Prg.split ctx.Context.prg_bob in
+        let dealer = Prg.split ctx.Context.dealer in
+        let sink, counters =
+          if traced then Trace_sink.accumulator () else (Trace_sink.noop, [||])
+        in
+        ({ ctx with Context.comm = Comm.create (); prg_alice; prg_bob; dealer; sink },
+         counters))
+  in
+  let results = Array.make n None in
+  Domain_pool.run (Context.pool ctx) ~n ~f:(fun i ->
+      let ictx, _ = item_ctxs.(i) in
+      results.(i) <- Some (f ictx i));
+  let a_bits = ref 0 and b_bits = ref 0 and rounds = ref 0 in
+  Array.iter
+    (fun (ictx, counters) ->
+      let t = Comm.tally ictx.Context.comm in
+      a_bits := !a_bits + t.Comm.alice_to_bob_bits;
+      b_bits := !b_bits + t.Comm.bob_to_alice_bits;
+      rounds := !rounds + t.Comm.rounds;
+      if traced then Trace_sink.merge_into ctx.Context.sink counters)
+    item_ctxs;
+  if !a_bits > 0 then Comm.send ctx.Context.comm ~from:Party.Alice ~bits:!a_bits;
+  if !b_bits > 0 then Comm.send ctx.Context.comm ~from:Party.Bob ~bits:!b_bits;
+  if !rounds > 0 then Comm.bump_rounds ctx.Context.comm !rounds;
+  Array.map (function Some r -> r | None -> assert false) results
+
 (** Evaluate the same circuit over a batch of same-shaped input lists; each
     output word of each item becomes a fresh arithmetic share. Constant
     rounds for the whole batch. *)
@@ -190,12 +239,10 @@ let eval_to_shares_batch ctx ~(items : input list array) ~build : Secret_share.t
     account_executions ctx bc all_bits.(0) ~times:(Array.length items);
     Comm.bump_rounds ctx.Context.comm 2;
     let results =
-      Array.map
-        (fun bits ->
-          let out_bits = run_with ctx bc bits in
+      map_batch ctx ~n:(Array.length items) (fun ictx i ->
+          let out_bits = run_with ictx bc all_bits.(i) in
           let words = slice_outputs bc.output_widths out_bits in
-          Array.of_list (List.map (b2a ctx) words))
-        all_bits
+          Array.of_list (List.map (b2a ictx) words))
     in
     Comm.bump_rounds ctx.Context.comm 1;
     results
@@ -219,9 +266,8 @@ let eval_reveal_batch ctx ~to_ ~(items : input list array) ~build : int64 array 
     let n_out = Boolean_circuit.n_outputs bc.circuit in
     Comm.send ctx.Context.comm ~from:(Party.other to_) ~bits:(Array.length items * n_out);
     Comm.bump_rounds ctx.Context.comm 1;
-    Array.map
-      (fun bits ->
-        let out_bits = run_with ctx bc bits in
+    map_batch ctx ~n:(Array.length items) (fun ictx i ->
+        let out_bits = run_with ictx bc all_bits.(i) in
         let words = slice_outputs bc.output_widths out_bits in
         Array.of_list
           (List.map
@@ -229,7 +275,6 @@ let eval_reveal_batch ctx ~to_ ~(items : input list array) ~build : int64 array 
                Circuits.int64_of_bool_array
                  (Array.map (fun bs -> bs.alice_bit <> bs.bob_bit) word))
              words))
-      all_bits
 
 (** Single-item variant of [eval_reveal_batch]. *)
 let eval_reveal ctx ~to_ ~inputs ~build : int64 array =

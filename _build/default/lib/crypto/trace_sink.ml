@@ -63,3 +63,30 @@ type t = {
 (** The default sink: does nothing. Compared with [==] by fast paths, so
     keep this the unique physical no-op value. *)
 let noop = { enter = (fun _ -> ()); exit = (fun () -> ()); bump = (fun _ _ -> ()) }
+
+(** A private accumulator sink and its backing array (indexed by
+    {!counter_index}): bumps add to the array; span boundaries are
+    ignored, so the code running under it must not open spans. Used by
+    the parallel batch engine to give each worker a domain-private
+    counter delta that the caller later folds into the real sink with
+    {!merge_into} — the recording sink itself is only ever touched by
+    the domain that owns the trace. *)
+let accumulator () =
+  let counts = Array.make n_counters 0 in
+  let sink =
+    {
+      enter = (fun _ -> ());
+      exit = (fun () -> ());
+      bump = (fun c n -> counts.(counter_index c) <- counts.(counter_index c) + n);
+    }
+  in
+  (sink, counts)
+
+(** Fold an accumulated counter delta into [sink], one bump per nonzero
+    counter. Call it from the domain that owns [sink]. *)
+let merge_into sink (counts : int array) =
+  List.iter
+    (fun c ->
+      let n = counts.(counter_index c) in
+      if n <> 0 then sink.bump c n)
+    all_counters

@@ -36,3 +36,13 @@ type t = {
 
 (** The unique no-op sink; fast paths compare against it physically. *)
 val noop : t
+
+(** A private accumulator sink and its backing array (indexed by
+    {!counter_index}): bumps add to the array, span boundaries are
+    ignored. Gives parallel workers a domain-private counter delta to be
+    folded into the owning domain's sink via {!merge_into}. *)
+val accumulator : unit -> t * int array
+
+(** Fold an accumulated counter delta into [sink] (one bump per nonzero
+    counter); must be called from the domain that owns [sink]. *)
+val merge_into : t -> int array -> unit

@@ -13,8 +13,11 @@ val ring_bits : int
 
 val semiring : Semiring.t
 
-(** A protocol context sized for these queries. *)
-val context : ?gc_backend:Context.gc_backend -> seed:int64 -> unit -> Context.t
+(** A protocol context sized for these queries. [domains] sets the
+    parallelism of the GC batch engine (default 1; results are
+    bit-identical for every value). *)
+val context :
+  ?gc_backend:Context.gc_backend -> ?domains:int -> seed:int64 -> unit -> Context.t
 
 (** {2 Relation shaping helpers} (shared with {!Extra_queries}) *)
 

@@ -264,9 +264,9 @@ let test_garbling_matches_clear () =
     let circuit = random_circuit prg ~n_inputs:6 ~n_gates:40 in
     let inputs = Array.init 6 (fun _ -> Prg.bool prg) in
     let expected = Boolean_circuit.eval circuit inputs in
-    let g, _ = Garbling.garble prg circuit in
+    let g = Garbling.garble ~kdf:Garbling.Sha256_kdf prg circuit in
     let labels = Array.mapi (fun i b -> Garbling.encode_input g i b) inputs in
-    let out_labels = Garbling.eval_labels g labels in
+    let out_labels = Garbling.eval_labels ~kdf:Garbling.Sha256_kdf g labels in
     let got = Array.mapi (fun i l -> Garbling.decode_output g ~out_index:i l) out_labels in
     Alcotest.(check (array bool)) "garbled = clear" expected got
   done
@@ -275,7 +275,7 @@ let test_garbling_label_privacy () =
   (* The two labels of an input wire differ and have opposite colors. *)
   let prg = Prg.create 5L in
   let circuit = random_circuit prg ~n_inputs:4 ~n_gates:10 in
-  let g, _ = Garbling.garble prg circuit in
+  let g = Garbling.garble prg circuit in
   for i = 0 to 3 do
     let l0 = Garbling.encode_input g i false and l1 = Garbling.encode_input g i true in
     Alcotest.(check bool) "labels differ" false (Garbling.Label.equal l0 l1);
@@ -352,6 +352,121 @@ let gc_random_agreement =
       in
       let expect = mask32 (Int64.of_int ((x * y) + z)) in
       Int64.equal (run (ctx_real ())) expect && Int64.equal (run (ctx_sim ())) expect)
+
+(* ------------------------------------------------------------------ *)
+(* Domain pool *)
+
+let test_pool_covers_indices () =
+  List.iter
+    (fun size ->
+      let pool = Domain_pool.create size in
+      let n = 1000 in
+      let hits = Array.make n 0 in
+      Domain_pool.run pool ~n ~f:(fun i -> hits.(i) <- hits.(i) + 1);
+      Domain_pool.shutdown pool;
+      Alcotest.(check bool)
+        (Printf.sprintf "each index exactly once (size %d)" size)
+        true
+        (Array.for_all (fun h -> h = 1) hits))
+    [ 1; 2; 4 ]
+
+let test_pool_propagates_exn () =
+  let pool = Domain_pool.create 3 in
+  Alcotest.check_raises "worker exception resurfaces" (Failure "boom") (fun () ->
+      Domain_pool.run pool ~n:64 ~f:(fun i -> if i = 17 then failwith "boom"));
+  (* the pool survives a failed batch *)
+  let total = Atomic.make 0 in
+  Domain_pool.run pool ~n:10 ~f:(fun i -> ignore (Atomic.fetch_and_add total i));
+  Domain_pool.shutdown pool;
+  Alcotest.(check int) "usable after a failure" 45 (Atomic.get total)
+
+let test_pool_shutdown_idempotent () =
+  let pool = Domain_pool.create 2 in
+  Domain_pool.run pool ~n:4 ~f:(fun _ -> ());
+  Domain_pool.shutdown pool;
+  Domain_pool.shutdown pool;
+  (* runs after shutdown degrade to the sequential loop, still correct *)
+  let hits = Array.make 8 false in
+  Domain_pool.run pool ~n:8 ~f:(fun i -> hits.(i) <- true);
+  Alcotest.(check bool) "sequential fallback after shutdown" true (Array.for_all Fun.id hits)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel batches: determinism across pool sizes, agreement across
+   KDFs and backends *)
+
+(* One randomized batch through both batch entry points. The input values
+   come from a PRG independent of the context, so every run over the same
+   [seed] sees the same items. *)
+let gc_batch_fixture ctx ~n_items =
+  let prg = Prg.create 2024L in
+  let items =
+    Array.init n_items (fun _ ->
+        [
+          Gc_protocol.Priv { owner = Party.Alice; value = Prg.bits prg 16; bits = 32 };
+          Gc_protocol.Priv { owner = Party.Bob; value = Prg.bits prg 16; bits = 32 };
+        ])
+  in
+  let build b words =
+    [ Circuits.mul_word b words.(0) words.(1); Circuits.add_word b words.(0) words.(1) ]
+  in
+  let shares = Gc_protocol.eval_to_shares_batch ctx ~items ~build in
+  let revealed = Gc_protocol.eval_reveal_batch ctx ~to_:Party.Bob ~items ~build in
+  (shares, revealed)
+
+let gc_batch_expected ~n_items =
+  let prg = Prg.create 2024L in
+  Array.init n_items (fun _ ->
+      let x = Prg.bits prg 16 and y = Prg.bits prg 16 in
+      [| mask32 (Int64.mul x y); mask32 (Int64.add x y) |])
+
+let gc_run_instrumented ~domains ~backend =
+  let ctx = Context.create ~gc_backend:backend ~domains ~seed:42L () in
+  let sink, counts = Trace_sink.accumulator () in
+  Context.set_sink ctx sink;
+  let shares, revealed = gc_batch_fixture ctx ~n_items:17 in
+  let tally = Comm.tally ctx.Context.comm in
+  Context.shutdown_pool ctx;
+  (shares, revealed, tally, counts)
+
+let test_gc_parallel_deterministic () =
+  List.iter
+    (fun backend ->
+      let s0, r0, t0, c0 = gc_run_instrumented ~domains:1 ~backend in
+      Alcotest.(check bool) "values correct" true (r0 = gc_batch_expected ~n_items:17);
+      List.iter
+        (fun domains ->
+          let s1, r1, t1, c1 = gc_run_instrumented ~domains ~backend in
+          Alcotest.(check bool) "shares bit-identical" true (s0 = s1);
+          Alcotest.(check bool) "revealed values identical" true (r0 = r1);
+          Alcotest.(check bool) "comm tally identical" true (Comm.equal t0 t1);
+          Alcotest.(check (array int)) "primitive counters identical" c0 c1)
+        [ 2; 4 ])
+    [ Context.Real; Context.Sim ]
+
+let gc_run_with ~gc_backend ~gc_kdf =
+  let ctx = Context.create ~gc_backend ~gc_kdf ~seed:42L () in
+  let shares, revealed = gc_batch_fixture ctx ~n_items:13 in
+  let reconstructed = Array.map (Array.map (Secret_share.reconstruct ctx)) shares in
+  let tally = Comm.tally ctx.Context.comm in
+  (reconstructed, revealed, tally)
+
+let test_gc_kdf_backend_agreement () =
+  let combos =
+    [
+      ("real/sha256", Context.Real, Garbling.Sha256_kdf);
+      ("real/aes128", Context.Real, Garbling.Aes128_kdf);
+      ("sim/sha256", Context.Sim, Garbling.Sha256_kdf);
+      ("sim/aes128", Context.Sim, Garbling.Aes128_kdf);
+    ]
+  in
+  let r0, v0, t0 = gc_run_with ~gc_backend:Context.Real ~gc_kdf:Garbling.Sha256_kdf in
+  List.iter
+    (fun (name, gc_backend, gc_kdf) ->
+      let r, v, t = gc_run_with ~gc_backend ~gc_kdf in
+      Alcotest.(check bool) (name ^ ": reconstructed outputs agree") true (r0 = r);
+      Alcotest.(check bool) (name ^ ": revealed outputs agree") true (v0 = v);
+      Alcotest.(check bool) (name ^ ": comm tallies agree") true (Comm.equal t0 t))
+    combos
 
 (* ------------------------------------------------------------------ *)
 (* Oblivious transfer *)
@@ -570,7 +685,7 @@ let test_garbling_aes_kdf () =
     let circuit = random_circuit prg ~n_inputs:6 ~n_gates:40 in
     let inputs = Array.init 6 (fun _ -> Prg.bool prg) in
     let expected = Boolean_circuit.eval circuit inputs in
-    let g, _ = Garbling.garble ~kdf:Garbling.Aes128_kdf prg circuit in
+    let g = Garbling.garble ~kdf:Garbling.Aes128_kdf prg circuit in
     let labels = Array.mapi (fun i b -> Garbling.encode_input g i b) inputs in
     let out_labels = Garbling.eval_labels ~kdf:Garbling.Aes128_kdf g labels in
     let got = Array.mapi (fun i l -> Garbling.decode_output g ~out_index:i l) out_labels in
@@ -806,8 +921,17 @@ let () =
           Alcotest.test_case "sim backend" `Quick test_gc_sim;
           Alcotest.test_case "backends same cost" `Quick test_gc_backends_same_cost;
           Alcotest.test_case "reveal" `Quick test_gc_reveal;
+          Alcotest.test_case "kdf/backend agreement" `Quick test_gc_kdf_backend_agreement;
         ]
         @ qsuite [ gc_random_agreement ] );
+      ( "domain-pool",
+        [
+          Alcotest.test_case "covers all indices" `Quick test_pool_covers_indices;
+          Alcotest.test_case "propagates exceptions" `Quick test_pool_propagates_exn;
+          Alcotest.test_case "shutdown idempotent" `Quick test_pool_shutdown_idempotent;
+          Alcotest.test_case "parallel batches deterministic" `Quick
+            test_gc_parallel_deterministic;
+        ] );
       ( "oblivious-transfer",
         [
           Alcotest.test_case "single" `Quick test_ot_single;

@@ -141,6 +141,38 @@ let test_untraced_identical () =
   Alcotest.check check_tally "same tally" s_plain.Secyan.Secure_yannakakis.tally
     s_traced.Secyan.Secure_yannakakis.tally
 
+let test_traced_parallel_identical () =
+  (* A traced parallel run must produce the same span tree as a traced
+     sequential run — same structure, per-span traffic, rounds, and
+     primitive counters; only durations may differ. The GC batch engine
+     merges each worker's privately accumulated deltas into the tracer
+     exactly once per batch, so sums match bit-for-bit. *)
+  let d = dataset () in
+  let shape root =
+    let acc = ref [] in
+    Span.iter
+      (fun ~depth ~path span ->
+        acc :=
+          (depth, path, Span.self_tally span, span.Span.self_sends,
+           Array.to_list span.Span.self_counters)
+          :: !acc)
+      root;
+    List.rev !acc
+  in
+  let run domains =
+    let q = Secyan_tpch.Queries.q3 d in
+    let ctx = Secyan_tpch.Queries.context ~domains ~seed () in
+    let (revealed, _), root =
+      Trace.with_tracing ctx (fun () -> Secyan.Secure_yannakakis.run ctx q)
+    in
+    Context.shutdown_pool ctx;
+    (content revealed, shape root)
+  in
+  let r1, t1 = run 1 in
+  let r2, t2 = run 2 in
+  Alcotest.(check bool) "same result rows" true (r1 = r2);
+  Alcotest.(check bool) "same span tree (traffic and counters)" true (t1 = t2)
+
 let test_noop_sink_is_default () =
   let ctx = Context.create ~seed () in
   Alcotest.(check bool) "fresh context untraced" false (Context.traced ctx);
@@ -277,6 +309,7 @@ let () =
       ( "transparency",
         [
           Alcotest.test_case "tracing changes nothing" `Quick test_untraced_identical;
+          Alcotest.test_case "parallel trace identical" `Quick test_traced_parallel_identical;
           Alcotest.test_case "noop sink default" `Quick test_noop_sink_is_default;
           Alcotest.test_case "measure" `Quick test_measure;
         ] );

@@ -6,7 +6,14 @@
     [Comm.send] / [Comm.bump_rounds], and every primitive counter bump
     is attributed to the innermost open span. The tracer draws no
     randomness and never touches the channel: traced and untraced runs
-    produce identical protocol transcripts and tallies. *)
+    produce identical protocol transcripts and tallies.
+
+    The recording sink is single-domain: only the domain that attached
+    the tracer may touch it. Parallel batches respect this by giving
+    each worker a private {!Trace_sink.accumulator} and folding the
+    deltas into the tracer once per batch from the owning domain
+    ({!Trace_sink.merge_into}), so traced parallel runs yield the same
+    span tree — traffic, rounds, and counters — as sequential ones. *)
 
 open Secyan_crypto
 
