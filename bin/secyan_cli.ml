@@ -65,6 +65,70 @@ let trace_out_arg =
   let doc = "Write the trace to $(docv) instead of stdout." in
   Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
 
+let transport_arg =
+  let doc =
+    "Message transport behind the protocol's channel: $(b,sim) (pure cost accounting, the \
+     default), $(b,pipe) (in-process framed duplex queue) or $(b,tcp) (loopback TCP socket \
+     pair). Communication tallies are bit-identical across all three; pipe and tcp \
+     additionally move every declared transfer through length+CRC32 framing with \
+     timeout/retry protection."
+  in
+  Arg.(value
+    & opt (enum [ ("sim", `Sim); ("pipe", `Pipe); ("tcp", `Tcp) ]) `Sim
+    & info [ "transport" ] ~docv:"BACKEND" ~doc)
+
+let chaos_arg =
+  let doc =
+    "Deterministic fault injection on the transport (requires --transport pipe or tcp). \
+     $(docv) is a comma-separated schedule of $(b,kind:n) bursts with kind one of drop, \
+     duplicate, corrupt, delay, disconnect — e.g. $(b,drop:3,delay:5) drops a burst of 3 \
+     frames and delays a burst of 5; $(b,disconnect:40) kills the channel at message 40. \
+     Burst positions are derived from --chaos-seed."
+  in
+  Arg.(value & opt (some string) None & info [ "chaos" ] ~docv:"SPEC" ~doc)
+
+let chaos_seed_arg =
+  let doc = "Seed for the chaos schedule layout (burst positions, corrupted bit choices)." in
+  Arg.(value & opt int64 1L & info [ "chaos-seed" ] ~docv:"N" ~doc)
+
+(* Build the resilient channel requested on the command line ([None] for
+   the pure simulation). Distinct from the protocol seed on purpose:
+   faults must be reproducible independently of the data. *)
+let make_transport transport chaos chaos_seed =
+  match (transport, chaos) with
+  | `Sim, None -> Ok None
+  | `Sim, Some _ -> Error "--chaos requires --transport pipe or tcp"
+  | (`Pipe | `Tcp), _ -> (
+      let raw =
+        match transport with
+        | `Pipe -> Secyan_net.Transport.inproc ()
+        | `Tcp -> Secyan_net.Transport.tcp ()
+        | `Sim -> assert false
+      in
+      let config =
+        match transport with
+        | `Tcp -> { Secyan_net.Resilient.default_config with sleep = Unix.sleepf }
+        | _ -> Secyan_net.Resilient.default_config
+      in
+      match chaos with
+      | None -> Ok (Some (Secyan_net.Resilient.create ~config ~seed:chaos_seed raw))
+      | Some spec_string -> (
+          match Secyan_net.Chaos.parse_spec spec_string with
+          | Error e -> Error e
+          | Ok spec ->
+              let raw, _injected = Secyan_net.Chaos.wrap ~seed:chaos_seed ~spec raw in
+              Ok (Some (Secyan_net.Resilient.create ~config ~seed:chaos_seed raw))))
+
+let print_transport_stats = function
+  | None -> ()
+  | Some tr ->
+      let s = Secyan_net.Resilient.stats tr in
+      Fmt.pr "transport: %s, %d transfers, %d retries, %d timeouts, %d corrupt frames, \
+              %d duplicates dropped@."
+        (Secyan_net.Resilient.kind tr) s.Secyan_net.Resilient.transfers
+        s.Secyan_net.Resilient.retries s.Secyan_net.Resilient.timeouts
+        s.Secyan_net.Resilient.corrupt_frames s.Secyan_net.Resilient.duplicates_dropped
+
 (* Run [f] under a tracer when requested and export the resulting span
    tree; untraced runs call [f] directly (no sink installed at all). *)
 let traced ?(name = "query") trace trace_out ctx f =
@@ -121,11 +185,17 @@ let content output (r : Relation.t) =
   |> List.map (fun (t, a) -> (Tuple.repr (Tuple.project r.Relation.schema output t), a))
   |> List.sort compare
 
-let run_cmd query scale sf seed backend domains verify trace trace_out =
+let run_cmd query scale sf seed backend domains transport chaos chaos_seed verify trace
+    trace_out =
+  match make_transport transport chaos chaos_seed with
+  | Error msg ->
+      Fmt.epr "transport error: %s@." msg;
+      2
+  | Ok tr ->
   let sf = resolve_sf scale sf in
   let d = Secyan_tpch.Datagen.generate ~sf ~seed in
   Fmt.pr "dataset: sf=%g (%d total rows)@." sf (Secyan_tpch.Datagen.total_rows d);
-  let ctx = Secyan_tpch.Queries.context ~gc_backend:backend ~domains ~seed () in
+  let ctx = Secyan_tpch.Queries.context ~gc_backend:backend ~domains ?transport:tr ~seed () in
   let simple q =
     Fmt.pr "query %s, join tree %a (root %s)@." q.Secyan.Query.name Join_tree.pp
       q.Secyan.Query.tree (Join_tree.root q.Secyan.Query.tree);
@@ -142,6 +212,13 @@ let run_cmd query scale sf seed backend domains verify trace trace_out =
       if not ok then exit 1
     end
   in
+  let finish code =
+    print_transport_stats tr;
+    Context.close_transport ctx;
+    Context.shutdown_pool ctx;
+    code
+  in
+  (try
   (match query with
   | `Q3 -> simple (Secyan_tpch.Queries.q3 d)
   | `Q10 -> simple (Secyan_tpch.Queries.q10 d)
@@ -168,8 +245,16 @@ let run_cmd query scale sf seed backend domains verify trace trace_out =
         Fmt.pr "verify vs plaintext: %s@." (if ok then "OK" else "MISMATCH");
         if not ok then exit 1
       end);
-  Context.shutdown_pool ctx;
-  0
+  finish 0
+  with Secyan_net.Resilient.Transport_error { kind; attempts; elapsed; detail } ->
+    (* The protocol surfaced a typed, unrecoverable channel fault instead
+       of hanging or producing a wrong answer; report it cleanly. *)
+    Fmt.epr "transport failure: %s after %d attempt%s in %.3f s (%s)@."
+      (Secyan_net.Resilient.error_kind_name kind)
+      attempts
+      (if attempts = 1 then "" else "s")
+      elapsed detail;
+    finish 3)
 
 (* --- plan ---------------------------------------------------------- *)
 
@@ -317,7 +402,8 @@ let statement_arg =
 let run_t =
   Cmd.v (Cmd.info "run" ~doc:"Run a query through the secure Yannakakis protocol")
     Term.(const run_cmd $ query_arg $ scale_arg $ sf_arg $ seed_arg $ backend_arg
-          $ domains_arg $ verify_arg $ trace_arg $ trace_out_arg)
+          $ domains_arg $ transport_arg $ chaos_arg $ chaos_seed_arg $ verify_arg
+          $ trace_arg $ trace_out_arg)
 
 let plan_t =
   Cmd.v (Cmd.info "plan" ~doc:"Show a query's join tree and protocol plan")

@@ -76,7 +76,10 @@ let rcon = [| 0x01; 0x02; 0x04; 0x08; 0x10; 0x20; 0x40; 0x80; 0x1b; 0x36 |]
 type schedule = int array array  (* 11 round keys of 16 bytes *)
 
 let expand_key (key : Bytes.t) : schedule =
-  if Bytes.length key <> 16 then invalid_arg "Aes128.expand_key: 16-byte key required";
+  if Bytes.length key <> 16 then
+    invalid_arg
+      (Printf.sprintf "Aes128.expand_key: key of %d bytes, expected exactly 16"
+         (Bytes.length key));
   (* 44 words of 4 bytes *)
   let w = Array.make 44 [| 0; 0; 0; 0 |] in
   for i = 0 to 3 do
@@ -163,7 +166,10 @@ let encrypt_state (sched : schedule) (st : int array) : unit =
   st.(15) <- s15 lxor rk.(15)
 
 let encrypt_block (sched : schedule) (input : Bytes.t) : Bytes.t =
-  if Bytes.length input <> 16 then invalid_arg "Aes128.encrypt_block: 16-byte block required";
+  if Bytes.length input <> 16 then
+    invalid_arg
+      (Printf.sprintf "Aes128.encrypt_block: block of %d bytes, expected exactly 16"
+         (Bytes.length input));
   let state = Array.init 16 (fun i -> Char.code (Bytes.get input i)) in
   encrypt_state sched state;
   let out = Bytes.create 16 in

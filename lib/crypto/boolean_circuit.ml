@@ -27,7 +27,9 @@ let n_outputs t = Array.length t.outputs
 (** Evaluate in the clear. [inputs] indexed by input wire id. *)
 let eval t inputs =
   if Array.length inputs <> t.n_inputs then
-    invalid_arg "Boolean_circuit.eval: wrong number of inputs";
+    invalid_arg
+      (Printf.sprintf "Boolean_circuit.eval: %d input bits for a circuit with %d inputs"
+         (Array.length inputs) t.n_inputs);
   let values = Array.make (n_wires t) false in
   Array.blit inputs 0 values 0 t.n_inputs;
   Array.iteri

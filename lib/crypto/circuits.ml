@@ -124,7 +124,7 @@ let zero_unless b sel (x : word) : word = gate_word b sel x
 (** Sum a list of words modulo 2^n (balanced tree keeps depth low;
     gate count is the same either way). *)
 let rec sum_words b = function
-  | [] -> invalid_arg "Circuits.sum_words: empty"
+  | [] -> invalid_arg "Circuits.sum_words: empty word list (expected at least one addend)"
   | [ w ] -> w
   | words ->
       let rec pair = function

@@ -25,27 +25,60 @@ type t = {
      nothing. *)
   mutable send_listener : (from:Party.t -> bits:int -> unit) option;
   mutable rounds_listener : (int -> unit) option;
+  (* The physical channel, None (pure accounting) by default: when a real
+     transport is attached to the context, every [send] additionally moves
+     a payload of the declared size over it. The tally above is updated
+     first and from the declared bit count alone, so accounting stays
+     bit-identical whether or not bytes actually cross a wire. *)
+  mutable wire : (from:Party.t -> bits:int -> unit) option;
 }
 
 let create () =
   { alice_to_bob = 0; bob_to_alice = 0; rounds = 0;
-    send_listener = None; rounds_listener = None }
+    send_listener = None; rounds_listener = None; wire = None }
 
-(** Subscribe to (or with [None] unsubscribe from) every subsequent [send]
-    event. At most one listener at a time; no-op by default. *)
-let on_send t listener = t.send_listener <- listener
+(** Subscribe to (with [Some f]) or unsubscribe from (with [None]) every
+    subsequent [send] event. At most one listener at a time — subscribing
+    over a live listener raises instead of silently replacing it, so two
+    tracers cannot fight over one channel unnoticed.
+    @raise Invalid_argument if a listener is already attached. *)
+let on_send t listener =
+  (match (listener, t.send_listener) with
+  | Some _, Some _ ->
+      invalid_arg
+        "Comm.on_send: a send listener is already attached (at most one at a time; \
+         unsubscribe it first with on_send t None)"
+  | _ -> ());
+  t.send_listener <- listener
 
-(** Subscribe to (or with [None] unsubscribe from) every subsequent
-    [bump_rounds] event. At most one listener at a time; no-op by
-    default. *)
-let on_rounds t listener = t.rounds_listener <- listener
+(** Like [on_send], for [bump_rounds] events.
+    @raise Invalid_argument if a listener is already attached. *)
+let on_rounds t listener =
+  (match (listener, t.rounds_listener) with
+  | Some _, Some _ ->
+      invalid_arg
+        "Comm.on_rounds: a rounds listener is already attached (at most one at a time; \
+         unsubscribe it first with on_rounds t None)"
+  | _ -> ());
+  t.rounds_listener <- listener
+
+(** Attach (or with [None] detach) the physical channel behind [send].
+    @raise Invalid_argument if a wire is already attached. *)
+let set_wire t wire =
+  (match (wire, t.wire) with
+  | Some _, Some _ ->
+      invalid_arg "Comm.set_wire: a wire is already attached (at most one at a time)"
+  | _ -> ());
+  t.wire <- wire
 
 let send t ~from ~bits =
-  if bits < 0 then invalid_arg "Comm.send: negative bit count";
+  if bits < 0 then
+    invalid_arg (Printf.sprintf "Comm.send: bit count %d is negative (expected >= 0)" bits);
   (match (from : Party.t) with
   | Alice -> t.alice_to_bob <- t.alice_to_bob + bits
   | Bob -> t.bob_to_alice <- t.bob_to_alice + bits);
-  match t.send_listener with None -> () | Some f -> f ~from ~bits
+  (match t.send_listener with None -> () | Some f -> f ~from ~bits);
+  match t.wire with None -> () | Some f -> f ~from ~bits
 
 (** Declare [n] additional communication rounds. Primitive protocols bump
     this by their (constant) round count. *)

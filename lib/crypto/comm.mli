@@ -16,7 +16,11 @@ type t
 val create : unit -> t
 
 (** Account [bits] sent by [from] to the other party. [bits = 0] is legal
-    and a no-op on the tally (listeners still fire).
+    and a no-op on the tally (listeners still fire). When a wire is
+    attached (see {!set_wire}) the send additionally moves a payload of
+    the declared size over the physical channel — after the tally update,
+    which depends on the declared bit count alone, so accounting is
+    bit-identical with and without a transport.
     @raise Invalid_argument on negative counts. *)
 val send : t -> from:Party.t -> bits:int -> unit
 
@@ -25,13 +29,26 @@ val bump_rounds : t -> int -> unit
 
 (** [on_send t (Some f)] subscribes [f] to every subsequent {!send} event
     (after the tally is updated); [on_send t None] unsubscribes. At most
-    one listener at a time; the default is no listener, in which case
-    {!send} pays exactly one extra branch and allocates nothing. Used by
-    the tracing layer to attribute traffic to its active span. *)
+    one listener at a time — subscribing while one is attached raises
+    rather than silently replacing it. The default is no listener, in
+    which case {!send} pays exactly one extra branch and allocates
+    nothing. A listener may detach itself (or attach a successor) from
+    inside its own callback: the channel reads the subscription once per
+    event, before invoking it. Used by the tracing layer to attribute
+    traffic to its active span.
+    @raise Invalid_argument if a send listener is already attached. *)
 val on_send : t -> (from:Party.t -> bits:int -> unit) option -> unit
 
-(** Like {!on_send}, for {!bump_rounds} events. *)
+(** Like {!on_send}, for {!bump_rounds} events.
+    @raise Invalid_argument if a rounds listener is already attached. *)
 val on_rounds : t -> (int -> unit) option -> unit
+
+(** Attach (or with [None] detach) the physical channel behind {!send}:
+    the callback receives every send after accounting and is expected to
+    move a payload of the declared size over a real transport. At most
+    one wire at a time.
+    @raise Invalid_argument if a wire is already attached. *)
+val set_wire : t -> (from:Party.t -> bits:int -> unit) option -> unit
 
 val tally : t -> tally
 val diff : tally -> tally -> tally

@@ -27,26 +27,69 @@ type t = {
   dealer : Prg.t;
   mutable sink : Trace_sink.t;
       (** observability sink; {!Trace_sink.noop} unless a tracer attached *)
+  transport : Secyan_net.Resilient.t option;
+      (** the physical channel behind [comm], if any; [None] keeps the
+          classic pure-accounting simulation *)
 }
 
+(* With a transport attached, every [Comm.send] moves a payload of the
+   declared size over the real channel. The payload content is a fixed
+   filler — the protocol itself is simulated in-process, so only the
+   transfer's size, framing, and fate (delivered / retried / failed) are
+   meaningful — and the tally never depends on it, so accounted
+   communication stays bit-identical to the simulated path. *)
+let wire_of transport =
+  fun ~from ~bits ->
+    let dir =
+      match (from : Party.t) with
+      | Alice -> Secyan_net.Transport.Alice_to_bob
+      | Bob -> Secyan_net.Transport.Bob_to_alice
+    in
+    let payload = Bytes.make ((bits + 7) / 8) '\xa5' in
+    ignore (Secyan_net.Resilient.transfer transport ~dir payload : Bytes.t)
+
 let create ?(bits = 32) ?(kappa = 128) ?(sigma = 40) ?(gc_backend = Sim)
-    ?(gc_kdf = Garbling.Aes128_kdf) ?(domains = 1) ~seed () =
+    ?(gc_kdf = Garbling.Aes128_kdf) ?(domains = 1) ?transport ~seed () =
   let domains = max 1 domains in
   let master = Prg.create seed in
-  {
-    comm = Comm.create ();
-    ring = Zn.create bits;
-    kappa;
-    sigma;
-    gc_backend;
-    gc_kdf;
-    domains;
-    pool = lazy (Domain_pool.create domains);
-    prg_alice = Prg.split master;
-    prg_bob = Prg.split master;
-    dealer = Prg.split master;
-    sink = Trace_sink.noop;
-  }
+  let t =
+    {
+      comm = Comm.create ();
+      ring = Zn.create bits;
+      kappa;
+      sigma;
+      gc_backend;
+      gc_kdf;
+      domains;
+      pool = lazy (Domain_pool.create domains);
+      prg_alice = Prg.split master;
+      prg_bob = Prg.split master;
+      dealer = Prg.split master;
+      sink = Trace_sink.noop;
+      transport;
+    }
+  in
+  (match transport with
+  | None -> ()
+  | Some tr ->
+      Comm.set_wire t.comm (Some (wire_of tr));
+      (* Resilience events surface as typed counters of whatever sink is
+         attached when they fire (the closure reads [t.sink] per event,
+         so tracers attached later still see them). *)
+      Secyan_net.Resilient.set_listener tr
+        (Some
+           (fun ev ->
+             match (ev : Secyan_net.Resilient.event) with
+             | Retry -> t.sink.Trace_sink.bump Trace_sink.Retries 1
+             | Timeout_hit -> t.sink.Trace_sink.bump Trace_sink.Timeouts 1
+             | Corrupt_frame -> t.sink.Trace_sink.bump Trace_sink.Frames_corrupted 1
+             | Duplicate_dropped -> ())));
+  t
+
+(** Close the attached transport, if any (idempotent; no-op when
+    simulating). *)
+let close_transport t =
+  match t.transport with None -> () | Some tr -> Secyan_net.Resilient.close tr
 
 (** The context's work pool (spawned on first use). *)
 let pool t = Lazy.force t.pool

@@ -23,16 +23,26 @@ type t = {
   dealer : Prg.t;
   mutable sink : Trace_sink.t;
       (** observability sink; {!Trace_sink.noop} unless a tracer attached *)
+  transport : Secyan_net.Resilient.t option;
+      (** the physical channel behind [comm], if any; [None] keeps the
+          classic pure-accounting simulation *)
 }
 
 (** Defaults match the paper's evaluation: bits = 32 annotation ring,
     kappa = 128, sigma = 40, simulated GC backend, fixed-key AES KDF,
     [domains = 1] (fully sequential). [domains > 1] parallelizes the GC
     batch entry points with bit-identical results, communication, and
-    rounds (see DESIGN.md §9). *)
+    rounds (see DESIGN.md §9). [transport] attaches a real framed channel
+    behind [Comm.send] (see DESIGN.md §10): every declared transfer then
+    physically crosses it with timeout/retry protection, resilience
+    events surface as the [Retries]/[Timeouts]/[Frames_corrupted] trace
+    counters, and unrecoverable faults raise
+    [Secyan_net.Resilient.Transport_error] out of the protocol phase.
+    Tallies are bit-identical with and without a transport. *)
 val create :
   ?bits:int -> ?kappa:int -> ?sigma:int -> ?gc_backend:gc_backend ->
-  ?gc_kdf:Garbling.kdf -> ?domains:int -> seed:int64 -> unit -> t
+  ?gc_kdf:Garbling.kdf -> ?domains:int -> ?transport:Secyan_net.Resilient.t ->
+  seed:int64 -> unit -> t
 
 (** The context's work pool (spawned on first use). *)
 val pool : t -> Domain_pool.t
@@ -41,6 +51,10 @@ val pool : t -> Domain_pool.t
     correctness (pools also shut down [at_exit]); promptly releases the
     domains of short-lived parallel contexts. *)
 val shutdown_pool : t -> unit
+
+(** Close the attached transport, if any (idempotent; no-op when
+    simulating). *)
+val close_transport : t -> unit
 
 val prg_of : t -> Party.t -> Prg.t
 

@@ -71,7 +71,13 @@ let try_build prg keys (elements : int64 array) =
 let build ?(n_bins = 0) prg (elements : int64 array) =
   let n_bins = if n_bins > 0 then n_bins else n_bins_for (Array.length elements) in
   let rec go attempts =
-    if attempts > 64 then failwith "Cuckoo_hash.build: persistent insertion failure";
+    if attempts > 64 then
+      failwith
+        (Printf.sprintf
+           "Cuckoo_hash.build: insertion of %d elements into %d bins still failing after \
+            %d key refreshes (expected to succeed within a few; is the bin count \
+            under-provisioned?)"
+           (Array.length elements) n_bins attempts);
     let keys = fresh_keys prg n_bins in
     match try_build prg keys elements with
     | table -> table

@@ -172,7 +172,9 @@ let eval_labels ?(kdf = Aes128_kdf) g (input_labels : Label.t array) =
   let hash = flat_hash kdf in
   let circuit = g.circuit in
   if Array.length input_labels <> circuit.n_inputs then
-    invalid_arg "Garbling.eval_labels: wrong number of input labels";
+    invalid_arg
+      (Printf.sprintf "Garbling.eval_labels: %d input labels for a circuit with %d inputs"
+         (Array.length input_labels) circuit.n_inputs);
   let n_wires = n_wires circuit in
   let hi = Array.make n_wires 0L in
   let lo = Array.make n_wires 0L in

@@ -79,7 +79,9 @@ let build_circuit ctx ~inputs ~build =
       inputs
   in
   let out_words = build b (Array.of_list words) in
-  if out_words = [] then invalid_arg "Gc_protocol: circuit with no outputs";
+  if out_words = [] then
+    invalid_arg "Gc_protocol.build_circuit: the builder returned no output words (expected \
+                 at least one)";
   let anchor = 0 (* input wire 0 exists: every use has at least one input *) in
   let out_words = List.map (Circuits.materialize_word b anchor) out_words in
   let outputs = Array.concat (List.map Array.copy out_words) in
@@ -234,7 +236,12 @@ let eval_to_shares_batch ctx ~(items : input list array) ~build : Secret_share.t
     Array.iter
       (fun bits ->
         if Array.length bits <> Array.length all_bits.(0) then
-          invalid_arg "Gc_protocol.eval_to_shares_batch: items differ in shape")
+          invalid_arg
+            (Printf.sprintf
+               "Gc_protocol.eval_to_shares_batch: item with %d input bits in a batch \
+                whose first item has %d (all items must share the circuit shape)"
+               (Array.length bits)
+               (Array.length all_bits.(0))))
       all_bits;
     account_executions ctx bc all_bits.(0) ~times:(Array.length items);
     Comm.bump_rounds ctx.Context.comm 2;

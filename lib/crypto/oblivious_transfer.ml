@@ -47,7 +47,12 @@ let transfer ctx ~sender ~bits ~(messages : int64 messages) ~choice_bit =
     batch (how OT extension is used in practice). *)
 let transfer_batch ctx ~sender ~bits ~(messages : int64 messages array) ~choices =
   let n = Array.length messages in
-  if Array.length choices <> n then invalid_arg "Oblivious_transfer.transfer_batch";
+  if Array.length choices <> n then
+    invalid_arg
+      (Printf.sprintf
+         "Oblivious_transfer.transfer_batch: %d choice bits for %d message pairs \
+          (expected one choice per pair)"
+         (Array.length choices) n);
   let receiver = Party.other sender in
   Comm.send ctx.Context.comm ~from:receiver
     ~bits:(n * (1 + Cost_model.ot_receiver_bits ~kappa:ctx.Context.kappa));

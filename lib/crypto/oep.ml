@@ -25,7 +25,12 @@ type program = {
     P = m + n physical wires so sources, copies, and fillers all fit. *)
 let program ~m xi =
   let n = Array.length xi in
-  Array.iter (fun s -> if s < 0 || s >= m then invalid_arg "Oep.program: xi out of range") xi;
+  Array.iteri
+    (fun i s ->
+      if s < 0 || s >= m then
+        invalid_arg
+          (Printf.sprintf "Oep.program: xi.(%d) = %d outside the source range [0, %d)" i s m))
+    xi;
   let p = m + n in
   (* Sort output indices by source (stable) so copies are adjacent. *)
   let order = Array.init n (fun i -> i) in
@@ -130,7 +135,10 @@ let account ctx prog =
     returns fresh shares of [x_{xi(i)}]. *)
 let apply_shared ctx ~holder ~xi ~m (values : Secret_share.t array) : Secret_share.t array =
   ignore (holder : Party.t);
-  if Array.length values <> m then invalid_arg "Oep.apply_shared: vector length mismatch";
+  if Array.length values <> m then
+    invalid_arg
+      (Printf.sprintf "Oep.apply_shared: %d input shares, expected m = %d"
+         (Array.length values) m);
   Context.with_span ctx "oep:shared" @@ fun () ->
   let prog = program ~m xi in
   account ctx prog;
@@ -144,7 +152,10 @@ let apply_shared ctx ~holder ~xi ~m (values : Secret_share.t array) : Secret_sha
     [data_holder] (e.g. Bob's payload list); output is shared. *)
 let apply_clear_input ctx ~holder ~xi ~m (values : int64 array) : Secret_share.t array =
   ignore (holder : Party.t);
-  if Array.length values <> m then invalid_arg "Oep.apply_clear_input: vector length mismatch";
+  if Array.length values <> m then
+    invalid_arg
+      (Printf.sprintf "Oep.apply_clear_input: %d input values, expected m = %d"
+         (Array.length values) m);
   Context.with_span ctx "oep:clear" @@ fun () ->
   let prog = program ~m xi in
   account ctx prog;

@@ -14,7 +14,11 @@
 let batch ctx ~sender ~out_bits ~(programming : (int64 * int64) list array)
     ~(queries : int64 array) : int64 array =
   let n_bins = Array.length programming in
-  if Array.length queries <> n_bins then invalid_arg "Oprf.batch: bin count mismatch";
+  if Array.length queries <> n_bins then
+    invalid_arg
+      (Printf.sprintf "Oprf.batch: %d queries for %d programmed bins (expected one query \
+                       per bin)"
+         (Array.length queries) n_bins);
   Context.with_span ctx "oprf:batch" @@ fun () ->
   let receiver = Party.other sender in
   let comm = ctx.Context.comm in

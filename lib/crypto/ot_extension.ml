@@ -62,7 +62,12 @@ let row_of_columns (cols : column array) j : block =
 let extend ctx ~sender ~(messages : (block * block) array) ~(choices : bool array) :
     block array =
   let m = Array.length messages in
-  if Array.length choices <> m then invalid_arg "Ot_extension.extend: length mismatch";
+  if Array.length choices <> m then
+    invalid_arg
+      (Printf.sprintf
+         "Ot_extension.extend: %d choice bits for %d message pairs (expected one choice \
+          per pair)"
+         (Array.length choices) m);
   Context.with_span ctx "ot:extend" @@ fun () ->
   Context.bump ctx Trace_sink.Ots m;
   let receiver = Party.other sender in

@@ -45,7 +45,8 @@ let bits t n =
 
 (** Uniform integer in [\[0, bound)] by rejection sampling. *)
 let below t bound =
-  if bound <= 0 then invalid_arg "Prg.below: bound must be positive";
+  if bound <= 0 then
+    invalid_arg (Printf.sprintf "Prg.below: bound = %d, expected a positive integer" bound);
   let bound64 = Int64.of_int bound in
   let rec loop () =
     let r = Int64.shift_right_logical (next_int64 t) 1 in

@@ -23,7 +23,9 @@ let dummy_for_bin i = Int64.logor (Int64.shift_left 1L 62) (Int64.of_int i)
 
 let check_element x =
   if Int64.unsigned_compare x (Int64.shift_left 1L element_bits) >= 0 then
-    invalid_arg "Psi: element encodings must fit in 60 bits"
+    invalid_arg
+      (Printf.sprintf "Psi.check_element: encoding %Lu does not fit in %d bits (the top \
+                       bits are reserved for bin dummies)" x element_bits)
 
 type result = {
   table : Cuckoo_hash.table;       (** Alice's cuckoo table over X *)
@@ -43,7 +45,11 @@ let with_payloads ctx ~receiver ~(alice_set : int64 array)
   Array.iter check_element alice_set;
   Array.iter check_element bob_set;
   if Array.length bob_set <> Array.length bob_payloads then
-    invalid_arg "Psi.with_payloads: payload count mismatch";
+    invalid_arg
+      (Printf.sprintf
+         "Psi.with_payloads: %d payloads for %d set elements (expected one payload per \
+          element)"
+         (Array.length bob_payloads) (Array.length bob_set));
   Context.with_span ctx "psi:payloads" @@ fun () ->
   let comm = ctx.Context.comm in
   let ring_bits = Context.ring_bits ctx in

@@ -28,7 +28,11 @@ let run ctx ~receiver ~(alice_set : int64 array) ~(bob_set : int64 array)
   let sender = Party.other receiver in
   let n = Array.length bob_set in
   if Array.length bob_payload_shares <> n then
-    invalid_arg "Psi_shared_payload.run: payload count mismatch";
+    invalid_arg
+      (Printf.sprintf
+         "Psi_shared_payload.run: %d payload shares for %d set elements (expected one \
+          share per element)"
+         (Array.length bob_payload_shares) n);
   Context.with_span ctx "psi:shared-payloads" @@ fun () ->
   (* The sender's random permutation over [N+B] requires B, which is
      determined by the receiver's cuckoo table size. *)
@@ -47,7 +51,11 @@ let run ctx ~receiver ~(alice_set : int64 array) ~(bob_set : int64 array)
   let psi = Psi.with_payloads ctx ~receiver ~alice_set ~bob_set ~bob_payloads:index_payloads in
   let b_actual = Psi.n_bins psi in
   if b_actual <> b then
-    invalid_arg "Psi_shared_payload.run: bin count drifted from n_bins_for";
+    invalid_arg
+      (Printf.sprintf
+         "Psi_shared_payload.run: PSI produced %d bins but n_bins_for predicted %d (the \
+          permutation was sized for the prediction)"
+         b_actual b);
   (* 4. per-bin circuit revealing k_i to the receiver *)
   let items =
     Array.init b (fun i ->

@@ -52,7 +52,10 @@ let comparator_count t = List.length t.comparators
 (** Apply the network in the clear with a custom order; padding positions
     hold +infinity sentinels and are stripped from the output. *)
 let apply ?(compare = Stdlib.compare) t (data : 'a array) =
-  if Array.length data <> t.n then invalid_arg "Sorting_network.apply: length mismatch";
+  if Array.length data <> t.n then
+    invalid_arg
+      (Printf.sprintf "Sorting_network.apply: %d values for a network over %d wires"
+         (Array.length data) t.n);
   let work = Array.init t.padded (fun i -> if i < t.n then Some data.(i) else None) in
   let le a b =
     match a, b with

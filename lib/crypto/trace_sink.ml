@@ -25,7 +25,13 @@
     - [B2a_words]: Boolean-to-arithmetic share conversions of one output
       word each.
     - [Gc_circuits]: individual circuit executions (batch size times
-      batches) passed through the GC protocol. *)
+      batches) passed through the GC protocol.
+    - [Retries]: transport-level retransmissions of a logical message
+      (attempts beyond the first; only bumped when a real transport is
+      attached to the context).
+    - [Timeouts]: transport receive attempts that expired without an
+      intact frame.
+    - [Frames_corrupted]: frames rejected by the transport's CRC check. *)
 type counter =
   | And_gates
   | Ots
@@ -33,8 +39,11 @@ type counter =
   | Cuckoo_bins
   | B2a_words
   | Gc_circuits
+  | Retries
+  | Timeouts
+  | Frames_corrupted
 
-let n_counters = 6
+let n_counters = 9
 
 let counter_index = function
   | And_gates -> 0
@@ -43,6 +52,9 @@ let counter_index = function
   | Cuckoo_bins -> 3
   | B2a_words -> 4
   | Gc_circuits -> 5
+  | Retries -> 6
+  | Timeouts -> 7
+  | Frames_corrupted -> 8
 
 let counter_name = function
   | And_gates -> "and_gates"
@@ -51,8 +63,13 @@ let counter_name = function
   | Cuckoo_bins -> "cuckoo_bins"
   | B2a_words -> "b2a_words"
   | Gc_circuits -> "gc_circuits"
+  | Retries -> "retries"
+  | Timeouts -> "timeouts"
+  | Frames_corrupted -> "frames_corrupted"
 
-let all_counters = [ And_gates; Ots; Oep_switches; Cuckoo_bins; B2a_words; Gc_circuits ]
+let all_counters =
+  [ And_gates; Ots; Oep_switches; Cuckoo_bins; B2a_words; Gc_circuits; Retries; Timeouts;
+    Frames_corrupted ]
 
 type t = {
   enter : string -> unit;  (** open a child span under the active span *)

@@ -8,8 +8,9 @@
 (** Typed event counters bumped by the primitives:
     AND gates garbled, OTs executed (GC evaluator inputs, B2A, OT
     extension — OEP switches are counted separately), permutation-network
-    switches, circuit-PSI cuckoo bins, B2A word conversions, and GC
-    circuit executions. *)
+    switches, circuit-PSI cuckoo bins, B2A word conversions, GC circuit
+    executions, and — when a real transport is attached — transport
+    retransmissions, receive timeouts, and CRC-rejected frames. *)
 type counter =
   | And_gates
   | Ots
@@ -17,6 +18,9 @@ type counter =
   | Cuckoo_bins
   | B2a_words
   | Gc_circuits
+  | Retries
+  | Timeouts
+  | Frames_corrupted
 
 val n_counters : int
 

@@ -8,7 +8,8 @@
 type t = { bits : int; mask : int64 }
 
 let create bits =
-  if bits < 1 || bits > 62 then invalid_arg "Zn.create: bits must be in [1, 62]";
+  if bits < 1 || bits > 62 then
+    invalid_arg (Printf.sprintf "Zn.create: ring width %d bits outside [1, 62]" bits);
   { bits; mask = Int64.sub (Int64.shift_left 1L bits) 1L }
 
 let bits t = t.bits

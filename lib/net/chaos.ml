@@ -1,0 +1,184 @@
+(** Deterministic, seeded fault injection over a raw transport.
+
+    The wrapper intercepts [send_frame] and assigns faults by {e message
+    index}: a global counter of send attempts (retransmissions included,
+    so a fault burst as long as the retry budget is exactly what makes a
+    message unrecoverable). A spec entry [kind:n] schedules one {e burst}
+    of [n] consecutive indices carrying [kind]; bursts are laid out in
+    spec order, separated by seeded gaps, so a given [(spec, seed)] pair
+    names one reproducible schedule. [disconnect:i] is special: the
+    channel closes permanently at index [i].
+
+    Fault semantics:
+    - [drop]: the frame is never transmitted (the receiver times out).
+    - [duplicate]: the frame is transmitted twice (the receiver must
+      deduplicate by sequence number).
+    - [corrupt]: a payload bit (or, for empty payloads, a CRC bit) is
+      flipped in a copy; the receiver's CRC check rejects the frame.
+    - [delay]: the frame is held back and released just before the next
+      send in its direction — the receiver times out, the retransmission
+      races the original, and the loser is deduplicated.
+    - [disconnect]: the channel closes; every later operation raises
+      {!Transport.Closed}.
+
+    Corruption flips bits strictly after the frame header so stream
+    backends stay parseable — the damage is CRC-detectable payload rot,
+    not a stream desync (which [tcp] treats as fatal). *)
+
+type fault = Drop | Duplicate | Corrupt | Delay | Disconnect
+
+let fault_name = function
+  | Drop -> "drop"
+  | Duplicate -> "duplicate"
+  | Corrupt -> "corrupt"
+  | Delay -> "delay"
+  | Disconnect -> "disconnect"
+
+type spec = (fault * int) list
+
+let parse_spec s =
+  let entry e =
+    match String.index_opt e ':' with
+    | None -> Error (Printf.sprintf "Chaos.parse_spec: %S is not of the form kind:n" e)
+    | Some i ->
+        let kind = String.sub e 0 i and count = String.sub e (i + 1) (String.length e - i - 1) in
+        let fault =
+          match kind with
+          | "drop" -> Ok Drop
+          | "duplicate" | "dup" -> Ok Duplicate
+          | "corrupt" -> Ok Corrupt
+          | "delay" -> Ok Delay
+          | "disconnect" -> Ok Disconnect
+          | other ->
+              Error
+                (Printf.sprintf
+                   "Chaos.parse_spec: unknown fault %S (expected drop, duplicate, corrupt, \
+                    delay or disconnect)"
+                   other)
+        in
+        match fault with
+        | Error e -> Error e
+        | Ok f -> (
+            match int_of_string_opt count with
+            | Some n when n >= 0 -> Ok (f, n)
+            | _ ->
+                Error
+                  (Printf.sprintf "Chaos.parse_spec: count %S is not a non-negative integer"
+                     count))
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | "" :: _ ->
+        Error
+          (Printf.sprintf "Chaos.parse_spec: empty entry in %S (expected kind:n[,kind:n...])"
+             s)
+    | e :: rest -> ( match entry e with Ok x -> go (x :: acc) rest | Error _ as e -> e)
+  in
+  match String.trim s with "" -> Ok [] | trimmed -> go [] (String.split_on_char ',' trimmed)
+
+let spec_to_string spec =
+  String.concat "," (List.map (fun (f, n) -> Printf.sprintf "%s:%d" (fault_name f) n) spec)
+
+type t = {
+  schedule : (int, fault) Hashtbl.t;  (* message index -> fault *)
+  disconnect_at : int option;
+  prg : Rng.t;
+  mutable idx : int;                  (* next message index *)
+  mutable disconnected : bool;
+  delayed : (Transport.direction * Bytes.t) Queue.t;
+  mutable injected : (fault * int) list;  (* realized fault counts *)
+  on_inject : fault -> int -> unit;
+}
+
+let record t fault =
+  t.injected <-
+    (match List.assoc_opt fault t.injected with
+    | None -> (fault, 1) :: t.injected
+    | Some n -> (fault, n + 1) :: List.remove_assoc fault t.injected);
+  t.on_inject fault (t.idx - 1)
+
+let corrupt_copy t frame =
+  let b = Bytes.copy frame in
+  let len = Bytes.length b in
+  (* Flip one bit after the header: in the payload when there is one,
+     otherwise in the CRC trailer. Headers stay intact so stream framing
+     survives and the damage is exactly CRC-detectable. *)
+  let lo = Frame.header_len in
+  let pos = lo + Rng.below t.prg (len - lo) in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl Rng.below t.prg 8)));
+  b
+
+let wrap ?(seed = 1L) ?(on_inject = fun _ _ -> ()) ~spec raw =
+  let prg = Rng.create seed in
+  let schedule = Hashtbl.create 64 in
+  let disconnect_at = ref None in
+  let cursor = ref 0 in
+  List.iter
+    (fun (fault, n) ->
+      match fault with
+      | Disconnect -> if !disconnect_at = None then disconnect_at := Some n
+      | _ ->
+          let start = !cursor + Rng.below prg 8 in
+          for i = start to start + n - 1 do
+            if not (Hashtbl.mem schedule i) then Hashtbl.add schedule i fault
+          done;
+          cursor := start + n + Rng.below prg 8)
+    spec;
+  let t =
+    {
+      schedule;
+      disconnect_at = !disconnect_at;
+      prg;
+      idx = 0;
+      disconnected = false;
+      delayed = Queue.create ();
+      injected = [];
+      on_inject;
+    }
+  in
+  let check () =
+    if t.disconnected then raise (Transport.Closed "chaos: injected disconnect")
+  in
+  let flush_delayed dir =
+    (* Release frames delayed in [dir] just before the next send there. *)
+    let rest = Queue.create () in
+    Queue.iter
+      (fun (d, frame) -> if d = dir then raw.Transport.send_frame dir frame else Queue.push (d, frame) rest)
+      t.delayed;
+    Queue.clear t.delayed;
+    Queue.transfer rest t.delayed
+  in
+  let send_frame dir frame =
+    check ();
+    let i = t.idx in
+    t.idx <- i + 1;
+    (match t.disconnect_at with
+    | Some at when i >= at ->
+        t.disconnected <- true;
+        record t Disconnect;
+        raw.Transport.close ();
+        raise (Transport.Closed "chaos: injected disconnect")
+    | _ -> ());
+    flush_delayed dir;
+    match Hashtbl.find_opt t.schedule i with
+    | None -> raw.Transport.send_frame dir frame
+    | Some Drop -> record t Drop
+    | Some Duplicate ->
+        record t Duplicate;
+        raw.Transport.send_frame dir frame;
+        raw.Transport.send_frame dir frame
+    | Some Corrupt ->
+        record t Corrupt;
+        raw.Transport.send_frame dir (corrupt_copy t frame)
+    | Some Delay ->
+        record t Delay;
+        Queue.push (dir, Bytes.copy frame) t.delayed
+    | Some Disconnect -> assert false (* never scheduled by index *)
+  in
+  let recv_frame dir ~deadline =
+    check ();
+    raw.Transport.recv_frame dir ~deadline
+  in
+  ( { Transport.send_frame; recv_frame; close = raw.Transport.close;
+      kind = raw.Transport.kind ^ "+chaos" },
+    fun () -> t.injected )

@@ -1,0 +1,33 @@
+(** Deterministic, seeded fault injection over a raw transport. Faults
+    are keyed by message index (a global counter of send attempts,
+    retransmissions included). A spec entry [kind:n] schedules one burst
+    of [n] consecutive faulted indices; bursts are laid out in spec order
+    with seeded gaps, so [(spec, seed)] names one reproducible schedule.
+    [disconnect:i] closes the channel permanently at message index [i].
+
+    Recoverability is therefore legible from the spec: a burst shorter
+    than the retry budget is survivable (the retransmission escapes the
+    burst); a [corrupt] or [drop] burst at least as long as the budget —
+    or any [disconnect] — is not. *)
+
+type fault = Drop | Duplicate | Corrupt | Delay | Disconnect
+
+val fault_name : fault -> string
+
+type spec = (fault * int) list
+
+(** Parse ["drop:3,delay:5,disconnect:40"]-style schedules. [dup] is an
+    accepted alias for [duplicate]. *)
+val parse_spec : string -> (spec, string) result
+
+val spec_to_string : spec -> string
+
+(** [wrap ~seed ~spec raw] returns the fault-injecting transport and a
+    thunk reporting how many faults of each kind actually fired.
+    [on_inject] (if given) observes each injection as [(fault, index)]. *)
+val wrap :
+  ?seed:int64 ->
+  ?on_inject:(fault -> int -> unit) ->
+  spec:spec ->
+  Transport.raw ->
+  Transport.raw * (unit -> (fault * int) list)

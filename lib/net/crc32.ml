@@ -1,0 +1,36 @@
+(** CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+
+    This is the frame checksum of the transport layer: cheap enough to run
+    over every payload, and — unlike a truncated cryptographic hash — the
+    standard choice for detecting line corruption rather than adversarial
+    tampering (integrity against an adversary is the job of the protocol
+    layer above, which authenticates nothing less than the whole
+    transcript). *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+(** [update crc b ~pos ~len] extends a running checksum (start from
+    {!empty}) with [len] bytes of [b] at [pos]. *)
+let update crc b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg
+      (Printf.sprintf "Crc32.update: slice [%d, %d) outside buffer of %d bytes" pos (pos + len)
+         (Bytes.length b));
+  let table = Lazy.force table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code (Bytes.unsafe_get b i)) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let empty = 0
+
+(** Checksum of one slice; an [int] holding the 32-bit value. *)
+let digest b ~pos ~len = update empty b ~pos ~len

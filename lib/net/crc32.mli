@@ -1,0 +1,13 @@
+(** CRC-32 (IEEE 802.3), the transport frame checksum. Detects line
+    corruption; adversarial integrity is the protocol layer's job. *)
+
+(** Initial value of a running checksum. *)
+val empty : int
+
+(** [update crc b ~pos ~len] extends a running checksum with a slice.
+    @raise Invalid_argument if the slice lies outside [b]. *)
+val update : int -> Bytes.t -> pos:int -> len:int -> int
+
+(** Checksum of one slice; the 32-bit value as an [int].
+    [digest (Bytes.of_string "123456789")] = [0xCBF43926]. *)
+val digest : Bytes.t -> pos:int -> len:int -> int

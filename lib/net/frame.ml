@@ -1,0 +1,85 @@
+(** Wire framing for the two-party transport.
+
+    Every logical message travels as one frame:
+
+    {v
+      offset  size  field
+      0       2     magic "SY" (0x53 0x59)
+      2       8     sequence number, little-endian int64
+      10      4     payload length, little-endian
+      14      n     payload
+      14+n    4     CRC-32 over bytes [2, 14+n), little-endian
+    v}
+
+    The length field makes the format self-delimiting over a byte stream
+    (TCP); the CRC covers sequence, length, and payload, so any bit flip
+    downstream of the header surfaces as [Bad_crc] rather than as silent
+    payload corruption or a stream desync. The sequence number is assigned
+    once per logical message and reused verbatim by retransmissions, which
+    is what lets the receiver deduplicate resends. *)
+
+let magic0 = '\x53'
+let magic1 = '\x59'
+let header_len = 14
+let trailer_len = 4
+let overhead = header_len + trailer_len
+
+(** Sanity cap on a single frame's payload (1 GiB). A length field above
+    this is treated as corruption, not as an allocation request. *)
+let max_payload = 1 lsl 30
+
+let set_u32 b pos v =
+  Bytes.unsafe_set b pos (Char.unsafe_chr (v land 0xFF));
+  Bytes.unsafe_set b (pos + 1) (Char.unsafe_chr ((v lsr 8) land 0xFF));
+  Bytes.unsafe_set b (pos + 2) (Char.unsafe_chr ((v lsr 16) land 0xFF));
+  Bytes.unsafe_set b (pos + 3) (Char.unsafe_chr ((v lsr 24) land 0xFF))
+
+let get_u32 b pos =
+  Char.code (Bytes.unsafe_get b pos)
+  lor (Char.code (Bytes.unsafe_get b (pos + 1)) lsl 8)
+  lor (Char.code (Bytes.unsafe_get b (pos + 2)) lsl 16)
+  lor (Char.code (Bytes.unsafe_get b (pos + 3)) lsl 24)
+
+let encode ~seq payload =
+  let n = Bytes.length payload in
+  if n > max_payload then
+    invalid_arg
+      (Printf.sprintf "Frame.encode: payload of %d bytes exceeds max_payload = %d" n max_payload);
+  let b = Bytes.create (overhead + n) in
+  Bytes.set b 0 magic0;
+  Bytes.set b 1 magic1;
+  Bytes.set_int64_le b 2 seq;
+  set_u32 b 10 n;
+  Bytes.blit payload 0 b header_len n;
+  set_u32 b (header_len + n) (Crc32.digest b ~pos:2 ~len:(header_len - 2 + n));
+  b
+
+type error = Bad_magic | Bad_length | Bad_crc
+
+let error_to_string = function
+  | Bad_magic -> "bad magic"
+  | Bad_length -> "bad length"
+  | Bad_crc -> "CRC mismatch"
+
+(** Total size of the frame starting at the head of [b] (header + payload
+    + trailer), or [None] when fewer than [header_len] bytes are in view.
+    [Error] when the header itself is implausible — a desynchronized or
+    corrupted stream. Used by stream backends to know how many bytes to
+    accumulate before {!decode}. *)
+let required b ~pos ~len =
+  if len < header_len then Ok None
+  else if Bytes.get b pos <> magic0 || Bytes.get b (pos + 1) <> magic1 then Error Bad_magic
+  else
+    let n = get_u32 b (pos + 10) in
+    if n < 0 || n > max_payload then Error Bad_length else Ok (Some (overhead + n))
+
+let decode b =
+  let len = Bytes.length b in
+  if len < overhead then Error Bad_length
+  else if Bytes.get b 0 <> magic0 || Bytes.get b 1 <> magic1 then Error Bad_magic
+  else
+    let n = get_u32 b 10 in
+    if n < 0 || n > max_payload || len <> overhead + n then Error Bad_length
+    else if get_u32 b (header_len + n) <> Crc32.digest b ~pos:2 ~len:(header_len - 2 + n) then
+      Error Bad_crc
+    else Ok (Bytes.get_int64_le b 2, Bytes.sub b header_len n)

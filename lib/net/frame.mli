@@ -1,0 +1,26 @@
+(** Wire framing: [magic(2) | seq(8 LE) | len(4 LE) | payload | crc32(4 LE)].
+    The CRC covers sequence, length, and payload; the sequence number is
+    per logical message and reused by retransmissions so receivers can
+    deduplicate. *)
+
+val header_len : int
+val overhead : int
+
+(** Sanity cap on one payload (1 GiB); larger length fields are treated as
+    corruption. *)
+val max_payload : int
+
+(** @raise Invalid_argument if the payload exceeds {!max_payload}. *)
+val encode : seq:int64 -> Bytes.t -> Bytes.t
+
+type error = Bad_magic | Bad_length | Bad_crc
+
+val error_to_string : error -> string
+
+(** Total frame size at the head of the slice ([Ok None] when fewer than
+    {!header_len} bytes are in view; [Error] on an implausible header,
+    i.e. a desynchronized stream). *)
+val required : Bytes.t -> pos:int -> len:int -> (int option, error) result
+
+(** Decode one complete frame to [(seq, payload)]. *)
+val decode : Bytes.t -> (int64 * Bytes.t, error) result

@@ -1,0 +1,211 @@
+(** The resilience layer: reliable logical transfers over an unreliable
+    raw transport.
+
+    One {!transfer} moves one logical message. The payload is framed with
+    a fresh per-direction sequence number and sent; the receiving side
+    (same process — the runtime plays both parties) then waits for the
+    frame with the expected sequence number under a per-attempt timeout.
+    A timed-out or CRC-rejected attempt triggers a retransmission {e with
+    the same sequence number} after an exponential backoff with
+    deterministic jitter; the receiver drops already-delivered sequence
+    numbers, so retransmissions racing a delayed original are idempotent.
+    After [max_attempts] failures the transfer raises the typed
+    {!Transport_error} — never a hang, never a silently wrong delivery:
+    the failure names its kind, the attempts spent, and the elapsed time,
+    so protocol phases can surface a clean, attributable fault.
+
+    The state machine per transfer:
+
+    {v
+      SEND --(recv ok, seq match)--> DELIVERED
+      SEND --(timeout | bad CRC)--> BACKOFF --(attempts left)--> SEND
+      BACKOFF --(attempts exhausted)--> error Timeout | Corrupt
+      any --(Transport.Closed)--> error Closed   (no retry: unrecoverable)
+    v}
+*)
+
+type error_kind = Timeout | Corrupt | Closed
+
+let error_kind_name = function
+  | Timeout -> "timeout"
+  | Corrupt -> "corrupt"
+  | Closed -> "closed"
+
+exception
+  Transport_error of {
+    kind : error_kind;
+    attempts : int;
+    elapsed : float;  (** seconds spent inside the failing transfer *)
+    detail : string;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Transport_error { kind; attempts; elapsed; detail } ->
+        Some
+          (Printf.sprintf "Transport_error { kind = %s; attempts = %d; elapsed = %.3fs; %s }"
+             (error_kind_name kind) attempts elapsed detail)
+    | _ -> None)
+
+type event = Retry | Timeout_hit | Corrupt_frame | Duplicate_dropped
+
+type config = {
+  timeout : float;  (** per-attempt receive wait, seconds *)
+  max_attempts : int;
+  backoff_base : float;  (** first backoff, seconds; doubles per retry *)
+  backoff_max : float;
+  jitter : float;  (** fraction of the backoff added as seeded jitter *)
+  sleep : float -> unit;
+      (** how to wait out a backoff. [ignore] for the in-process backend
+          (its timeouts are instantaneous, so real sleeping would only
+          slow tests); [Unix.sleepf] for sockets. *)
+}
+
+let default_config =
+  { timeout = 0.25; max_attempts = 5; backoff_base = 0.002; backoff_max = 0.05;
+    jitter = 0.5; sleep = ignore }
+
+type stats = {
+  transfers : int;
+  retries : int;
+  timeouts : int;
+  corrupt_frames : int;
+  duplicates_dropped : int;
+}
+
+type t = {
+  raw : Transport.raw;
+  config : config;
+  prg : Rng.t;  (* jitter only; never touches protocol randomness *)
+  send_seq : int64 array;  (* next seq per direction, index 0 = a->b *)
+  expect_seq : int64 array;  (* next undelivered seq per direction *)
+  mutable listener : (event -> unit) option;
+  mutable transfers : int;
+  mutable retries : int;
+  mutable timeouts : int;
+  mutable corrupt_frames : int;
+  mutable duplicates_dropped : int;
+}
+
+let dir_index = function Transport.Alice_to_bob -> 0 | Transport.Bob_to_alice -> 1
+
+let create ?(config = default_config) ?(seed = 1L) raw =
+  if config.max_attempts < 1 then
+    invalid_arg
+      (Printf.sprintf "Resilient.create: max_attempts = %d, expected >= 1" config.max_attempts);
+  {
+    raw;
+    config;
+    prg = Rng.create seed;
+    send_seq = [| 0L; 0L |];
+    expect_seq = [| 0L; 0L |];
+    listener = None;
+    transfers = 0;
+    retries = 0;
+    timeouts = 0;
+    corrupt_frames = 0;
+    duplicates_dropped = 0;
+  }
+
+let set_listener t l = t.listener <- l
+
+let event t ev =
+  (match ev with
+  | Retry -> t.retries <- t.retries + 1
+  | Timeout_hit -> t.timeouts <- t.timeouts + 1
+  | Corrupt_frame -> t.corrupt_frames <- t.corrupt_frames + 1
+  | Duplicate_dropped -> t.duplicates_dropped <- t.duplicates_dropped + 1);
+  match t.listener with None -> () | Some f -> f ev
+
+let stats t =
+  {
+    transfers = t.transfers;
+    retries = t.retries;
+    timeouts = t.timeouts;
+    corrupt_frames = t.corrupt_frames;
+    duplicates_dropped = t.duplicates_dropped;
+  }
+
+let kind t = t.raw.Transport.kind
+
+let close t = t.raw.Transport.close ()
+
+let backoff t attempt =
+  let b = t.config.backoff_base *. (2. ** float_of_int (attempt - 1)) in
+  let b = Float.min b t.config.backoff_max in
+  let j = t.config.jitter *. b *. (float_of_int (Rng.below t.prg 1024) /. 1024.) in
+  t.config.sleep (b +. j)
+
+(* One receive attempt: pop frames until the expected sequence number
+   arrives or [deadline] passes. Stale sequence numbers are duplicates of
+   already-delivered messages (dropped); CRC failures poison the attempt
+   as [`Corrupt] but keep listening — the retransmission may already be
+   queued behind the damaged frame. *)
+let recv_attempt t dir ~deadline =
+  let i = dir_index dir in
+  let saw_corrupt = ref false in
+  let rec go () =
+    match t.raw.Transport.recv_frame dir ~deadline with
+    | None -> if !saw_corrupt then `Corrupt else `Timeout
+    | Some blob -> (
+        match Frame.decode blob with
+        | Error _ ->
+            event t Corrupt_frame;
+            saw_corrupt := true;
+            go ()
+        | Ok (seq, payload) ->
+            if Int64.compare seq t.expect_seq.(i) < 0 then begin
+              event t Duplicate_dropped;
+              go ()
+            end
+            else if Int64.equal seq t.expect_seq.(i) then begin
+              t.expect_seq.(i) <- Int64.add seq 1L;
+              `Delivered payload
+            end
+            else begin
+              (* A sequence number from the future cannot occur in a
+                 lock-step two-party run; treat it as line corruption. *)
+              event t Corrupt_frame;
+              saw_corrupt := true;
+              go ()
+            end)
+  in
+  go ()
+
+let transfer t ~dir payload =
+  let i = dir_index dir in
+  let seq = t.send_seq.(i) in
+  t.send_seq.(i) <- Int64.add seq 1L;
+  t.transfers <- t.transfers + 1;
+  let frame = Frame.encode ~seq payload in
+  let start = Unix.gettimeofday () in
+  let fail kind detail attempts =
+    raise
+      (Transport_error
+         { kind; attempts; elapsed = Unix.gettimeofday () -. start; detail })
+  in
+  let rec attempt n last =
+    if n > t.config.max_attempts then
+      let kind = match last with `Corrupt -> Corrupt | _ -> Timeout in
+      fail kind
+        (Printf.sprintf "detail = seq %Ld undelivered on %s (%s backend)" seq
+           (Transport.direction_name dir) t.raw.Transport.kind)
+        (n - 1)
+    else begin
+      if n > 1 then begin
+        event t Retry;
+        backoff t (n - 1)
+      end;
+      match
+        t.raw.Transport.send_frame dir frame;
+        recv_attempt t dir ~deadline:(Unix.gettimeofday () +. t.config.timeout)
+      with
+      | `Delivered payload -> payload
+      | `Timeout ->
+          event t Timeout_hit;
+          attempt (n + 1) `Timeout
+      | `Corrupt -> attempt (n + 1) `Corrupt
+      | exception Transport.Closed msg -> fail Closed ("detail = " ^ msg) n
+    end
+  in
+  attempt 1 `Timeout

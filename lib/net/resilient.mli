@@ -1,0 +1,68 @@
+(** Resilience layer: reliable logical transfers over an unreliable raw
+    transport — per-attempt receive timeouts, bounded retransmission with
+    exponential backoff and seeded jitter, idempotent resends via
+    sequence-number deduplication, and typed failure. A transfer either
+    delivers the payload intact or raises {!Transport_error}; it never
+    hangs and never delivers silently wrong bytes (CRC-rejected frames
+    are retried, then failed). *)
+
+type error_kind =
+  | Timeout  (** no intact frame arrived within the retry budget *)
+  | Corrupt  (** frames kept arriving CRC-damaged until the budget ran out *)
+  | Closed   (** the channel disconnected; not retried *)
+
+val error_kind_name : error_kind -> string
+
+exception
+  Transport_error of {
+    kind : error_kind;
+    attempts : int;
+    elapsed : float;  (** seconds spent inside the failing transfer *)
+    detail : string;
+  }
+
+type event = Retry | Timeout_hit | Corrupt_frame | Duplicate_dropped
+
+type config = {
+  timeout : float;  (** per-attempt receive wait, seconds *)
+  max_attempts : int;
+  backoff_base : float;  (** first backoff, seconds; doubles per retry *)
+  backoff_max : float;
+  jitter : float;  (** fraction of the backoff added as seeded jitter *)
+  sleep : float -> unit;
+      (** how to wait out a backoff; [ignore] suits the in-process
+          backend (instantaneous timeouts), [Unix.sleepf] sockets. *)
+}
+
+(** timeout 0.25 s, 5 attempts, 2 ms base / 50 ms cap backoff, 0.5
+    jitter, no real sleeping. *)
+val default_config : config
+
+type stats = {
+  transfers : int;
+  retries : int;
+  timeouts : int;
+  corrupt_frames : int;
+  duplicates_dropped : int;
+}
+
+type t
+
+(** @raise Invalid_argument unless [config.max_attempts >= 1]. *)
+val create : ?config:config -> ?seed:int64 -> Transport.raw -> t
+
+(** At most one listener; observes every resilience event as it happens
+    (the tracing layer maps them onto typed counters). *)
+val set_listener : t -> (event -> unit) option -> unit
+
+(** Move one logical message in [dir] and return the received payload.
+    @raise Transport_error after the retry budget is exhausted or on
+    disconnect. *)
+val transfer : t -> dir:Transport.direction -> Bytes.t -> Bytes.t
+
+val stats : t -> stats
+
+(** Backend name ("inproc", "tcp", "inproc+chaos", ...). *)
+val kind : t -> string
+
+val close : t -> unit

@@ -1,0 +1,21 @@
+(** Minimal splitmix64 generator. The net library sits below the crypto
+    library, so it carries its own tiny deterministic source for schedule
+    layout, corruption positions, and backoff jitter — none of which may
+    touch (or depend on) the protocol's randomness. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Uniform-ish draw in [\[0, bound)]; [bound] must be positive. *)
+let below t bound =
+  if bound <= 0 then
+    invalid_arg (Printf.sprintf "Rng.below: bound = %d, expected a positive integer" bound);
+  Int64.to_int (Int64.rem (Int64.logand (next t) Int64.max_int) (Int64.of_int bound))

@@ -1,0 +1,12 @@
+(** Minimal splitmix64 generator for transport-internal randomness
+    (fault-schedule layout, corruption positions, backoff jitter) —
+    deliberately independent of the protocol's randomness. *)
+
+type t
+
+val create : int64 -> t
+val next : t -> int64
+
+(** Uniform-ish draw in [\[0, bound)].
+    @raise Invalid_argument unless [bound > 0]. *)
+val below : t -> int -> int

@@ -1,0 +1,31 @@
+(** Raw two-party frame transports. Both parties live in one process, so
+    a transport is a pair of unidirectional frame channels the caller
+    drives from both ends. Two backends share the interface: {!inproc}
+    (duplex in-memory queues; frames still pass through {!Frame}
+    encode/decode) and {!tcp} (a connected loopback socket pair; sends
+    interleave writes with draining the peer so oversized frames cannot
+    deadlock the single-threaded process). *)
+
+type direction = Alice_to_bob | Bob_to_alice
+
+val direction_name : direction -> string
+
+(** Raised by raw operations once the channel is closed or the peer is
+    gone; the resilience layer maps it to the unrecoverable
+    [Transport_error] kind. *)
+exception Closed of string
+
+type raw = {
+  send_frame : direction -> Bytes.t -> unit;
+      (** push one encoded frame. @raise Closed on a dead channel. *)
+  recv_frame : direction -> deadline:float -> Bytes.t option;
+      (** pop the next frame travelling in [direction]; [None] when
+          nothing arrived by [deadline] (absolute time). [inproc] reports
+          an empty queue as an instantaneous timeout.
+          @raise Closed on a dead channel. *)
+  close : unit -> unit;  (** idempotent *)
+  kind : string;
+}
+
+val inproc : unit -> raw
+val tcp : unit -> raw

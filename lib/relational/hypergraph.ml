@@ -7,8 +7,15 @@ type t = { edges : edge list }
 
 let create edges =
   let labels = List.map (fun e -> e.label) edges in
-  if List.length (List.sort_uniq String.compare labels) <> List.length labels then
-    invalid_arg "Hypergraph.create: duplicate edge labels";
+  (let rec dup = function
+     | a :: (b :: _ as rest) -> if String.equal a b then Some a else dup rest
+     | _ -> None
+   in
+   match dup (List.sort String.compare labels) with
+   | Some l ->
+       invalid_arg
+         (Printf.sprintf "Hypergraph.create: duplicate edge label %S (labels must be unique)" l)
+   | None -> ());
   { edges }
 
 let edge ~label attrs = { label; attrs = Schema.of_list attrs }

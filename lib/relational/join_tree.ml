@@ -199,7 +199,10 @@ let build (hypergraph : Hypergraph.t) ~output =
   let k = Array.length edges in
   if k = 0 then invalid_arg "Join_tree.build: empty hypergraph";
   if k > 8 then
-    invalid_arg "Join_tree.build: more than 8 relations; supply the tree explicitly";
+    invalid_arg
+      (Printf.sprintf "Join_tree.build: %d relations exceed the exhaustive-search limit \
+                       of 8; supply the tree explicitly via of_parents"
+         k);
   let labels = Array.map (fun e -> e.Hypergraph.label) edges in
   let try_tree tree_edges =
     let adjacency = Array.make k [] in

@@ -117,5 +117,5 @@ let semijoin (r1 : Relation.t) (r2 : Relation.t) : Relation.t =
 (** Full annotated join of several relations (fold of binary joins);
     reference implementation for tests and the naive baseline. *)
 let join_all semiring = function
-  | [] -> invalid_arg "Operators.join_all: empty"
+  | [] -> invalid_arg "Operators.join_all: empty relation list (expected at least one)"
   | r :: rest -> List.fold_left (join semiring) r rest

@@ -10,11 +10,17 @@ type t = {
 
 let create ~name ~schema ~tuples ~annots =
   if Array.length tuples <> Array.length annots then
-    invalid_arg "Relation.create: tuple/annotation count mismatch";
+    invalid_arg
+      (Printf.sprintf "Relation.create: %d tuples but %d annotations in %S (expected one \
+                       annotation per tuple)"
+         (Array.length tuples) (Array.length annots) name);
   Array.iter
     (fun t ->
       if Tuple.arity t <> Schema.arity schema then
-        invalid_arg "Relation.create: tuple arity mismatch")
+        invalid_arg
+          (Printf.sprintf "Relation.create: tuple of arity %d in %S whose schema has \
+                           arity %d"
+             (Tuple.arity t) name (Schema.arity schema)))
     tuples;
   { name; schema; tuples; annots }
 
@@ -37,7 +43,9 @@ let nonzero t =
 
 let with_annots t annots =
   if Array.length annots <> cardinality t then
-    invalid_arg "Relation.with_annots: wrong annotation count";
+    invalid_arg
+      (Printf.sprintf "Relation.with_annots: %d annotations for the %d tuples of %S"
+         (Array.length annots) (cardinality t) t.name);
   { t with annots }
 
 let map_annots f t = { t with annots = Array.map f t.annots }
@@ -45,7 +53,10 @@ let map_annots f t = { t with annots = Array.map f t.annots }
 (** Pad with dummy tuples (zero-annotated) up to [size]. *)
 let pad_to ~size t =
   let n = cardinality t in
-  if size < n then invalid_arg "Relation.pad_to: target smaller than relation";
+  if size < n then
+    invalid_arg
+      (Printf.sprintf "Relation.pad_to: target size %d below the %d tuples already in %S"
+         size n t.name);
   if size = n then t
   else
     let extra = size - n in

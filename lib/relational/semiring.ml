@@ -51,11 +51,13 @@ let of_value t v =
   | Boolean -> Int64.logand v 1L
   | Tropical_min ->
       if Int64.compare v 0L < 0 || Int64.unsigned_compare v (top t) >= 0 then
-        invalid_arg "Semiring.of_value: tropical value out of range"
+        invalid_arg
+          (Printf.sprintf "Semiring.of_value: tropical value %Ld outside [0, %Lu)" v (top t))
       else Int64.sub (top t) v
   | Tropical_max ->
       if Int64.compare v 0L < 0 || Int64.unsigned_compare v (top t) >= 0 then
-        invalid_arg "Semiring.of_value: tropical value out of range"
+        invalid_arg
+          (Printf.sprintf "Semiring.of_value: tropical value %Ld outside [0, %Lu)" v (top t))
       else Int64.add v 1L
 
 (** Decode a semiring element; [None] is the tropical infinity (an

@@ -85,4 +85,5 @@ let year_of = function
       let mp = ((5 * doy) + 2) / 153 in
       let m = if mp < 10 then mp + 3 else mp - 9 in
       if m <= 2 then y + 1 else y
-  | Int _ | Str _ | Dummy _ -> invalid_arg "Value.year_of: not a date"
+  | (Int _ | Str _ | Dummy _) as v ->
+      invalid_arg (Printf.sprintf "Value.year_of: value %s is not a Date" (repr v))

@@ -15,9 +15,12 @@ val semiring : Semiring.t
 
 (** A protocol context sized for these queries. [domains] sets the
     parallelism of the GC batch engine (default 1; results are
-    bit-identical for every value). *)
+    bit-identical for every value); [transport] attaches a real framed
+    channel behind the communication accounting (default: pure
+    simulation). *)
 val context :
-  ?gc_backend:Context.gc_backend -> ?domains:int -> seed:int64 -> unit -> Context.t
+  ?gc_backend:Context.gc_backend -> ?domains:int ->
+  ?transport:Secyan_net.Resilient.t -> seed:int64 -> unit -> Context.t
 
 (** {2 Relation shaping helpers} (shared with {!Extra_queries}) *)
 

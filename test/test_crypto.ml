@@ -56,10 +56,12 @@ let test_zn_signed () =
   Alcotest.(check int) "-128" (-128) (Zn.to_signed_int r 128L)
 
 let test_zn_bounds () =
-  Alcotest.check_raises "bits=0 rejected" (Invalid_argument "Zn.create: bits must be in [1, 62]")
-    (fun () -> ignore (Zn.create 0));
-  Alcotest.check_raises "bits=63 rejected" (Invalid_argument "Zn.create: bits must be in [1, 62]")
-    (fun () -> ignore (Zn.create 63))
+  Alcotest.check_raises "bits=0 rejected"
+    (Invalid_argument "Zn.create: ring width 0 bits outside [1, 62]") (fun () ->
+      ignore (Zn.create 0));
+  Alcotest.check_raises "bits=63 rejected"
+    (Invalid_argument "Zn.create: ring width 63 bits outside [1, 62]") (fun () ->
+      ignore (Zn.create 63))
 
 (* ------------------------------------------------------------------ *)
 (* SHA-256 FIPS vectors *)
@@ -380,6 +382,33 @@ let test_pool_propagates_exn () =
   Domain_pool.shutdown pool;
   Alcotest.(check int) "usable after a failure" 45 (Atomic.get total)
 
+let test_pool_shutdown_after_worker_exn () =
+  (* Every item raises, so exceptions surface inside worker domains too
+     (not only on the calling domain); the pool must neither wedge on
+     shutdown nor leak its domains. *)
+  let pool = Domain_pool.create 4 in
+  Alcotest.check_raises "all-raise batch resurfaces" (Failure "every item dies") (fun () ->
+      Domain_pool.run pool ~n:128 ~f:(fun _ -> failwith "every item dies"));
+  Domain_pool.shutdown pool;
+  (* domains were joined, not leaked: a fresh full-size pool spawns and
+     runs immediately *)
+  let pool2 = Domain_pool.create 4 in
+  let total = Atomic.make 0 in
+  Domain_pool.run pool2 ~n:100 ~f:(fun i -> ignore (Atomic.fetch_and_add total i));
+  Domain_pool.shutdown pool2;
+  Alcotest.(check int) "fresh pool fully functional" 4950 (Atomic.get total)
+
+let test_context_shutdown_pool_after_failing_batch () =
+  let ctx = Context.create ~domains:3 ~seed:11L () in
+  let pool = Context.pool ctx in
+  Alcotest.check_raises "failing batch resurfaces" (Failure "batch dies") (fun () ->
+      Domain_pool.run pool ~n:32 ~f:(fun i -> if i land 1 = 0 then failwith "batch dies"));
+  (* the failed batch left no job pending: shutdown joins promptly *)
+  Context.shutdown_pool ctx;
+  Context.shutdown_pool ctx;
+  (* and the context still runs (sequentially) after its pool is gone *)
+  Domain_pool.run pool ~n:4 ~f:(fun _ -> ())
+
 let test_pool_shutdown_idempotent () =
   let pool = Domain_pool.create 2 in
   Domain_pool.run pool ~n:4 ~f:(fun _ -> ());
@@ -620,7 +649,12 @@ let test_psi_with_payloads () =
 let test_psi_element_bounds () =
   let ctx = ctx_sim () in
   Alcotest.check_raises "element too wide"
-    (Invalid_argument "Psi: element encodings must fit in 60 bits") (fun () ->
+    (Invalid_argument
+       (Printf.sprintf
+          "Psi.check_element: encoding %Lu does not fit in 60 bits (the top bits are \
+           reserved for bin dummies)"
+          (Int64.shift_left 1L 61)))
+    (fun () ->
       ignore
         (Psi.membership ctx ~alice_set:[| Int64.shift_left 1L 61 |] ~bob_set:[| 1L |] ()))
 
@@ -822,7 +856,7 @@ let test_comm_send_zero () =
 let test_comm_send_negative () =
   let c = Comm.create () in
   Alcotest.check_raises "negative count rejected"
-    (Invalid_argument "Comm.send: negative bit count") (fun () ->
+    (Invalid_argument "Comm.send: bit count -1 is negative (expected >= 0)") (fun () ->
       Comm.send c ~from:Party.Alice ~bits:(-1))
 
 let test_comm_tally_arithmetic () =
@@ -864,6 +898,62 @@ let test_comm_listeners () =
   (* the tally kept counting regardless of listeners *)
   Alcotest.(check int) "tally still complete" 14 (Comm.tally c).Comm.alice_to_bob_bits
 
+let raises_invalid f =
+  match f () with () -> false | exception Invalid_argument _ -> true
+
+let test_comm_listener_exclusive () =
+  let c = Comm.create () in
+  Comm.on_send c (Some (fun ~from:_ ~bits:_ -> ()));
+  Alcotest.(check bool) "second send listener rejected" true
+    (raises_invalid (fun () -> Comm.on_send c (Some (fun ~from:_ ~bits:_ -> ()))));
+  Comm.on_send c None;
+  (* after an explicit detach, subscribing again is fine *)
+  Comm.on_send c (Some (fun ~from:_ ~bits:_ -> ()));
+  Comm.on_send c None;
+  Comm.on_rounds c (Some ignore);
+  Alcotest.(check bool) "second rounds listener rejected" true
+    (raises_invalid (fun () -> Comm.on_rounds c (Some ignore)));
+  Comm.on_rounds c None;
+  Comm.set_wire c (Some (fun ~from:_ ~bits:_ -> ()));
+  Alcotest.(check bool) "second wire rejected" true
+    (raises_invalid (fun () -> Comm.set_wire c (Some (fun ~from:_ ~bits:_ -> ()))));
+  Comm.set_wire c None
+
+let test_comm_listener_detach_during_send () =
+  let c = Comm.create () in
+  (* a listener may detach itself from inside its own callback *)
+  let calls = ref 0 in
+  Comm.on_send c
+    (Some
+       (fun ~from:_ ~bits:_ ->
+         incr calls;
+         Comm.on_send c None));
+  Comm.send c ~from:Party.Alice ~bits:8;
+  Comm.send c ~from:Party.Alice ~bits:8;
+  Alcotest.(check int) "self-detaching listener fired exactly once" 1 !calls;
+  (* ... or hand over to a successor mid-send *)
+  let successor = ref 0 in
+  Comm.on_send c
+    (Some
+       (fun ~from:_ ~bits:_ ->
+         Comm.on_send c None;
+         Comm.on_send c (Some (fun ~from:_ ~bits:_ -> incr successor))));
+  Comm.send c ~from:Party.Bob ~bits:1;
+  Comm.send c ~from:Party.Bob ~bits:1;
+  Alcotest.(check int) "successor sees only later sends" 1 !successor;
+  (* same discipline on the rounds listener *)
+  let rounds = ref 0 in
+  Comm.on_rounds c
+    (Some
+       (fun n ->
+         rounds := !rounds + n;
+         Comm.on_rounds c None));
+  Comm.bump_rounds c 2;
+  Comm.bump_rounds c 5;
+  Alcotest.(check int) "self-detaching rounds listener fired once" 2 !rounds;
+  (* the tally was never affected by listener churn *)
+  Alcotest.(check int) "tally unaffected" 16 (Comm.tally c).Comm.alice_to_bob_bits
+
 (* ------------------------------------------------------------------ *)
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
@@ -877,6 +967,9 @@ let () =
           Alcotest.test_case "negative send rejected" `Quick test_comm_send_negative;
           Alcotest.test_case "tally arithmetic" `Quick test_comm_tally_arithmetic;
           Alcotest.test_case "listeners" `Quick test_comm_listeners;
+          Alcotest.test_case "listener exclusivity" `Quick test_comm_listener_exclusive;
+          Alcotest.test_case "listener detach during send" `Quick
+            test_comm_listener_detach_during_send;
         ] );
       ( "prg",
         [
@@ -929,6 +1022,10 @@ let () =
           Alcotest.test_case "covers all indices" `Quick test_pool_covers_indices;
           Alcotest.test_case "propagates exceptions" `Quick test_pool_propagates_exn;
           Alcotest.test_case "shutdown idempotent" `Quick test_pool_shutdown_idempotent;
+          Alcotest.test_case "shutdown after worker exception" `Quick
+            test_pool_shutdown_after_worker_exn;
+          Alcotest.test_case "context shutdown after failing batch" `Quick
+            test_context_shutdown_pool_after_failing_batch;
           Alcotest.test_case "parallel batches deterministic" `Quick
             test_gc_parallel_deterministic;
         ] );
