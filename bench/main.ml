@@ -660,6 +660,98 @@ let gc_perf () =
     pool_sizes
 
 (* ------------------------------------------------------------------ *)
+(* Checkpoint overhead: wall-clock and bytes-written delta of a fully
+   checkpointed run (a snapshot at every phase/operator boundary) vs a
+   plain run, q3/q10 at scale xs. Results go to BENCH_4.json
+   (EXPERIMENTS.md documents the schema). *)
+
+let bench4_records : Json.t list ref = ref []
+
+let write_bench4_json () =
+  let path = "BENCH_4.json" in
+  let doc =
+    Json.Obj
+      [
+        ("harness", Json.Str "secyan-bench");
+        ("section", Json.Str "checkpoint-overhead");
+        ("seed", Json.Str (Int64.to_string seed));
+        ("records", Json.List (List.rev !bench4_records));
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  line "wrote %s (%d records)" path (List.length !bench4_records)
+
+let rm_rf_flat dir =
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+let checkpoint_overhead () =
+  hrule ();
+  line "Checkpoint overhead: checkpointed vs plain runs at scale xs";
+  hrule ();
+  let sf = 4e-5 (* xs *) in
+  let reps = 3 in
+  let measure make =
+    let d = Secyan_tpch.Datagen.generate ~sf ~seed in
+    let q = make d in
+    (* one timed run; [with_sink] decides whether snapshots are written *)
+    let run_once ~with_sink =
+      settle ();
+      let dir = if with_sink then Some (Filename.temp_dir "secyan-bench-ck" "") else None in
+      let checkpoint = Option.map (fun dir -> Checkpoint.sink ~dir ()) dir in
+      let ctx = Secyan_tpch.Queries.context ?checkpoint ~seed () in
+      let (_, stats), secs = time (fun () -> Secyan.Secure_yannakakis.run ctx q) in
+      let written, bytes =
+        match checkpoint with
+        | Some s -> (s.Checkpoint.written, s.Checkpoint.bytes_written)
+        | None -> (0, 0)
+      in
+      Option.iter rm_rf_flat dir;
+      (stats.Secyan.Secure_yannakakis.tally, secs, written, bytes)
+    in
+    (* min over reps: the delta of interest is systematic, not noise *)
+    let best with_sink =
+      List.init reps (fun _ -> run_once ~with_sink)
+      |> List.fold_left (fun acc ((_, s, _, _) as r) ->
+             match acc with
+             | Some ((_, s0, _, _) as r0) -> Some (if s < s0 then r else r0)
+             | None -> Some r)
+           None
+      |> Option.get
+    in
+    let plain_tally, plain_s, _, _ = best false in
+    let ck_tally, ck_s, written, bytes = best true in
+    (* checkpointing sits below protocol accounting: tallies must match *)
+    let identical = Comm.equal plain_tally ck_tally in
+    let overhead_s = ck_s -. plain_s in
+    line "%-6s plain %8.3f s   checkpointed %8.3f s   delta %+8.3f s (%+6.2f%%)   %d snapshots, %d bytes%s"
+      q.Secyan.Query.name plain_s ck_s overhead_s
+      (100. *. overhead_s /. plain_s)
+      written bytes
+      (if identical then "" else "   !! tally diverged");
+    bench4_records :=
+      Json.Obj
+        [
+          ("query", Json.Str q.Secyan.Query.name);
+          ("scale", Json.Str "xs");
+          ("sf", Json.Float sf);
+          ("reps", Json.Int reps);
+          ("plain_seconds", Json.Float plain_s);
+          ("checkpointed_seconds", Json.Float ck_s);
+          ("overhead_seconds", Json.Float overhead_s);
+          ("overhead_pct", Json.Float (100. *. overhead_s /. plain_s));
+          ("checkpoints_written", Json.Int written);
+          ("checkpoint_bytes", Json.Int bytes);
+          ("tally_identical", Json.Bool identical);
+        ]
+      :: !bench4_records
+  in
+  List.iter measure [ Secyan_tpch.Queries.q3; Secyan_tpch.Queries.q10 ]
+
+(* ------------------------------------------------------------------ *)
 
 let all_sections =
   [
@@ -668,6 +760,7 @@ let all_sections =
     ("ablation-psi", ablation_psi); ("ablation-gc", ablation_gc);
     ("ablation-ring", ablation_ring); ("breakdown", breakdown);
     ("extra-queries", extra_queries); ("micro", micro); ("gc-perf", gc_perf);
+    ("checkpoint-overhead", checkpoint_overhead);
   ]
 
 let () =
@@ -709,4 +802,5 @@ let () =
       | None -> line "unknown section %s" name)
     sections;
   if !bench_records <> [] then write_bench_json ();
-  if !bench2_records <> [] then write_bench2_json ()
+  if !bench2_records <> [] then write_bench2_json ();
+  if !bench4_records <> [] then write_bench4_json ()

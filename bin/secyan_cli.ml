@@ -91,6 +91,23 @@ let chaos_seed_arg =
   let doc = "Seed for the chaos schedule layout (burst positions, corrupted bit choices)." in
   Arg.(value & opt int64 1L & info [ "chaos-seed" ] ~docv:"N" ~doc)
 
+let checkpoint_dir_arg =
+  let doc =
+    "Write a durable protocol-state checkpoint into $(docv) at every phase/operator \
+     boundary. A run killed mid-protocol can then be restarted with $(b,--resume); the \
+     resumed run's results, communication tallies, and round counts are bit-identical to \
+     an uninterrupted run. Only single-protocol queries (q3, q10, q18) are checkpointable."
+  in
+  Arg.(value & opt (some string) None & info [ "checkpoint-dir" ] ~docv:"DIR" ~doc)
+
+let resume_arg =
+  let doc =
+    "Resume from the latest checkpoint in --checkpoint-dir (fresh start when the \
+     directory is empty). A corrupted or query-mismatched checkpoint is rejected with a \
+     typed error (exit 4), never silently loaded."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
 (* Build the resilient channel requested on the command line ([None] for
    the pure simulation). Distinct from the protocol seed on purpose:
    faults must be reproducible independently of the data. *)
@@ -118,6 +135,15 @@ let make_transport transport chaos chaos_seed =
           | Ok spec ->
               let raw, _injected = Secyan_net.Chaos.wrap ~seed:chaos_seed ~spec raw in
               Ok (Some (Secyan_net.Resilient.create ~config ~seed:chaos_seed raw))))
+
+let print_checkpoint_stats = function
+  | None -> ()
+  | Some sink ->
+      Fmt.pr "checkpoints: %d written (%d bytes) in %s%s@."
+        sink.Checkpoint.written sink.Checkpoint.bytes_written sink.Checkpoint.dir
+        (match sink.Checkpoint.resumed_from with
+        | None -> ""
+        | Some epoch -> Printf.sprintf ", resumed from epoch %d" epoch)
 
 let print_transport_stats = function
   | None -> ()
@@ -185,23 +211,45 @@ let content output (r : Relation.t) =
   |> List.map (fun (t, a) -> (Tuple.repr (Tuple.project r.Relation.schema output t), a))
   |> List.sort compare
 
-let run_cmd query scale sf seed backend domains transport chaos chaos_seed verify trace
-    trace_out =
+(* Validate the checkpoint flags and build the sink. Compositions (q8,
+   q9) run several protocol executions over one context, so a single
+   checkpoint stream cannot name their restart point — refuse up front
+   instead of resuming wrongly. *)
+let make_checkpoint query checkpoint_dir resume =
+  let checkpointable = match query with `Q3 | `Q10 | `Q18 -> true | `Q8 | `Q9 -> false in
+  match (checkpoint_dir, resume) with
+  | None, true -> Error "--resume requires --checkpoint-dir"
+  | Some _, _ when not checkpointable ->
+      Error
+        "--checkpoint-dir supports the single-protocol queries (q3, q10, q18); q8 and q9 \
+         are compositions of several protocol runs"
+  | dir, _ -> Ok (Option.map (fun dir -> Checkpoint.sink ~dir ()) dir)
+
+let run_cmd query scale sf seed backend domains transport chaos chaos_seed checkpoint_dir
+    resume verify trace trace_out =
   match make_transport transport chaos chaos_seed with
   | Error msg ->
       Fmt.epr "transport error: %s@." msg;
       2
   | Ok tr ->
+  match make_checkpoint query checkpoint_dir resume with
+  | Error msg ->
+      Fmt.epr "checkpoint error: %s@." msg;
+      2
+  | Ok ck ->
   let sf = resolve_sf scale sf in
   let d = Secyan_tpch.Datagen.generate ~sf ~seed in
   Fmt.pr "dataset: sf=%g (%d total rows)@." sf (Secyan_tpch.Datagen.total_rows d);
-  let ctx = Secyan_tpch.Queries.context ~gc_backend:backend ~domains ?transport:tr ~seed () in
+  let ctx =
+    Secyan_tpch.Queries.context ~gc_backend:backend ~domains ?transport:tr ?checkpoint:ck
+      ~seed ()
+  in
   let simple q =
     Fmt.pr "query %s, join tree %a (root %s)@." q.Secyan.Query.name Join_tree.pp
       q.Secyan.Query.tree (Join_tree.root q.Secyan.Query.tree);
     let revealed, stats =
       traced ~name:q.Secyan.Query.name trace trace_out ctx (fun () ->
-          Secyan.Secure_yannakakis.run ctx q)
+          Secyan.Secure_yannakakis.run ~resume ctx q)
     in
     print_rows revealed;
     print_cost stats.Secyan.Secure_yannakakis.tally stats.Secyan.Secure_yannakakis.seconds;
@@ -214,6 +262,7 @@ let run_cmd query scale sf seed backend domains transport chaos chaos_seed verif
   in
   let finish code =
     print_transport_stats tr;
+    print_checkpoint_stats ck;
     Context.close_transport ctx;
     Context.shutdown_pool ctx;
     code
@@ -246,7 +295,8 @@ let run_cmd query scale sf seed backend domains transport chaos chaos_seed verif
         if not ok then exit 1
       end);
   finish 0
-  with Secyan_net.Resilient.Transport_error { kind; attempts; elapsed; detail } ->
+  with
+  | Secyan_net.Resilient.Transport_error { kind; attempts; elapsed; detail } ->
     (* The protocol surfaced a typed, unrecoverable channel fault instead
        of hanging or producing a wrong answer; report it cleanly. *)
     Fmt.epr "transport failure: %s after %d attempt%s in %.3f s (%s)@."
@@ -254,7 +304,20 @@ let run_cmd query scale sf seed backend domains transport chaos chaos_seed verif
       attempts
       (if attempts = 1 then "" else "s")
       elapsed detail;
-    finish 3)
+    finish 3
+  | Checkpoint.Checkpoint_error { path; kind; detail } ->
+    (* A damaged or mismatched checkpoint is rejected typed, never
+       silently loaded. *)
+    Fmt.epr "checkpoint failure: %s in %s (%s)@." (Checkpoint.error_kind_name kind) path
+      detail;
+    finish 4
+  | Secyan_net.Resilient.Resume_mismatch { alice_session; alice_epoch; bob_session; bob_epoch }
+    ->
+    Fmt.epr
+      "checkpoint failure: session-resume handshake mismatch (alice %s epoch %d, bob %s \
+       epoch %d)@."
+      alice_session alice_epoch bob_session bob_epoch;
+    finish 4)
 
 (* --- plan ---------------------------------------------------------- *)
 
@@ -402,8 +465,8 @@ let statement_arg =
 let run_t =
   Cmd.v (Cmd.info "run" ~doc:"Run a query through the secure Yannakakis protocol")
     Term.(const run_cmd $ query_arg $ scale_arg $ sf_arg $ seed_arg $ backend_arg
-          $ domains_arg $ transport_arg $ chaos_arg $ chaos_seed_arg $ verify_arg
-          $ trace_arg $ trace_out_arg)
+          $ domains_arg $ transport_arg $ chaos_arg $ chaos_seed_arg $ checkpoint_dir_arg
+          $ resume_arg $ verify_arg $ trace_arg $ trace_out_arg)
 
 let plan_t =
   Cmd.v (Cmd.info "plan" ~doc:"Show a query's join tree and protocol plan")

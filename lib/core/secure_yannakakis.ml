@@ -10,7 +10,15 @@
        annotations.
 
     Total cost O~(IN + OUT) and a number of rounds depending only on the
-    query, as proved in the paper. *)
+    query, as proved in the paper.
+
+    When the context carries a checkpoint sink, a durable protocol-state
+    snapshot is emitted at every phase/operator boundary — after the
+    share phase, after each plan operator, and after the full join — and
+    [~resume:true] restarts from the latest one: the restored PRG/dummy
+    streams make the replay the exact run that would have happened, so a
+    resumed execution's results, tally, and protocol counters are
+    bit-identical to an uninterrupted one (DESIGN.md §11). *)
 
 open Secyan_crypto
 open Secyan_relational
@@ -27,56 +35,150 @@ let is_reduce_op = function
   | Yannakakis.Fold _ | Yannakakis.Stop _ | Yannakakis.Root_project _ -> true
   | Yannakakis.Semijoin_up _ | Yannakakis.Semijoin_down _ | Yannakakis.Join_up _ -> false
 
+let op_label = function
+  | Yannakakis.Fold { child; parent; _ } -> "fold:" ^ child ^ "->" ^ parent
+  | Yannakakis.Stop { node; _ } -> "stop:" ^ node
+  | Yannakakis.Root_project { node; _ } -> "project:" ^ node
+  | Yannakakis.Semijoin_up { child; parent } -> "semijoin-up:" ^ child ^ "->" ^ parent
+  | Yannakakis.Semijoin_down { child; parent } -> "semijoin-down:" ^ parent ^ "->" ^ child
+  | Yannakakis.Join_up _ -> "join-up"
+
 (** Run the protocol, leaving the result annotations in shared form (needed
-    for query composition, §7). *)
-let run_shared ctx (q : Query.t) : result =
+    for query composition, §7). [resume] restarts from the latest
+    checkpoint in the context's sink directory when one exists (and is a
+    fresh start otherwise); it requires a checkpoint sink on the context.
+    @raise Checkpoint.Checkpoint_error on a damaged or query-mismatched
+    checkpoint. *)
+let run_shared ?(resume = false) ctx (q : Query.t) : result =
+  if resume && Option.is_none ctx.Context.checkpoint then
+    invalid_arg
+      "Secure_yannakakis.run_shared: ~resume:true without a checkpoint sink on the context";
   let join, seconds, tally =
     Trace.measure ctx @@ fun () ->
     let semiring = q.Query.semiring in
-    let rels : (string, Shared_relation.t) Hashtbl.t = Hashtbl.create 8 in
-    Trace.with_span ctx "phase:share" (fun () ->
-        List.iter
-          (fun (label, (i : Query.input)) ->
-            Trace.with_span ctx ("share:" ^ label) @@ fun () ->
-            Hashtbl.replace rels label
-              (Shared_relation.of_plain ctx ~owner:i.Query.owner i.Query.relation))
-          q.Query.inputs);
-    let get l = Hashtbl.find rels l in
-    let set l r = Hashtbl.replace rels l r in
-    let plan = Yannakakis.plan q.Query.tree ~output:q.Query.output in
-    (* the plan is phase-ordered: all reduce ops precede all semijoin ops *)
-    let reduce_ops, semijoin_ops = List.partition is_reduce_op plan in
-    let remaining = ref (Join_tree.node_labels q.Query.tree) in
-    let exec op =
-      match (op : Yannakakis.phase_op) with
-      | Yannakakis.Fold { child; parent; group_on } ->
-          Trace.with_span ctx ("fold:" ^ child ^ "->" ^ parent) (fun () ->
-              let agg = Oblivious_agg.aggregate ctx semiring (get child) ~attrs:group_on in
-              set parent
-                (Oblivious_semijoin.join_constrained ctx semiring ~left:(get parent) ~right:agg));
-          remaining := List.filter (fun l -> not (String.equal l child)) !remaining
-      | Yannakakis.Stop { node; group_on } ->
-          Trace.with_span ctx ("stop:" ^ node) (fun () ->
-              set node (Oblivious_agg.aggregate ctx semiring (get node) ~attrs:group_on))
-      | Yannakakis.Root_project { node; group_on } ->
-          Trace.with_span ctx ("project:" ^ node) (fun () ->
-              set node (Oblivious_agg.aggregate ctx semiring (get node) ~attrs:group_on))
-      | Yannakakis.Semijoin_up { child; parent } ->
-          Trace.with_span ctx ("semijoin-up:" ^ child ^ "->" ^ parent) (fun () ->
-              set parent
-                (Oblivious_semijoin.semijoin ctx semiring ~left:(get parent) ~right:(get child)))
-      | Yannakakis.Semijoin_down { child; parent } ->
-          Trace.with_span ctx ("semijoin-down:" ^ parent ^ "->" ^ child) (fun () ->
-              set child
-                (Oblivious_semijoin.semijoin ctx semiring ~left:(get child) ~right:(get parent)))
-      | Yannakakis.Join_up _ ->
-          (* the oblivious join protocol handles the whole phase at once *)
-          ()
-    in
-    Trace.with_span ctx "phase:reduce" (fun () -> List.iter exec reduce_ops);
-    Trace.with_span ctx "phase:semijoin" (fun () -> List.iter exec semijoin_ops);
-    let final_rels = List.map get !remaining in
-    Trace.with_span ctx "phase:join" (fun () -> Oblivious_join.run ctx semiring final_rels)
+    (* Restoring (inside the measured block) sets the absolute tally of
+       the interrupted run, and [Trace.measure] started from zero on this
+       fresh context, so the reported diff is the whole run's tally — the
+       same figure an uninterrupted execution reports. *)
+    let resumed = if resume then Protocol_state.load_and_restore ctx q else None in
+    match resumed with
+    | Some { snapshot = { stage = Protocol_state.Joined { joined; annots }; _ }; _ } ->
+        (* The interrupted run had already completed its join phase. *)
+        { Oblivious_join.joined; annots }
+    | (None | Some { snapshot = { stage = Protocol_state.Ops _; _ }; _ }) as resumed ->
+        let skip_ops, start_remaining, start_rels =
+          match resumed with
+          | Some
+              {
+                Protocol_state.snapshot =
+                  { stage = Protocol_state.Ops { done_ops; remaining; rels }; _ };
+                _;
+              } ->
+              (done_ops, Some remaining, Some rels)
+          | _ -> (0, None, None)
+        in
+        let rels : (string, Shared_relation.t) Hashtbl.t = Hashtbl.create 8 in
+        (match start_rels with
+        | Some entries ->
+            (* The share phase already happened in the interrupted run;
+               its working state is the snapshot's. *)
+            List.iter (fun (label, sr) -> Hashtbl.replace rels label sr) entries
+        | None ->
+            Trace.with_span ctx "phase:share" (fun () ->
+                List.iter
+                  (fun (label, (i : Query.input)) ->
+                    Trace.with_span ctx ("share:" ^ label) @@ fun () ->
+                    Hashtbl.replace rels label
+                      (Shared_relation.of_plain ctx ~owner:i.Query.owner i.Query.relation))
+                  q.Query.inputs));
+        let get l = Hashtbl.find rels l in
+        let set l r = Hashtbl.replace rels l r in
+        let plan = Yannakakis.plan q.Query.tree ~output:q.Query.output in
+        (* the plan is phase-ordered: all reduce ops precede all semijoin ops *)
+        let reduce_ops, semijoin_ops = List.partition is_reduce_op plan in
+        let remaining =
+          ref
+            (match start_remaining with
+            | Some r -> r
+            | None -> Join_tree.node_labels q.Query.tree)
+        in
+        (* Snapshot the working state: every operator an uninterrupted run
+           would still execute reads only not-yet-folded relations, so the
+           remaining labels (in canonical tree order) are the whole live
+           state. *)
+        let save ~label ~done_ops =
+          Protocol_state.save ctx q ~label
+            ~stage:
+              (Protocol_state.Ops
+                 {
+                   done_ops;
+                   remaining = !remaining;
+                   rels =
+                     List.filter_map
+                       (fun l ->
+                         if List.exists (String.equal l) !remaining then Some (l, get l)
+                         else None)
+                       (Join_tree.node_labels q.Query.tree);
+                 })
+        in
+        if skip_ops = 0 && start_rels = None then save ~label:"share" ~done_ops:0;
+        let exec op =
+          match (op : Yannakakis.phase_op) with
+          | Yannakakis.Fold { child; parent; group_on } ->
+              Trace.with_span ctx (op_label op) (fun () ->
+                  let agg =
+                    Oblivious_agg.aggregate ctx semiring (get child) ~attrs:group_on
+                  in
+                  set parent
+                    (Oblivious_semijoin.join_constrained ctx semiring ~left:(get parent)
+                       ~right:agg));
+              remaining := List.filter (fun l -> not (String.equal l child)) !remaining
+          | Yannakakis.Stop { node; group_on } ->
+              Trace.with_span ctx (op_label op) (fun () ->
+                  set node (Oblivious_agg.aggregate ctx semiring (get node) ~attrs:group_on))
+          | Yannakakis.Root_project { node; group_on } ->
+              Trace.with_span ctx (op_label op) (fun () ->
+                  set node (Oblivious_agg.aggregate ctx semiring (get node) ~attrs:group_on))
+          | Yannakakis.Semijoin_up { child; parent } ->
+              Trace.with_span ctx (op_label op) (fun () ->
+                  set parent
+                    (Oblivious_semijoin.semijoin ctx semiring ~left:(get parent)
+                       ~right:(get child)))
+          | Yannakakis.Semijoin_down { child; parent } ->
+              Trace.with_span ctx (op_label op) (fun () ->
+                  set child
+                    (Oblivious_semijoin.semijoin ctx semiring ~left:(get child)
+                       ~right:(get parent)))
+          | Yannakakis.Join_up _ ->
+              (* the oblivious join protocol handles the whole phase at once *)
+              ()
+        in
+        (* [idx] numbers operators across both phases, so a snapshot's
+           [done_ops] names one point in the phase-ordered plan. *)
+        let idx = ref 0 in
+        let exec_from phase_ops =
+          List.iter
+            (fun op ->
+              let i = !idx in
+              incr idx;
+              if i >= skip_ops then begin
+                exec op;
+                save ~label:(op_label op) ~done_ops:(i + 1)
+              end)
+            phase_ops
+        in
+        Trace.with_span ctx "phase:reduce" (fun () -> exec_from reduce_ops);
+        Trace.with_span ctx "phase:semijoin" (fun () -> exec_from semijoin_ops);
+        let final_rels = List.map get !remaining in
+        let join =
+          Trace.with_span ctx "phase:join" (fun () ->
+              Oblivious_join.run ctx semiring final_rels)
+        in
+        Protocol_state.save ctx q ~label:"join"
+          ~stage:
+            (Protocol_state.Joined
+               { joined = join.Oblivious_join.joined; annots = join.Oblivious_join.annots });
+        join
   in
   {
     joined = join.Oblivious_join.joined;
@@ -87,8 +189,8 @@ let run_shared ctx (q : Query.t) : result =
 
 (** Run the protocol and reveal the result annotations to Alice (the
     designated receiver): the standard top-level entry point. *)
-let run ctx (q : Query.t) : Relation.t * result =
-  let r = run_shared ctx q in
+let run ?resume ctx (q : Query.t) : Relation.t * result =
+  let r = run_shared ?resume ctx q in
   let revealed, seconds, tally =
     Trace.measure ctx @@ fun () ->
     Trace.with_span ctx "reveal" @@ fun () ->

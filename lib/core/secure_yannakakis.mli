@@ -15,9 +15,18 @@ type result = {
 
 (** Run the protocol, leaving the result annotations in shared form —
     the entry point for query composition (§7), where several aggregates
-    are post-processed by small circuits before anything is revealed. *)
-val run_shared : Context.t -> Query.t -> result
+    are post-processed by small circuits before anything is revealed.
+
+    When the context carries a checkpoint sink, a durable snapshot is
+    emitted at every phase/operator boundary; [~resume:true] (requires
+    the sink) restarts from the latest checkpoint when one exists, with
+    results, tally, and protocol counters bit-identical to an
+    uninterrupted run (DESIGN.md §11).
+    @raise Checkpoint.Checkpoint_error on a damaged or query-mismatched
+    checkpoint.
+    @raise Invalid_argument for [~resume:true] without a sink. *)
+val run_shared : ?resume:bool -> Context.t -> Query.t -> result
 
 (** Run the protocol and reveal the result annotations to Alice, the
     designated receiver: the standard top-level entry point. *)
-val run : Context.t -> Query.t -> Relation.t * result
+val run : ?resume:bool -> Context.t -> Query.t -> Relation.t * result

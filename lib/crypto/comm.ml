@@ -89,6 +89,14 @@ let bump_rounds t n =
 let tally t =
   { alice_to_bob_bits = t.alice_to_bob; bob_to_alice_bits = t.bob_to_alice; rounds = t.rounds }
 
+(** Overwrite the counters with an absolute tally. Listeners and the wire
+    do not fire: this is state restoration (checkpoint resume), not
+    traffic. *)
+let restore t (tally : tally) =
+  t.alice_to_bob <- tally.alice_to_bob_bits;
+  t.bob_to_alice <- tally.bob_to_alice_bits;
+  t.rounds <- tally.rounds
+
 let diff later earlier = {
   alice_to_bob_bits = later.alice_to_bob_bits - earlier.alice_to_bob_bits;
   bob_to_alice_bits = later.bob_to_alice_bits - earlier.bob_to_alice_bits;

@@ -51,6 +51,11 @@ val on_rounds : t -> (int -> unit) option -> unit
 val set_wire : t -> (from:Party.t -> bits:int -> unit) option -> unit
 
 val tally : t -> tally
+
+(** Overwrite the counters with an absolute tally, e.g. one captured in a
+    checkpoint. Listeners and the wire do not fire — this is state
+    restoration, not traffic. *)
+val restore : t -> tally -> unit
 val diff : tally -> tally -> tally
 val add : tally -> tally -> tally
 val total_bits : tally -> int

@@ -27,10 +27,24 @@ type t = {
   dealer : Prg.t;
   mutable sink : Trace_sink.t;
       (** observability sink; {!Trace_sink.noop} unless a tracer attached *)
+  counters : int array;
+      (** running totals of every {!Trace_sink.counter} (indexed by
+          [Trace_sink.counter_index]), maintained by {!bump} whether or
+          not a tracer is attached — the context's own account of its
+          primitive work, snapshotted into checkpoints *)
   transport : Secyan_net.Resilient.t option;
       (** the physical channel behind [comm], if any; [None] keeps the
           classic pure-accounting simulation *)
+  checkpoint : Checkpoint.sink option;
+      (** durable snapshot stream for the run, if checkpointing is on *)
 }
+
+(** Bump a typed primitive counter: always added to the context's running
+    totals, and forwarded to the active span when a tracer is attached. *)
+let bump t counter n =
+  let i = Trace_sink.counter_index counter in
+  t.counters.(i) <- t.counters.(i) + n;
+  t.sink.Trace_sink.bump counter n
 
 (* With a transport attached, every [Comm.send] moves a payload of the
    declared size over the real channel. The payload content is a fixed
@@ -49,7 +63,7 @@ let wire_of transport =
     ignore (Secyan_net.Resilient.transfer transport ~dir payload : Bytes.t)
 
 let create ?(bits = 32) ?(kappa = 128) ?(sigma = 40) ?(gc_backend = Sim)
-    ?(gc_kdf = Garbling.Aes128_kdf) ?(domains = 1) ?transport ~seed () =
+    ?(gc_kdf = Garbling.Aes128_kdf) ?(domains = 1) ?transport ?checkpoint ~seed () =
   let domains = max 1 domains in
   let master = Prg.create seed in
   let t =
@@ -66,7 +80,9 @@ let create ?(bits = 32) ?(kappa = 128) ?(sigma = 40) ?(gc_backend = Sim)
       prg_bob = Prg.split master;
       dealer = Prg.split master;
       sink = Trace_sink.noop;
+      counters = Array.make Trace_sink.n_counters 0;
       transport;
+      checkpoint;
     }
   in
   (match transport with
@@ -80,9 +96,9 @@ let create ?(bits = 32) ?(kappa = 128) ?(sigma = 40) ?(gc_backend = Sim)
         (Some
            (fun ev ->
              match (ev : Secyan_net.Resilient.event) with
-             | Retry -> t.sink.Trace_sink.bump Trace_sink.Retries 1
-             | Timeout_hit -> t.sink.Trace_sink.bump Trace_sink.Timeouts 1
-             | Corrupt_frame -> t.sink.Trace_sink.bump Trace_sink.Frames_corrupted 1
+             | Retry -> bump t Trace_sink.Retries 1
+             | Timeout_hit -> bump t Trace_sink.Timeouts 1
+             | Corrupt_frame -> bump t Trace_sink.Frames_corrupted 1
              | Duplicate_dropped -> ())));
   t
 
@@ -122,8 +138,29 @@ let with_span t name f =
         raise e
   end
 
-(** Bump a typed primitive counter of the active span (no-op untraced). *)
-let bump t counter n = t.sink.Trace_sink.bump counter n
+(** A copy of the context's counter totals (index by
+    [Trace_sink.counter_index]). *)
+let counter_totals t = Array.copy t.counters
+
+(** Overwrite the counter totals with previously captured values
+    (checkpoint resume). The sink does not fire: restored work already
+    happened, in the run being resumed. *)
+let restore_counters t totals =
+  if Array.length totals <> Trace_sink.n_counters then
+    invalid_arg
+      (Printf.sprintf "Context.restore_counters: %d totals, expected %d"
+         (Array.length totals) Trace_sink.n_counters);
+  Array.blit totals 0 t.counters 0 Trace_sink.n_counters
+
+(** Fold a private counter delta (e.g. a parallel worker's) into this
+    context: totals and the attached tracer both see one bump per nonzero
+    counter. Call from the domain that owns the context. *)
+let merge_counters t (counts : int array) =
+  List.iter
+    (fun c ->
+      let n = counts.(Trace_sink.counter_index c) in
+      if n <> 0 then bump t c n)
+    Trace_sink.all_counters
 
 let prg_of t = function
   | Party.Alice -> t.prg_alice

@@ -23,9 +23,15 @@ type t = {
   dealer : Prg.t;
   mutable sink : Trace_sink.t;
       (** observability sink; {!Trace_sink.noop} unless a tracer attached *)
+  counters : int array;
+      (** running totals of every {!Trace_sink.counter} (indexed by
+          [Trace_sink.counter_index]), maintained by {!bump} whether or
+          not a tracer is attached; snapshotted into checkpoints *)
   transport : Secyan_net.Resilient.t option;
       (** the physical channel behind [comm], if any; [None] keeps the
           classic pure-accounting simulation *)
+  checkpoint : Checkpoint.sink option;
+      (** durable snapshot stream for the run, if checkpointing is on *)
 }
 
 (** Defaults match the paper's evaluation: bits = 32 annotation ring,
@@ -38,11 +44,14 @@ type t = {
     events surface as the [Retries]/[Timeouts]/[Frames_corrupted] trace
     counters, and unrecoverable faults raise
     [Secyan_net.Resilient.Transport_error] out of the protocol phase.
-    Tallies are bit-identical with and without a transport. *)
+    Tallies are bit-identical with and without a transport. [checkpoint]
+    attaches a durable snapshot stream (see DESIGN.md §11): the query
+    runtime emits a protocol-state checkpoint at every phase/operator
+    boundary through it. *)
 val create :
   ?bits:int -> ?kappa:int -> ?sigma:int -> ?gc_backend:gc_backend ->
   ?gc_kdf:Garbling.kdf -> ?domains:int -> ?transport:Secyan_net.Resilient.t ->
-  seed:int64 -> unit -> t
+  ?checkpoint:Checkpoint.sink -> seed:int64 -> unit -> t
 
 (** The context's work pool (spawned on first use). *)
 val pool : t -> Domain_pool.t
@@ -70,8 +79,24 @@ val traced : t -> bool
     [f ()] when untraced. The span closes even if [f] raises. *)
 val with_span : t -> string -> (unit -> 'a) -> 'a
 
-(** Bump a typed primitive counter of the active span (no-op untraced). *)
+(** Bump a typed primitive counter: always added to the context's running
+    totals, and forwarded to the active span when a tracer is attached. *)
 val bump : t -> Trace_sink.counter -> int -> unit
+
+(** A copy of the context's counter totals (index with
+    [Trace_sink.counter_index]). *)
+val counter_totals : t -> int array
+
+(** Overwrite the counter totals with previously captured values
+    (checkpoint resume). The sink does not fire — restored work already
+    happened, in the run being resumed.
+    @raise Invalid_argument on a wrong-length array. *)
+val restore_counters : t -> int array -> unit
+
+(** Fold a private counter delta (e.g. a parallel worker's) into this
+    context: totals and the attached tracer both see one bump per
+    nonzero counter. Call from the domain that owns the context. *)
+val merge_counters : t -> int array -> unit
 
 (** Run [f] and return its result together with the communication it
     generated. *)

@@ -32,6 +32,26 @@ type table = {
 
 exception Insertion_failed
 
+exception
+  Build_error of {
+    elements : int;       (** number of elements being inserted *)
+    n_bins : int;         (** table size the insertions were attempted into *)
+    load_factor : float;  (** elements / n_bins — ~1/1.27 when sized normally *)
+    attempts : int;       (** key refreshes tried before giving up *)
+    context : string;     (** caller-supplied annotation; [""] when none *)
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Build_error { elements; n_bins; load_factor; attempts; context } ->
+        Some
+          (Printf.sprintf
+             "Cuckoo_hash.Build_error { elements = %d; n_bins = %d; load_factor = %.3f; \
+              attempts = %d%s }"
+             elements n_bins load_factor attempts
+             (if context = "" then "" else Printf.sprintf "; context = %S" context))
+    | _ -> None)
+
 let try_build prg keys (elements : int64 array) =
   let slots = Array.make keys.n_bins None in
   let sources = Array.make keys.n_bins None in
@@ -67,17 +87,21 @@ let try_build prg keys (elements : int64 array) =
   { keys; slots; sources }
 
 (** Build a cuckoo table over distinct [elements]; retries with fresh keys
-    on failure. *)
-let build ?(n_bins = 0) prg (elements : int64 array) =
+    on failure. An under-provisioned table (caller-forced [n_bins] below
+    the 1.27x expansion) surfaces as {!Build_error} rather than looping. *)
+let build ?(n_bins = 0) ?(context = "") prg (elements : int64 array) =
   let n_bins = if n_bins > 0 then n_bins else n_bins_for (Array.length elements) in
   let rec go attempts =
     if attempts > 64 then
-      failwith
-        (Printf.sprintf
-           "Cuckoo_hash.build: insertion of %d elements into %d bins still failing after \
-            %d key refreshes (expected to succeed within a few; is the bin count \
-            under-provisioned?)"
-           (Array.length elements) n_bins attempts);
+      raise
+        (Build_error
+           {
+             elements = Array.length elements;
+             n_bins;
+             load_factor = float_of_int (Array.length elements) /. float_of_int n_bins;
+             attempts;
+             context;
+           });
     let keys = fresh_keys prg n_bins in
     match try_build prg keys elements with
     | table -> table

@@ -25,9 +25,24 @@ type table = {
 
 exception Insertion_failed
 
+(** Raised when insertion keeps failing across [attempts] key refreshes —
+    in practice only when a caller forces an under-provisioned [n_bins].
+    [load_factor] is elements / n_bins (~1/1.27 for a normally sized
+    table); [context] is the caller's annotation ([""] when none). *)
+exception
+  Build_error of {
+    elements : int;
+    n_bins : int;
+    load_factor : float;
+    attempts : int;
+    context : string;
+  }
+
 (** Build a cuckoo table over distinct elements; draws fresh keys and
-    retries on the (2^-sigma-probability) insertion failure. *)
-val build : ?n_bins:int -> Prg.t -> int64 array -> table
+    retries on the (2^-sigma-probability) insertion failure.
+
+    @raise Build_error after 64 fruitless key refreshes. *)
+val build : ?n_bins:int -> ?context:string -> Prg.t -> int64 array -> table
 
 (** The sender's side: per-bin lists of indices into the input array,
     each element hashed into all of its candidate bins. *)

@@ -187,37 +187,32 @@ let slice_outputs widths (flat : 'a array) =
 
    Each item gets a private context: child PRGs split *sequentially* from
    the shared streams (so the derivation depends only on the item index,
-   never on scheduling), a fresh private channel, and — when traced — an
-   accumulator sink. After the pool barrier the private deltas are folded
-   back into the parent context in one aggregated step per direction:
-   sums are order-independent, so tallies, span counters, and listener
-   totals are bit-identical for every pool size, including 1. Item code
-   must not open spans (the accumulator ignores span boundaries). *)
+   never on scheduling), a fresh private channel, a noop sink, and a
+   private counter-totals array. After the pool barrier the private
+   deltas are folded back into the parent context in one aggregated step
+   per direction: sums are order-independent, so tallies, span counters,
+   and listener totals are bit-identical for every pool size, including
+   1. Item code must not open spans (the item sink ignores them). *)
 let map_batch ctx ~n (f : Context.t -> int -> 'a) : 'a array =
-  let traced = Context.traced ctx in
   let item_ctxs =
     Array.init n (fun _ ->
         let prg_alice = Prg.split ctx.Context.prg_alice in
         let prg_bob = Prg.split ctx.Context.prg_bob in
         let dealer = Prg.split ctx.Context.dealer in
-        let sink, counters =
-          if traced then Trace_sink.accumulator () else (Trace_sink.noop, [||])
-        in
-        ({ ctx with Context.comm = Comm.create (); prg_alice; prg_bob; dealer; sink },
-         counters))
+        { ctx with Context.comm = Comm.create (); prg_alice; prg_bob; dealer;
+          sink = Trace_sink.noop; counters = Array.make Trace_sink.n_counters 0 })
   in
   let results = Array.make n None in
   Domain_pool.run (Context.pool ctx) ~n ~f:(fun i ->
-      let ictx, _ = item_ctxs.(i) in
-      results.(i) <- Some (f ictx i));
+      results.(i) <- Some (f item_ctxs.(i) i));
   let a_bits = ref 0 and b_bits = ref 0 and rounds = ref 0 in
   Array.iter
-    (fun (ictx, counters) ->
+    (fun ictx ->
       let t = Comm.tally ictx.Context.comm in
       a_bits := !a_bits + t.Comm.alice_to_bob_bits;
       b_bits := !b_bits + t.Comm.bob_to_alice_bits;
       rounds := !rounds + t.Comm.rounds;
-      if traced then Trace_sink.merge_into ctx.Context.sink counters)
+      Context.merge_counters ctx ictx.Context.counters)
     item_ctxs;
   if !a_bits > 0 then Comm.send ctx.Context.comm ~from:Party.Alice ~bits:!a_bits;
   if !b_bits > 0 then Comm.send ctx.Context.comm ~from:Party.Bob ~bits:!b_bits;

@@ -77,3 +77,16 @@ let permutation t n =
 (** Derive an independent child generator; used to hand each party its own
     stream from a master seed. *)
 let split t = create (next_int64 t)
+
+(** The full generator state as four words; with {!set_state} this lets a
+    checkpoint capture and later replay a stream position exactly. *)
+let state t = [| t.s0; t.s1; t.s2; t.s3 |]
+
+let set_state t a =
+  if Array.length a <> 4 then
+    invalid_arg
+      (Printf.sprintf "Prg.set_state: %d state words, expected 4" (Array.length a));
+  t.s0 <- a.(0);
+  t.s1 <- a.(1);
+  t.s2 <- a.(2);
+  t.s3 <- a.(3)

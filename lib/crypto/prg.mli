@@ -24,3 +24,11 @@ val permutation : t -> int -> int array
 
 (** Derive an independent child generator. *)
 val split : t -> t
+
+(** The full generator state as four words: capture a stream position for
+    a checkpoint, replay it with {!set_state}. *)
+val state : t -> int64 array
+
+(** Overwrite the generator state with four previously captured words.
+    @raise Invalid_argument when the array is not 4 long. *)
+val set_state : t -> int64 array -> unit

@@ -55,7 +55,13 @@ let with_payloads ctx ~receiver ~(alice_set : int64 array)
   let ring_bits = Context.ring_bits ctx in
   let cmp = cmp_bits ctx in
   (* 1. The receiver builds the cuckoo table and sends the hash keys. *)
-  let table = Cuckoo_hash.build (Context.prg_of ctx receiver) alice_set in
+  let table =
+    let context =
+      Printf.sprintf "psi:payloads receiver=%s |X|=%d |Y|=%d"
+        (Party.to_string receiver) (Array.length alice_set) (Array.length bob_set)
+    in
+    Cuckoo_hash.build ~context (Context.prg_of ctx receiver) alice_set
+  in
   Comm.send comm ~from:receiver ~bits:(3 * 64);
   Comm.bump_rounds comm 1;
   let b = table.Cuckoo_hash.keys.Cuckoo_hash.n_bins in

@@ -31,7 +31,12 @@
       attached to the context).
     - [Timeouts]: transport receive attempts that expired without an
       intact frame.
-    - [Frames_corrupted]: frames rejected by the transport's CRC check. *)
+    - [Frames_corrupted]: frames rejected by the transport's CRC check.
+    - [Checkpoints_written]: durable protocol-state snapshots emitted.
+    - [Checkpoint_bytes]: total on-disk bytes of those snapshots. Both
+      checkpoint counters count {e persistence} work, not protocol work:
+      they are excluded from checkpoint payloads so that resumed and
+      uninterrupted runs agree on every protocol counter. *)
 type counter =
   | And_gates
   | Ots
@@ -42,8 +47,10 @@ type counter =
   | Retries
   | Timeouts
   | Frames_corrupted
+  | Checkpoints_written
+  | Checkpoint_bytes
 
-let n_counters = 9
+let n_counters = 11
 
 let counter_index = function
   | And_gates -> 0
@@ -55,6 +62,8 @@ let counter_index = function
   | Retries -> 6
   | Timeouts -> 7
   | Frames_corrupted -> 8
+  | Checkpoints_written -> 9
+  | Checkpoint_bytes -> 10
 
 let counter_name = function
   | And_gates -> "and_gates"
@@ -66,10 +75,12 @@ let counter_name = function
   | Retries -> "retries"
   | Timeouts -> "timeouts"
   | Frames_corrupted -> "frames_corrupted"
+  | Checkpoints_written -> "checkpoints_written"
+  | Checkpoint_bytes -> "checkpoint_bytes"
 
 let all_counters =
   [ And_gates; Ots; Oep_switches; Cuckoo_bins; B2a_words; Gc_circuits; Retries; Timeouts;
-    Frames_corrupted ]
+    Frames_corrupted; Checkpoints_written; Checkpoint_bytes ]
 
 type t = {
   enter : string -> unit;  (** open a child span under the active span *)

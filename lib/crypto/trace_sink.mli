@@ -10,7 +10,10 @@
     extension — OEP switches are counted separately), permutation-network
     switches, circuit-PSI cuckoo bins, B2A word conversions, GC circuit
     executions, and — when a real transport is attached — transport
-    retransmissions, receive timeouts, and CRC-rejected frames. *)
+    retransmissions, receive timeouts, and CRC-rejected frames; when a
+    checkpoint sink is attached, snapshots written and their on-disk
+    bytes (persistence work, excluded from checkpoint payloads so resumed
+    and uninterrupted runs agree on every protocol counter). *)
 type counter =
   | And_gates
   | Ots
@@ -21,6 +24,8 @@ type counter =
   | Retries
   | Timeouts
   | Frames_corrupted
+  | Checkpoints_written
+  | Checkpoint_bytes
 
 val n_counters : int
 

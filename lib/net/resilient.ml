@@ -47,6 +47,23 @@ let () =
              (error_kind_name kind) attempts elapsed detail)
     | _ -> None)
 
+exception
+  Resume_mismatch of {
+    alice_session : string;
+    alice_epoch : int;
+    bob_session : string;
+    bob_epoch : int;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Resume_mismatch { alice_session; alice_epoch; bob_session; bob_epoch } ->
+        Some
+          (Printf.sprintf
+             "Resume_mismatch { alice = (%S, epoch %d); bob = (%S, epoch %d) }"
+             alice_session alice_epoch bob_session bob_epoch)
+    | _ -> None)
+
 type event = Retry | Timeout_hit | Corrupt_frame | Duplicate_dropped
 
 type config = {
@@ -209,3 +226,71 @@ let transfer t ~dir payload =
     end
   in
   attempt 1 `Timeout
+
+(* --- session resume -------------------------------------------------- *)
+
+(** The four sequence counters as one array: next send seq a->b, next
+    send seq b->a, next expected seq a->b, next expected seq b->a. A
+    checkpoint captures them with {!seq_state} and a resumed run replays
+    them with {!restore_seq_state}, so post-resume frames carry the same
+    sequence numbers an uninterrupted run would have used. *)
+let seq_state t = [| t.send_seq.(0); t.send_seq.(1); t.expect_seq.(0); t.expect_seq.(1) |]
+
+let restore_seq_state t a =
+  if Array.length a <> 4 then
+    invalid_arg
+      (Printf.sprintf "Resilient.restore_seq_state: %d state words, expected 4"
+         (Array.length a));
+  t.send_seq.(0) <- a.(0);
+  t.send_seq.(1) <- a.(1);
+  t.expect_seq.(0) <- a.(2);
+  t.expect_seq.(1) <- a.(3)
+
+let hello_payload (session, epoch) =
+  let b = Buffer.create (String.length session + 8) in
+  Buffer.add_int32_be b (Int32.of_int (String.length session));
+  Buffer.add_string b session;
+  Buffer.add_int32_be b (Int32.of_int epoch);
+  Buffer.to_bytes b
+
+let parse_hello payload =
+  try
+    let n = Int32.to_int (Bytes.get_int32_be payload 0) in
+    let session = Bytes.sub_string payload 4 n in
+    let epoch = Int32.to_int (Bytes.get_int32_be payload (4 + n)) in
+    if Bytes.length payload <> 8 + n then raise Exit;
+    Some (session, epoch)
+  with Invalid_argument _ | Exit -> None
+
+(* The session-resume handshake. Run it on a freshly (re)connected
+   channel before any protocol traffic: each party transfers its
+   (session id, last-acked checkpoint epoch) hello to the other, and both
+   verify the pair agrees on where to restart. Disagreement — resuming
+   different sessions, or from different epochs — raises the typed
+   {!Resume_mismatch}; a damaged hello surfaces as {!Transport_error}
+   through the normal retry machinery. The handshake runs below the
+   protocol's cost accounting (its frames are transport chatter, like
+   retransmissions, not protocol communication), and its sequence numbers
+   are overwritten when the checkpointed {!seq_state} is restored
+   immediately afterwards. Both simulated parties live in this process,
+   so the exchange is two transfers over the real channel. *)
+let resume_handshake t ~alice ~bob =
+  let a_hello = transfer t ~dir:Transport.Alice_to_bob (hello_payload alice) in
+  let b_hello = transfer t ~dir:Transport.Bob_to_alice (hello_payload bob) in
+  let corrupt detail =
+    raise
+      (Transport_error { kind = Corrupt; attempts = 1; elapsed = 0.; detail = "detail = " ^ detail })
+  in
+  let a_recv =
+    match parse_hello a_hello with
+    | Some h -> h
+    | None -> corrupt "undecodable resume hello (alice->bob)"
+  in
+  let b_recv =
+    match parse_hello b_hello with
+    | Some h -> h
+    | None -> corrupt "undecodable resume hello (bob->alice)"
+  in
+  let alice_session, alice_epoch = a_recv and bob_session, bob_epoch = b_recv in
+  if not (String.equal alice_session bob_session && alice_epoch = bob_epoch) then
+    raise (Resume_mismatch { alice_session; alice_epoch; bob_session; bob_epoch })

@@ -21,6 +21,16 @@ exception
     detail : string;
   }
 
+(** The two parties disagree on what is being resumed: different session
+    ids, or different last-acked checkpoint epochs. *)
+exception
+  Resume_mismatch of {
+    alice_session : string;
+    alice_epoch : int;
+    bob_session : string;
+    bob_epoch : int;
+  }
+
 type event = Retry | Timeout_hit | Corrupt_frame | Duplicate_dropped
 
 type config = {
@@ -61,6 +71,25 @@ val set_listener : t -> (event -> unit) option -> unit
 val transfer : t -> dir:Transport.direction -> Bytes.t -> Bytes.t
 
 val stats : t -> stats
+
+(** The four sequence counters (next send a->b, next send b->a, next
+    expected a->b, next expected b->a) for checkpoint capture. *)
+val seq_state : t -> int64 array
+
+(** Overwrite the sequence counters with a captured {!seq_state}, so
+    post-resume frames carry the sequence numbers an uninterrupted run
+    would have used. @raise Invalid_argument unless 4 words long. *)
+val restore_seq_state : t -> int64 array -> unit
+
+(** Session-resume handshake over a freshly (re)connected channel, before
+    any protocol traffic: each party transfers its (session id, last-acked
+    checkpoint epoch) to the other and both verify agreement on where to
+    restart. The handshake's frames are transport chatter (below the
+    protocol's cost accounting) and its sequence numbers are overwritten
+    by the {!restore_seq_state} that follows.
+    @raise Resume_mismatch when the pairs disagree.
+    @raise Transport_error on an undeliverable or undecodable hello. *)
+val resume_handshake : t -> alice:string * int -> bob:string * int -> unit
 
 (** Backend name ("inproc", "tcp", "inproc+chaos", ...). *)
 val kind : t -> string

@@ -4,17 +4,43 @@
     [date]) plus an [annot] column, then one row per tuple. Dummy tuples
     are not exported (they are protocol padding, not data); [import]
     re-creates them via the usual padding helpers if needed. Cells are
-    quoted with double quotes when they contain commas or quotes. *)
+    quoted with double quotes when they contain commas or quotes.
+
+    Every failure raises the typed {!Csv_error} locating the problem:
+    the source name, the 1-based line, the 1-based column (0 when the
+    failure is not tied to one cell), and a reason quoting the offending
+    token — so a malformed row in a million-line TPC-H load names itself
+    instead of aborting with a bare message. *)
+
+exception
+  Csv_error of {
+    file : string;    (** source name as given to {!import} / {!export} *)
+    line : int;       (** 1-based line (the header is line 1); 0 if n/a *)
+    column : int;     (** 1-based cell index; 0 when not tied to a cell *)
+    reason : string;  (** what went wrong, quoting the offending token *)
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Csv_error { file; line; column; reason } ->
+        Some (Printf.sprintf "Csv_error { file = %S; line = %d; column = %d; %s }" file line
+                column reason)
+    | _ -> None)
+
+let err ~file ~line ~column fmt =
+  Printf.ksprintf (fun reason -> raise (Csv_error { file; line; column; reason })) fmt
 
 type column_type = Cint | Cstr | Cdate
 
 let type_name = function Cint -> "int" | Cstr -> "str" | Cdate -> "date"
 
-let type_of_name = function
+let type_of_name ?(file = "<header>") ?(line = 1) ?(column = 0) = function
   | "int" -> Cint
   | "str" -> Cstr
   | "date" -> Cdate
-  | other -> invalid_arg ("Csv_io: unknown column type " ^ other)
+  | other ->
+      err ~file ~line ~column "reason = unknown column type %S (expected int, str or date)"
+        other
 
 (* --- low-level csv ---------------------------------------------------- *)
 
@@ -23,12 +49,13 @@ let escape_cell s =
     "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
   else s
 
-let split_line line =
+let split_line ~file ~line lineno =
   let cells = ref [] in
   let buf = Buffer.create 16 in
   let n = String.length line in
   let i = ref 0 in
   let in_quotes = ref false in
+  let quote_open = ref 0 in
   while !i < n do
     let c = line.[!i] in
     if !in_quotes then
@@ -47,6 +74,7 @@ let split_line line =
       end
     else if c = '"' then begin
       in_quotes := true;
+      quote_open := List.length !cells + 1;
       incr i
     end
     else if c = ',' then begin
@@ -59,26 +87,33 @@ let split_line line =
       incr i
     end
   done;
-  if !in_quotes then invalid_arg "Csv_io: unterminated quote";
+  if !in_quotes then
+    err ~file ~line:lineno ~column:!quote_open "reason = unterminated quote in %S" line;
   List.rev (Buffer.contents buf :: !cells)
 
 (* --- export ----------------------------------------------------------- *)
 
-let value_cell = function
+let value_cell ~file ~line ~column = function
   | Value.Int i -> string_of_int i
   | Value.Str s -> escape_cell s
   | Value.Date _ as d -> Fmt.str "%a" Value.pp d
-  | Value.Dummy _ -> invalid_arg "Csv_io: dummy tuples are not exported"
+  | Value.Dummy _ as d ->
+      err ~file ~line ~column
+        "reason = dummy value %s in a non-dummy tuple (dummies are not exported)"
+        (Fmt.str "%a" Value.pp d)
 
-let column_type_of_value = function
+let column_type_of_value ~file ~column = function
   | Value.Int _ -> Cint
   | Value.Str _ -> Cstr
   | Value.Date _ -> Cdate
-  | Value.Dummy _ -> invalid_arg "Csv_io: cannot infer a type from a dummy"
+  | Value.Dummy _ as d ->
+      err ~file ~line:2 ~column "reason = cannot infer a column type from dummy %s"
+        (Fmt.str "%a" Value.pp d)
 
 (** Serialize the non-dummy rows of [r]; column types are inferred from
     the first real tuple. *)
 let export (r : Relation.t) : string =
+  let file = r.Relation.name in
   let rows =
     Array.to_list r.Relation.tuples
     |> List.mapi (fun i t -> (t, r.Relation.annots.(i)))
@@ -86,7 +121,7 @@ let export (r : Relation.t) : string =
   in
   let types =
     match rows with
-    | (first, _) :: _ -> Array.map column_type_of_value first
+    | (first, _) :: _ -> Array.mapi (fun i v -> column_type_of_value ~file ~column:(i + 1) v) first
     | [] -> Array.map (fun _ -> Cint) r.Relation.schema
   in
   let buf = Buffer.create 256 in
@@ -97,9 +132,14 @@ let export (r : Relation.t) : string =
   in
   Buffer.add_string buf (String.concat "," header);
   Buffer.add_char buf '\n';
-  List.iter
-    (fun (t, annot) ->
-      let cells = Array.to_list (Array.map value_cell t) @ [ Int64.to_string annot ] in
+  List.iteri
+    (fun rowno (t, annot) ->
+      (* line rowno+2 in the output: the header is line 1 *)
+      let cells =
+        Array.to_list
+          (Array.mapi (fun i v -> value_cell ~file ~line:(rowno + 2) ~column:(i + 1) v) t)
+        @ [ Int64.to_string annot ]
+      in
       Buffer.add_string buf (String.concat "," cells);
       Buffer.add_char buf '\n')
     rows;
@@ -107,40 +147,55 @@ let export (r : Relation.t) : string =
 
 (* --- import ----------------------------------------------------------- *)
 
-let parse_date s =
+let parse_date ~file ~line ~column s =
+  let int_part what p =
+    match int_of_string_opt p with
+    | Some v -> v
+    | None -> err ~file ~line ~column "reason = date %S: %s %S is not an integer" s what p
+  in
   match String.split_on_char '-' s with
   | [ y; m; d ] ->
-      Value.date ~year:(int_of_string y) ~month:(int_of_string m) ~day:(int_of_string d)
-  | _ -> invalid_arg ("Csv_io: malformed date " ^ s)
+      Value.date ~year:(int_part "year" y) ~month:(int_part "month" m)
+        ~day:(int_part "day" d)
+  | _ -> err ~file ~line ~column "reason = malformed date %S (expected YYYY-MM-DD)" s
 
-let parse_cell ty s =
+let parse_cell ~file ~line ~column ty s =
   match ty with
-  | Cint -> Value.Int (int_of_string s)
+  | Cint -> (
+      match int_of_string_opt s with
+      | Some v -> Value.Int v
+      | None -> err ~file ~line ~column "reason = %S is not an integer" s)
   | Cstr -> Value.Str s
-  | Cdate -> parse_date s
+  | Cdate -> parse_date ~file ~line ~column s
 
 (** Parse a relation from CSV text produced by {!export} (or hand-written
-    in the same format). *)
-let import ~name (text : string) : Relation.t =
+    in the same format). [file] names the source in errors (defaults to
+    [name]). *)
+let import ?file ~name (text : string) : Relation.t =
+  let file = match file with Some f -> f | None -> name in
+  (* Keep original 1-based line numbers through the blank-line filter. *)
   let lines =
-    String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "")
+    String.split_on_char '\n' text
+    |> List.mapi (fun i l -> (i + 1, l))
+    |> List.filter (fun (_, l) -> String.trim l <> "")
   in
   match lines with
-  | [] -> invalid_arg "Csv_io.import: empty input"
-  | header :: rows ->
-      let header_cells = split_line header in
+  | [] -> err ~file ~line:0 ~column:0 "reason = empty input (no header row)"
+  | (header_line, header) :: rows ->
+      let header_cells = split_line ~file ~line:header header_line in
       let columns, annot_col =
         match List.rev header_cells with
         | "annot" :: rev_cols -> (List.rev rev_cols, true)
         | _ -> (header_cells, false)
       in
       let parsed =
-        List.map
-          (fun cell ->
+        List.mapi
+          (fun col cell ->
             match String.index_opt cell ':' with
             | Some i ->
                 ( String.sub cell 0 i,
-                  type_of_name (String.sub cell (i + 1) (String.length cell - i - 1)) )
+                  type_of_name ~file ~line:header_line ~column:(col + 1)
+                    (String.sub cell (i + 1) (String.length cell - i - 1)) )
             | None -> (cell, Cstr))
           columns
       in
@@ -149,19 +204,29 @@ let import ~name (text : string) : Relation.t =
       let arity = Array.length types in
       let tuples =
         List.map
-          (fun line ->
-            let cells = split_line line in
+          (fun (lineno, line) ->
+            let cells = split_line ~file ~line lineno in
             let expected = arity + if annot_col then 1 else 0 in
             if List.length cells <> expected then
-              invalid_arg
-                (Printf.sprintf "Csv_io.import: expected %d cells, found %d" expected
-                   (List.length cells));
+              err ~file ~line:lineno ~column:0
+                "reason = %d cells in %S, header declares %d" (List.length cells) line
+                expected;
             let values = List.filteri (fun i _ -> i < arity) cells in
             let tuple =
-              Array.of_list (List.mapi (fun i c -> parse_cell types.(i) c) values)
+              Array.of_list
+                (List.mapi
+                   (fun i c -> parse_cell ~file ~line:lineno ~column:(i + 1) types.(i) c)
+                   values)
             in
             let annot =
-              if annot_col then Int64.of_string (List.nth cells arity) else 1L
+              if annot_col then
+                let cell = List.nth cells arity in
+                match Int64.of_string_opt cell with
+                | Some a -> a
+                | None ->
+                    err ~file ~line:lineno ~column:(arity + 1)
+                      "reason = annotation %S is not an integer" cell
+              else 1L
             in
             (tuple, annot))
           rows

@@ -1,20 +1,30 @@
 (** CSV import/export for annotated relations. Header cells are
     [name:type] with types [int], [str], [date], plus a final [annot]
-    column; dummy tuples (protocol padding) are not exported. *)
+    column; dummy tuples (protocol padding) are not exported. Every
+    failure raises the typed {!Csv_error} locating the problem. *)
+
+(** A located CSV failure: source name, 1-based line (the header is line
+    1; 0 when not tied to a line), 1-based cell column (0 when not tied
+    to a cell), and a reason quoting the offending token. *)
+exception
+  Csv_error of { file : string; line : int; column : int; reason : string }
 
 type column_type = Cint | Cstr | Cdate
 
 val type_name : column_type -> string
 
-(** @raise Invalid_argument on unknown type names. *)
-val type_of_name : string -> column_type
+(** @raise Csv_error on unknown type names; [file]/[line]/[column] locate
+    the name in errors (defaults suit a bare header lookup). *)
+val type_of_name : ?file:string -> ?line:int -> ?column:int -> string -> column_type
 
 (** Serialize the non-dummy rows; column types are inferred from the
-    first real tuple. *)
+    first real tuple. @raise Csv_error on dummy values inside non-dummy
+    tuples. *)
 val export : Relation.t -> string
 
 (** Parse a relation from {!export}'s format (the [annot] column is
-    optional and defaults to 1).
+    optional and defaults to 1). [file] names the source in errors
+    (defaults to [name]).
 
-    @raise Invalid_argument on malformed input. *)
-val import : name:string -> string -> Relation.t
+    @raise Csv_error on malformed input, locating line and column. *)
+val import : ?file:string -> name:string -> string -> Relation.t

@@ -22,6 +22,13 @@ let fresh_dummy () =
 (** Reset the dummy id stream (tests and reproducible benchmarks). *)
 let reset_dummies () = dummy_counter := 0
 
+(** Current position of the dummy id stream; with {!set_dummy_count} this
+    lets a checkpoint capture and replay the stream so a resumed run
+    allocates the same dummy ids an uninterrupted run would. *)
+let dummy_count () = !dummy_counter
+
+let set_dummy_count n = dummy_counter := n
+
 let is_dummy = function Dummy _ -> true | Int _ | Str _ | Date _ -> false
 
 let compare a b =

@@ -14,6 +14,13 @@ val fresh_dummy : unit -> t
 (** Reset the dummy id stream (tests and reproducible benchmarks). *)
 val reset_dummies : unit -> unit
 
+(** Current position of the dummy id stream; with {!set_dummy_count} this
+    lets a checkpoint capture and replay the stream so a resumed run
+    allocates the same dummy ids an uninterrupted run would. *)
+val dummy_count : unit -> int
+
+val set_dummy_count : int -> unit
+
 val is_dummy : t -> bool
 val compare : t -> t -> int
 val equal : t -> t -> bool

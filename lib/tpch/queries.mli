@@ -17,10 +17,12 @@ val semiring : Semiring.t
     parallelism of the GC batch engine (default 1; results are
     bit-identical for every value); [transport] attaches a real framed
     channel behind the communication accounting (default: pure
-    simulation). *)
+    simulation); [checkpoint] attaches a durable snapshot stream for
+    checkpoint/resume (default: none). *)
 val context :
   ?gc_backend:Context.gc_backend -> ?domains:int ->
-  ?transport:Secyan_net.Resilient.t -> seed:int64 -> unit -> Context.t
+  ?transport:Secyan_net.Resilient.t -> ?checkpoint:Checkpoint.sink ->
+  seed:int64 -> unit -> Context.t
 
 (** {2 Relation shaping helpers} (shared with {!Extra_queries}) *)
 

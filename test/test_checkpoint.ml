@@ -1,0 +1,286 @@
+(* Checkpoint/resume (DESIGN.md §11): envelope validation, payload codec
+   canonicality, the session-resume handshake, and the headline invariant —
+   a run killed mid-protocol and resumed is bit-identical to an
+   uninterrupted run in revealed result, comm tally, rounds, and protocol
+   counters. Damaged or mismatched checkpoints must always fail typed. *)
+
+open Secyan_crypto
+open Secyan_net
+module Protocol_state = Secyan.Protocol_state
+module Queries = Secyan_tpch.Queries
+module Datagen = Secyan_tpch.Datagen
+
+let tmpdir () = Filename.temp_dir "secyan-test-ck" ""
+
+let rm_rf_flat dir =
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+let expect_error kind f =
+  match f () with
+  | _ -> Alcotest.failf "expected Checkpoint_error %s" (Checkpoint.error_kind_name kind)
+  | exception Checkpoint.Checkpoint_error e ->
+      Alcotest.(check string)
+        "error kind"
+        (Checkpoint.error_kind_name kind)
+        (Checkpoint.error_kind_name e.kind)
+
+(* ------------------------------------------------------------------ *)
+(* Envelope                                                           *)
+
+let sample_blob () =
+  Checkpoint.encode ~fingerprint:"fp-abc" ~session:"sess-1" ~epoch:7 ~label:"share"
+    (Bytes.of_string "opaque payload bytes")
+
+let test_envelope_roundtrip () =
+  let payload = Bytes.of_string "opaque payload bytes" in
+  let blob = sample_blob () in
+  Alcotest.(check int)
+    "file_size is exact" (Bytes.length blob)
+    (Checkpoint.file_size ~fingerprint:"fp-abc" ~session:"sess-1" ~label:"share"
+       ~payload_len:(Bytes.length payload));
+  let l = Checkpoint.decode ~path:"<mem>" blob in
+  Alcotest.(check string) "fingerprint" "fp-abc" l.Checkpoint.fingerprint;
+  Alcotest.(check string) "session" "sess-1" l.Checkpoint.session;
+  Alcotest.(check int) "epoch" 7 l.Checkpoint.epoch;
+  Alcotest.(check string) "label" "share" l.Checkpoint.label;
+  Alcotest.(check bool) "payload intact" true (Bytes.equal payload l.Checkpoint.payload)
+
+let test_envelope_rejects_damage () =
+  let blob = sample_blob () in
+  (* layout: magic (4) | version (1) | crc (4) | body *)
+  let flip i =
+    let g = Bytes.copy blob in
+    Bytes.set g i (Char.chr (Char.code (Bytes.get g i) lxor 0x20));
+    g
+  in
+  expect_error Checkpoint.Bad_magic (fun () -> Checkpoint.decode ~path:"<mem>" (flip 0));
+  expect_error Checkpoint.Bad_version (fun () -> Checkpoint.decode ~path:"<mem>" (flip 4));
+  (* every single corrupted body byte must be caught by the CRC *)
+  for i = 9 to Bytes.length blob - 1 do
+    expect_error Checkpoint.Crc_mismatch (fun () -> Checkpoint.decode ~path:"<mem>" (flip i))
+  done;
+  (* every proper prefix is typed as truncation (or a broken CRC when the
+     cut lands inside the length-prefixed tail) *)
+  expect_error Checkpoint.Truncated (fun () ->
+      Checkpoint.decode ~path:"<mem>" (Bytes.sub blob 0 8));
+  expect_error Checkpoint.Crc_mismatch (fun () ->
+      Checkpoint.decode ~path:"<mem>" (Bytes.sub blob 0 (Bytes.length blob - 1)))
+
+let test_sink_emit_and_latest () =
+  let dir = tmpdir () in
+  Fun.protect ~finally:(fun () -> rm_rf_flat dir) @@ fun () ->
+  let s = Checkpoint.sink ~session:"sess-1" ~dir () in
+  let bytes0 = Checkpoint.emit s ~fingerprint:"fp" ~label:"share" (Bytes.of_string "a") in
+  Alcotest.(check int)
+    "emit matches predict_size"
+    (Checkpoint.predict_size s ~fingerprint:"fp" ~label:"share" ~payload_len:1)
+    bytes0;
+  ignore (Checkpoint.emit s ~fingerprint:"fp" ~label:"fold" (Bytes.of_string "bb"));
+  Alcotest.(check int) "two snapshots" 2 s.Checkpoint.written;
+  (match Checkpoint.latest_path dir with
+  | Some (epoch, path) ->
+      Alcotest.(check int) "latest epoch" 1 epoch;
+      let l = Checkpoint.read_file path in
+      Alcotest.(check string) "latest label" "fold" l.Checkpoint.label
+  | None -> Alcotest.fail "latest_path must see the emitted files");
+  expect_error Checkpoint.Fingerprint_mismatch (fun () ->
+      Checkpoint.load_latest ~dir ~fingerprint:"other-run")
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot payload codec                                             *)
+
+let xs () = Datagen.generate ~sf:4e-5 ~seed:1L
+
+let close ctx =
+  Secyan_crypto.Context.close_transport ctx;
+  Secyan_crypto.Context.shutdown_pool ctx
+
+(* Run q3 with a sink, then check every emitted payload decodes and
+   re-encodes to the same bytes: the codec is canonical, so equality of
+   state is equality of files. *)
+let test_snapshot_codec_canonical () =
+  let dir = tmpdir () in
+  Fun.protect ~finally:(fun () -> rm_rf_flat dir) @@ fun () ->
+  let d = xs () in
+  let q = Queries.q3 d in
+  let sink = Checkpoint.sink ~dir () in
+  let ctx = Queries.context ~checkpoint:sink ~seed:99L () in
+  Fun.protect ~finally:(fun () -> close ctx) @@ fun () ->
+  ignore (Secyan.Secure_yannakakis.run ctx q);
+  Alcotest.(check bool) "several snapshots emitted" true (sink.Checkpoint.written >= 3);
+  Array.iter
+    (fun f ->
+      let l = Checkpoint.read_file (Filename.concat dir f) in
+      let s = Protocol_state.decode_snapshot ~path:l.Checkpoint.path l.Checkpoint.payload in
+      Alcotest.(check bool)
+        (f ^ " payload re-encodes identically") true
+        (Bytes.equal l.Checkpoint.payload (Protocol_state.encode_snapshot s));
+      (* the payload never embeds its own accounting *)
+      let zeroed c = s.Protocol_state.counters.(Trace_sink.counter_index c) = 0 in
+      Alcotest.(check bool) "checkpoint counters zeroed in payload" true
+        (zeroed Trace_sink.Checkpoints_written && zeroed Trace_sink.Checkpoint_bytes))
+    (Sys.readdir dir);
+  (* strictness: junk after a valid payload is typed, not ignored *)
+  (match Checkpoint.latest_path dir with
+  | Some (_, path) ->
+      let l = Checkpoint.read_file path in
+      let longer = Bytes.extend l.Checkpoint.payload 0 1 in
+      expect_error Checkpoint.Malformed (fun () ->
+          Protocol_state.decode_snapshot ~path:"<mem>" longer);
+      expect_error Checkpoint.Truncated (fun () ->
+          Protocol_state.decode_snapshot ~path:"<mem>"
+            (Bytes.sub l.Checkpoint.payload 0 3))
+  | None -> Alcotest.fail "no latest checkpoint")
+
+(* ------------------------------------------------------------------ *)
+(* Session-resume handshake                                           *)
+
+let test_resume_handshake () =
+  let t = Resilient.create (Transport.inproc ()) in
+  Fun.protect ~finally:(fun () -> Resilient.close t) @@ fun () ->
+  (* agreement: completes silently *)
+  Resilient.resume_handshake t ~alice:("sess-1", 3) ~bob:("sess-1", 3);
+  (* disagreement on epoch or session: typed *)
+  (match Resilient.resume_handshake t ~alice:("sess-1", 3) ~bob:("sess-1", 4) with
+  | () -> Alcotest.fail "epoch mismatch must raise"
+  | exception Resilient.Resume_mismatch m ->
+      Alcotest.(check int) "alice epoch" 3 m.alice_epoch;
+      Alcotest.(check int) "bob epoch" 4 m.bob_epoch);
+  match Resilient.resume_handshake t ~alice:("sess-1", 3) ~bob:("sess-2", 3) with
+  | () -> Alcotest.fail "session mismatch must raise"
+  | exception Resilient.Resume_mismatch _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Kill and resume: bit-identity for q3/q10/q18 at xs                 *)
+
+let project_content output (r : Secyan_relational.Relation.t) =
+  let open Secyan_relational in
+  Relation.nonzero r
+  |> List.filter (fun (t, _) -> not (Tuple.is_dummy t))
+  |> List.map (fun (t, a) -> (Tuple.repr (Tuple.project r.Relation.schema output t), a))
+  |> List.sort compare
+
+(* protocol counters with the per-process checkpoint accounting masked
+   out: those legitimately differ between a plain and a resumed run *)
+let protocol_counters ctx =
+  let c = Secyan_crypto.Context.counter_totals ctx in
+  c.(Trace_sink.counter_index Trace_sink.Checkpoints_written) <- 0;
+  c.(Trace_sink.counter_index Trace_sink.Checkpoint_bytes) <- 0;
+  Array.to_list c
+
+let kill_and_resume make () =
+  let d = xs () in
+  let q = make d in
+  (* 1. uninterrupted reference over a plain channel; its transfer count
+     tells us where a late crash lands *)
+  let clean_tr = Resilient.create (Transport.inproc ()) in
+  let clean_ctx = Queries.context ~transport:clean_tr ~seed:99L () in
+  let (clean_rel, clean_stats), clean_counters =
+    Fun.protect ~finally:(fun () -> close clean_ctx) @@ fun () ->
+    let r = Secyan.Secure_yannakakis.run clean_ctx q in
+    (r, protocol_counters clean_ctx)
+  in
+  let transfers = (Resilient.stats clean_tr).Resilient.transfers in
+  let dir = tmpdir () in
+  Fun.protect ~finally:(fun () -> rm_rf_flat dir) @@ fun () ->
+  (* 2. the same run, checkpointed, killed near the end by a disconnect *)
+  let faulty, _ =
+    Chaos.wrap ~seed:7L ~spec:[ (Chaos.Disconnect, transfers - 5) ] (Transport.inproc ())
+  in
+  let crash_tr = Resilient.create ~seed:7L faulty in
+  let crash_sink = Checkpoint.sink ~dir () in
+  let crash_ctx = Queries.context ~transport:crash_tr ~checkpoint:crash_sink ~seed:99L () in
+  (Fun.protect ~finally:(fun () -> close crash_ctx) @@ fun () ->
+   match Secyan.Secure_yannakakis.run crash_ctx q with
+   | _ -> Alcotest.fail "the disconnect must kill the run"
+   | exception Resilient.Transport_error { kind; _ } ->
+       Alcotest.(check string) "killed typed" "closed" (Resilient.error_kind_name kind));
+  Alcotest.(check bool) "crash left snapshots behind" true (crash_sink.Checkpoint.written > 0);
+  (* 3. resume on a fresh channel and compare every observable *)
+  let resume_tr = Resilient.create (Transport.inproc ()) in
+  let resume_sink = Checkpoint.sink ~dir () in
+  let resume_ctx =
+    Queries.context ~transport:resume_tr ~checkpoint:resume_sink ~seed:99L ()
+  in
+  Fun.protect ~finally:(fun () -> close resume_ctx) @@ fun () ->
+  let resumed_rel, resumed_stats = Secyan.Secure_yannakakis.run ~resume:true resume_ctx q in
+  Alcotest.(check bool) "really resumed mid-stream" true
+    (Option.is_some resume_sink.Checkpoint.resumed_from);
+  Alcotest.(check (list (pair string int64)))
+    "revealed result identical"
+    (project_content q.Secyan.Query.output clean_rel)
+    (project_content q.Secyan.Query.output resumed_rel);
+  Alcotest.(check bool) "comm tally bit-identical" true
+    (Comm.equal clean_stats.Secyan.Secure_yannakakis.tally
+       resumed_stats.Secyan.Secure_yannakakis.tally);
+  Alcotest.(check int) "rounds identical"
+    clean_stats.Secyan.Secure_yannakakis.tally.Comm.rounds
+    resumed_stats.Secyan.Secure_yannakakis.tally.Comm.rounds;
+  Alcotest.(check (list int)) "protocol counters identical" clean_counters
+    (protocol_counters resume_ctx)
+
+(* a valid checkpoint stream under the WRONG query must refuse to load *)
+let test_resume_wrong_query_rejected () =
+  let dir = tmpdir () in
+  Fun.protect ~finally:(fun () -> rm_rf_flat dir) @@ fun () ->
+  let d = xs () in
+  let ctx = Queries.context ~checkpoint:(Checkpoint.sink ~dir ()) ~seed:99L () in
+  (Fun.protect ~finally:(fun () -> close ctx) @@ fun () ->
+   ignore (Secyan.Secure_yannakakis.run ctx (Queries.q3 d)));
+  let ctx2 = Queries.context ~checkpoint:(Checkpoint.sink ~dir ()) ~seed:99L () in
+  Fun.protect ~finally:(fun () -> close ctx2) @@ fun () ->
+  expect_error Checkpoint.Fingerprint_mismatch (fun () ->
+      Secyan.Secure_yannakakis.run ~resume:true ctx2 (Queries.q10 d))
+
+(* a corrupted latest checkpoint must fail typed, never silently load *)
+let test_resume_corrupted_rejected () =
+  let dir = tmpdir () in
+  Fun.protect ~finally:(fun () -> rm_rf_flat dir) @@ fun () ->
+  let d = xs () in
+  let q = Queries.q3 d in
+  let ctx = Queries.context ~checkpoint:(Checkpoint.sink ~dir ()) ~seed:99L () in
+  (Fun.protect ~finally:(fun () -> close ctx) @@ fun () ->
+   ignore (Secyan.Secure_yannakakis.run ctx q));
+  (match Checkpoint.latest_path dir with
+  | Some (_, path) ->
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let b = Bytes.create n in
+      really_input ic b 0 n;
+      close_in ic;
+      Bytes.set b (n / 2) (Char.chr (Char.code (Bytes.get b (n / 2)) lxor 1));
+      let oc = open_out_bin path in
+      output_bytes oc b;
+      close_out oc
+  | None -> Alcotest.fail "no checkpoint to corrupt");
+  let ctx2 = Queries.context ~checkpoint:(Checkpoint.sink ~dir ()) ~seed:99L () in
+  Fun.protect ~finally:(fun () -> close ctx2) @@ fun () ->
+  expect_error Checkpoint.Crc_mismatch (fun () ->
+      Secyan.Secure_yannakakis.run ~resume:true ctx2 q)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "secyan_checkpoint"
+    [
+      ( "envelope",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_envelope_roundtrip;
+          Alcotest.test_case "damage rejected typed" `Quick test_envelope_rejects_damage;
+          Alcotest.test_case "sink emit and latest" `Quick test_sink_emit_and_latest;
+        ] );
+      ( "snapshot",
+        [ Alcotest.test_case "codec canonical" `Slow test_snapshot_codec_canonical ] );
+      ( "handshake",
+        [ Alcotest.test_case "resume handshake" `Quick test_resume_handshake ] );
+      ( "kill-and-resume",
+        [
+          Alcotest.test_case "q3 bit-identical" `Slow (kill_and_resume Queries.q3);
+          Alcotest.test_case "q10 bit-identical" `Slow (kill_and_resume Queries.q10);
+          Alcotest.test_case "q18 bit-identical" `Slow
+            (kill_and_resume (Queries.q18 ?threshold:None));
+          Alcotest.test_case "wrong query rejected" `Slow test_resume_wrong_query_rejected;
+          Alcotest.test_case "corrupted rejected" `Slow test_resume_corrupted_rejected;
+        ] );
+    ]

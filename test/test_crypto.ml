@@ -579,6 +579,21 @@ let test_cuckoo_simple_hash_covers () =
             (List.exists (fun j -> Int64.equal xs.(j) x) bins.(b)))
     table.Cuckoo_hash.slots
 
+let test_cuckoo_build_error () =
+  (* An under-provisioned table (more elements than bins) cannot ever be
+     built; the typed error reports sizes and load factor. *)
+  let prg = Prg.create 17L in
+  let elements = Array.init 64 (fun i -> Int64.of_int ((i * 101) + 3)) in
+  match Cuckoo_hash.build ~n_bins:16 ~context:"test" prg elements with
+  | _ -> Alcotest.fail "expected Build_error for 64 elements in 16 bins"
+  | exception Cuckoo_hash.Build_error { elements = m; n_bins; load_factor; attempts; context }
+    ->
+      Alcotest.(check int) "elements" 64 m;
+      Alcotest.(check int) "n_bins" 16 n_bins;
+      Alcotest.(check bool) "load factor" true (load_factor > 3.9 && load_factor < 4.1);
+      Alcotest.(check bool) "attempts exhausted" true (attempts > 64);
+      Alcotest.(check string) "context" "test" context
+
 (* ------------------------------------------------------------------ *)
 (* OEP *)
 
@@ -1041,6 +1056,7 @@ let () =
         [
           Alcotest.test_case "build" `Quick test_cuckoo_build;
           Alcotest.test_case "simple hash covers" `Quick test_cuckoo_simple_hash_covers;
+          Alcotest.test_case "build error" `Quick test_cuckoo_build_error;
         ] );
       ( "oep",
         Alcotest.test_case "shared" `Quick test_oep_shared

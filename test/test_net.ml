@@ -241,6 +241,67 @@ let test_bad_config_rejected () =
     | exception Invalid_argument _ -> true)
 
 (* ------------------------------------------------------------------ *)
+(* Properties: framing and chaos determinism                          *)
+
+let prop_frame_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"frame encode/decode roundtrip"
+    QCheck.(pair string int64)
+    (fun (payload, seq) ->
+      let p = Bytes.of_string payload in
+      let f = Frame.encode ~seq p in
+      Bytes.length f = Bytes.length p + Frame.overhead
+      &&
+      match Frame.decode f with
+      | Ok (seq', got) -> Int64.equal seq seq' && Bytes.equal p got
+      | Error _ -> false)
+
+let prop_frame_bitflip_detected =
+  QCheck.Test.make ~count:200 ~name:"every single-bit flip is detected"
+    QCheck.(pair string small_nat)
+    (fun (payload, flip) ->
+      let f = Frame.encode ~seq:5L (Bytes.of_string payload) in
+      let k = flip mod (8 * Bytes.length f) in
+      let byte = k / 8 and bit = k mod 8 in
+      Bytes.set f byte (Char.chr (Char.code (Bytes.get f byte) lxor (1 lsl bit)));
+      match Frame.decode f with Ok _ -> false | Error _ -> true)
+
+let fault_of_int = function
+  | 0 -> Chaos.Drop
+  | 1 -> Chaos.Duplicate
+  | 2 -> Chaos.Corrupt
+  | 3 -> Chaos.Delay
+  | _ -> Chaos.Disconnect
+
+(* Drive a fixed workload through a chaos-wrapped channel and record
+   everything observable: outcome, the exact injection schedule, and the
+   per-fault fire counts. *)
+let chaos_trace ~seed ~spec =
+  let events = ref [] in
+  let faulty, fired =
+    Chaos.wrap ~seed
+      ~on_inject:(fun f i -> events := (f, i) :: !events)
+      ~spec (Transport.inproc ())
+  in
+  let t = Resilient.create ~seed:7L faulty in
+  Fun.protect ~finally:(fun () -> Resilient.close t) @@ fun () ->
+  let outcome =
+    match pump t 30 with
+    | () -> "ok"
+    | exception Resilient.Transport_error { kind; _ } ->
+        "err:" ^ Resilient.error_kind_name kind
+  in
+  (outcome, List.rev !events, List.sort compare (fired ()))
+
+let prop_chaos_deterministic =
+  QCheck.Test.make ~count:40 ~name:"chaos schedule is a function of (spec, seed)"
+    QCheck.(pair int64 (small_list (pair (int_bound 4) (int_range 1 3))))
+    (fun (seed, raw_spec) ->
+      let spec = List.map (fun (f, n) -> (fault_of_int f, n)) raw_spec in
+      chaos_trace ~seed ~spec = chaos_trace ~seed ~spec)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+(* ------------------------------------------------------------------ *)
 (* Accounting equivalence: sim vs real channel                        *)
 
 let project_content output (r : Secyan_relational.Relation.t) =
@@ -416,6 +477,9 @@ let () =
           Alcotest.test_case "events reach listener" `Quick test_events_reach_listener;
           Alcotest.test_case "bad config rejected" `Quick test_bad_config_rejected;
         ] );
+      ( "properties",
+        qsuite
+          [ prop_frame_roundtrip; prop_frame_bitflip_detected; prop_chaos_deterministic ] );
       ( "accounting",
         [
           Alcotest.test_case "tally sim = transport" `Slow

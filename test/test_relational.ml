@@ -312,11 +312,44 @@ let test_csv_without_annot_column () =
   Alcotest.(check int) "rows" 2 (Relation.cardinality back);
   Alcotest.check check_i64 "default annotation 1" 1L back.Relation.annots.(0)
 
+(* Errors carry the typed location: source name, 1-based line, 1-based
+   column, and the offending token in the reason. *)
+let csv_error f =
+  match f () with
+  | _ -> Alcotest.fail "expected Csv_error"
+  | exception Csv_io.Csv_error { file; line; column; reason } -> (file, line, column, reason)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
 let test_csv_errors () =
-  Alcotest.check_raises "empty" (Invalid_argument "Csv_io.import: empty input") (fun () ->
-      ignore (Csv_io.import ~name:"R" "  \n "));
-  Alcotest.check_raises "cell count" (Invalid_argument "Csv_io.import: expected 1 cells, found 2")
-    (fun () -> ignore (Csv_io.import ~name:"R" "a:int\n1,2\n3\n"))
+  let loc (file, line, column, _) = (file, line, column) in
+  let check_loc what expected got =
+    Alcotest.(check (triple string int int)) what expected (loc got)
+  in
+  check_loc "empty input" ("R", 0, 0)
+    (csv_error (fun () -> Csv_io.import ~name:"R" "  \n "));
+  (* the blank-line filter must not renumber lines: row on physical line 4 *)
+  let ((_, _, _, reason) as e) =
+    csv_error (fun () -> Csv_io.import ~name:"R" "a:int\n1\n\n1,2\n3\n")
+  in
+  check_loc "cell count at original line" ("R", 4, 0) e;
+  Alcotest.(check bool) "reason quotes the offending row" true
+    (contains ~sub:"\"1,2\"" reason);
+  check_loc "unknown type in header" ("R", 1, 2)
+    (csv_error (fun () -> Csv_io.import ~name:"R" "a:int,b:float\n1,2.5\n"));
+  check_loc "bad integer names line and column" ("R", 3, 1)
+    (csv_error (fun () -> Csv_io.import ~name:"R" "a:int\n1\nx\n"));
+  check_loc "bad date" ("R", 2, 2)
+    (csv_error (fun () -> Csv_io.import ~name:"R" "a:int,d:date\n1,2020-13\n"));
+  check_loc "bad annotation column index" ("R", 2, 2)
+    (csv_error (fun () -> Csv_io.import ~name:"R" "a:int,annot\n1,zzz\n"));
+  check_loc "unterminated quote" ("R", 2, 1)
+    (csv_error (fun () -> Csv_io.import ~name:"R" "a:str\n\"oops\n"));
+  check_loc "file overrides name in errors" ("data.csv", 0, 0)
+    (csv_error (fun () -> Csv_io.import ~file:"data.csv" ~name:"R" ""))
 
 (* ------------------------------------------------------------------ *)
 (* Yannakakis = naive on random instances *)
