@@ -752,6 +752,87 @@ let checkpoint_overhead () =
   List.iter measure [ Secyan_tpch.Queries.q3; Secyan_tpch.Queries.q10 ]
 
 (* ------------------------------------------------------------------ *)
+(* Fuzz campaign throughput: instances per second through the
+   differential oracle, with and without the obliviousness audit, plus
+   the shrinker's cost on a synthetic failure. Results go to BENCH_5.json
+   (EXPERIMENTS.md documents the schema). *)
+
+let bench5_records : Json.t list ref = ref []
+
+let write_bench5_json () =
+  let path = "BENCH_5.json" in
+  let doc =
+    Json.Obj
+      [
+        ("harness", Json.Str "secyan-bench");
+        ("section", Json.Str "fuzz-perf");
+        ("seed", Json.Str (Int64.to_string seed));
+        ("records", Json.List (List.rev !bench5_records));
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  line "wrote %s (%d records)" path (List.length !bench5_records)
+
+let fuzz_perf () =
+  hrule ();
+  line "Fuzz throughput: differential oracle and obliviousness audit";
+  hrule ();
+  let campaign ~audit ~cases =
+    settle ();
+    let stats = Secyan_fuzz.Runner.run ~audit ~seed ~cases () in
+    let per_s = float_of_int stats.Secyan_fuzz.Runner.cases /. stats.Secyan_fuzz.Runner.seconds in
+    line "%-28s %4d cases in %7.2f s  (%6.1f instances/s, %d gc-checked, %d audited, %d failures)"
+      (if audit then "oracle+audit" else "oracle-only")
+      stats.Secyan_fuzz.Runner.cases stats.Secyan_fuzz.Runner.seconds per_s
+      stats.Secyan_fuzz.Runner.gc_checked stats.Secyan_fuzz.Runner.audits_run
+      (List.length stats.Secyan_fuzz.Runner.failures);
+    bench5_records :=
+      Json.Obj
+        [
+          ("kind", Json.Str "campaign");
+          ("audit", Json.Bool audit);
+          ("cases", Json.Int stats.Secyan_fuzz.Runner.cases);
+          ("gc_checked", Json.Int stats.Secyan_fuzz.Runner.gc_checked);
+          ("audits_run", Json.Int stats.Secyan_fuzz.Runner.audits_run);
+          ("failures", Json.Int (List.length stats.Secyan_fuzz.Runner.failures));
+          ("seconds", Json.Float stats.Secyan_fuzz.Runner.seconds);
+          ("instances_per_s", Json.Float per_s);
+        ]
+      :: !bench5_records
+  in
+  campaign ~audit:false ~cases:100;
+  campaign ~audit:true ~cases:100;
+  (* shrinker cost on a synthetic always-failing predicate: pure
+     generator + oracle-replay work, no protocol divergence needed *)
+  settle ();
+  Secyan_relational.Value.reset_dummies ();
+  let t = Secyan_fuzz.Gen.generate ~seed ~case:0 in
+  let rows (i : Secyan_fuzz.Gen.instance) =
+    List.fold_left
+      (fun acc (_, (inp : Secyan.Query.input)) ->
+        acc + Relation.cardinality inp.Secyan.Query.relation)
+      0 i.Secyan_fuzz.Gen.query.Secyan.Query.inputs
+  in
+  let r, secs =
+    time (fun () -> Secyan_fuzz.Shrink.minimize ~failing:(fun i -> rows i > 0) t)
+  in
+  line "%-28s %d -> %d rows in %d steps (%.3f s)" "shrink (synthetic)" (rows t)
+    (rows r.Secyan_fuzz.Shrink.instance) r.Secyan_fuzz.Shrink.steps secs;
+  bench5_records :=
+    Json.Obj
+      [
+        ("kind", Json.Str "shrink");
+        ("rows_before", Json.Int (rows t));
+        ("rows_after", Json.Int (rows r.Secyan_fuzz.Shrink.instance));
+        ("steps", Json.Int r.Secyan_fuzz.Shrink.steps);
+        ("seconds", Json.Float secs);
+      ]
+    :: !bench5_records
+
+(* ------------------------------------------------------------------ *)
 
 let all_sections =
   [
@@ -760,7 +841,7 @@ let all_sections =
     ("ablation-psi", ablation_psi); ("ablation-gc", ablation_gc);
     ("ablation-ring", ablation_ring); ("breakdown", breakdown);
     ("extra-queries", extra_queries); ("micro", micro); ("gc-perf", gc_perf);
-    ("checkpoint-overhead", checkpoint_overhead);
+    ("checkpoint-overhead", checkpoint_overhead); ("fuzz-perf", fuzz_perf);
   ]
 
 let () =
@@ -803,4 +884,5 @@ let () =
     sections;
   if !bench_records <> [] then write_bench_json ();
   if !bench2_records <> [] then write_bench2_json ();
-  if !bench4_records <> [] then write_bench4_json ()
+  if !bench4_records <> [] then write_bench4_json ();
+  if !bench5_records <> [] then write_bench5_json ()

@@ -437,8 +437,8 @@ let sql_cmd statement scale sf seed backend domains =
   | exception Secyan_sql.Compiler.Error msg ->
       Fmt.epr "SQL error: %s@." msg;
       1
-  | exception Secyan_sql.Parser.Error msg ->
-      Fmt.epr "parse error: %s@." msg;
+  | exception Secyan_sql.Parser.Error e ->
+      Fmt.epr "parse error: %s@." (Secyan_sql.Parser.error_message e);
       1
   | q ->
       Fmt.pr "join tree: %a (root %s)@." Join_tree.pp q.Secyan.Query.tree
@@ -459,6 +459,88 @@ let sql_cmd statement scale sf seed backend domains =
 let statement_arg =
   let doc = "The SQL statement to run." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc)
+
+(* --- fuzz ----------------------------------------------------------- *)
+
+let fuzz_cases_arg =
+  let doc = "Number of random instances to generate and check." in
+  Arg.(value & opt int 100 & info [ "cases" ] ~docv:"N" ~doc)
+
+let fuzz_audit_arg =
+  let doc =
+    "Additionally run the obliviousness auditor on every instance: execute the protocol \
+     twice on same-shape different-content databases and demand bit-identical \
+     communication tallies, round counts, and trace counter streams."
+  in
+  Arg.(value & flag & info [ "audit-obliviousness" ] ~doc)
+
+let fuzz_out_arg =
+  let doc = "Write shrunk failing instances as a replayable seed file to $(docv)." in
+  Arg.(value & opt string "fuzz-failures.seeds" & info [ "out" ] ~docv:"FILE" ~doc)
+
+let fuzz_replay_arg =
+  let doc = "Replay the seed file $(docv) (produced by --out) instead of generating." in
+  Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
+
+let print_failure (f : Secyan_fuzz.Runner.failure) =
+  let kind = match f.Secyan_fuzz.Runner.kind with `Oracle -> "oracle" | `Audit -> "audit" in
+  Fmt.epr "%s failure (seed %Ld case %d, shrunk in %d steps):@." kind
+    f.Secyan_fuzz.Runner.entry.Secyan_fuzz.Corpus.seed
+    f.Secyan_fuzz.Runner.entry.Secyan_fuzz.Corpus.case f.Secyan_fuzz.Runner.shrink_steps;
+  List.iter (fun d -> Fmt.epr "  %s@." d) f.Secyan_fuzz.Runner.details
+
+let fuzz_replay path audit =
+  match Secyan_fuzz.Corpus.load path with
+  | exception Secyan_fuzz.Corpus.Malformed msg ->
+      Fmt.epr "malformed seed file %s: %s@." path msg;
+      2
+  | exception Sys_error msg ->
+      Fmt.epr "cannot read seed file: %s@." msg;
+      2
+  | entries ->
+      let failed = ref 0 in
+      List.iter
+        (fun (e : Secyan_fuzz.Corpus.entry) ->
+          match Secyan_fuzz.Runner.replay ~audit e with
+          | [] ->
+              Fmt.pr "seed %Ld case %d: ok@." e.Secyan_fuzz.Corpus.seed
+                e.Secyan_fuzz.Corpus.case
+          | details ->
+              incr failed;
+              Fmt.epr "seed %Ld case %d: FAIL@." e.Secyan_fuzz.Corpus.seed
+                e.Secyan_fuzz.Corpus.case;
+              List.iter (fun d -> Fmt.epr "  %s@." d) details)
+        entries;
+      Fmt.pr "replayed %d entries, %d failing@." (List.length entries) !failed;
+      if !failed = 0 then 0 else 1
+
+let fuzz_cmd seed cases audit out replay =
+  match replay with
+  | Some path -> fuzz_replay path audit
+  | None ->
+      if cases <= 0 then begin
+        Fmt.epr "--cases must be positive@.";
+        2
+      end
+      else begin
+        let stats = Secyan_fuzz.Runner.run ~audit ~seed ~cases () in
+        Fmt.pr
+          "fuzz: %d cases in %.1f s (%.1f instances/s), %d also GC-checked, %d audited, \
+           %d failures@."
+          stats.Secyan_fuzz.Runner.cases stats.Secyan_fuzz.Runner.seconds
+          (float_of_int stats.Secyan_fuzz.Runner.cases
+          /. Float.max 1e-9 stats.Secyan_fuzz.Runner.seconds)
+          stats.Secyan_fuzz.Runner.gc_checked stats.Secyan_fuzz.Runner.audits_run
+          (List.length stats.Secyan_fuzz.Runner.failures);
+        match stats.Secyan_fuzz.Runner.failures with
+        | [] -> 0
+        | failures ->
+            List.iter print_failure failures;
+            Secyan_fuzz.Corpus.save out
+              (List.map (fun f -> f.Secyan_fuzz.Runner.entry) failures);
+            Fmt.epr "replayable seed file written to %s@." out;
+            1
+      end
 
 (* --- command wiring ------------------------------------------------- *)
 
@@ -485,7 +567,17 @@ let sql_t =
     Term.(const sql_cmd $ statement_arg $ scale_arg $ sf_arg $ seed_arg $ backend_arg
           $ domains_arg)
 
+let fuzz_t =
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: random free-connex instances checked across the naive, \
+          plaintext-Yannakakis, secure (sim and pipe), and cartesian-GC executors, with \
+          an optional obliviousness audit; failures shrink to a replayable seed file")
+    Term.(const fuzz_cmd $ seed_arg $ fuzz_cases_arg $ fuzz_audit_arg $ fuzz_out_arg
+          $ fuzz_replay_arg)
+
 let () =
   let doc = "secure Yannakakis: join-aggregate queries over private data" in
   let info = Cmd.info "secyan_cli" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ run_t; plan_t; estimate_t; generate_t; sql_t ]))
+  exit (Cmd.eval' (Cmd.group info [ run_t; plan_t; estimate_t; generate_t; sql_t; fuzz_t ]))

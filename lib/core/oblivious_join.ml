@@ -81,6 +81,8 @@ let run ctx semiring (relations : Shared_relation.t list) : t =
      carry its keep-mask, so suppressed (zero) tuples never join. *)
   let joined =
     match views with
+    (* unreachable: [relations = []] was rejected with invalid_arg above,
+       and List.map preserves length *)
     | [] -> assert false
     | (_, first) :: rest ->
         List.fold_left (fun acc (_, view) -> Operators.join semiring acc view) first rest
@@ -99,31 +101,82 @@ let run ctx semiring (relations : Shared_relation.t list) : t =
   if out = 0 then { joined; annots = [||] }
   else begin
     (* Step 3: per relation, align annotation shares with J* through an
-       OEP programmed by Alice. *)
-    let aligned =
-      List.map
-        (fun ((sr : Shared_relation.t), view) ->
+       OEP programmed by Alice.
+
+       A relation may hold several identical tuples (each with its own
+       annotation), and the local join then emits one J* copy per
+       combination of duplicates. Alice must pair each copy with a
+       *distinct* combination of source indices — mapping every copy to
+       the same duplicate would multiply one annotation prod(d_F) times
+       instead of summing over the cross product. She enumerates the
+       combinations in mixed radix over the group of identical J* rows:
+       copy r of a group gets, from relation F, duplicate
+       (r / stride_F) mod d_F where stride_F is the product of the
+       earlier relations' duplicate counts. The sum of annotation
+       products over the group is then exactly prod_F (sum of F's
+       duplicate annotations), as in the plaintext join. *)
+    let views_arr = Array.of_list views in
+    let nrel = Array.length views_arr in
+    let indices_of =
+      Array.map
+        (fun ((sr : Shared_relation.t), (view : Relation.t)) ->
           let schema = Shared_relation.schema sr in
-          let index_of = Hashtbl.create 64 in
-          Array.iteri
-            (fun i t ->
-              (* only kept tuples (keep-mask = view annotation) are
-                 addressable; suppressed empty-schema rows look real *)
-              if (not (Tuple.is_dummy t)) && not (Semiring.is_zero view.Relation.annots.(i))
-              then Hashtbl.replace index_of (Tuple.repr (Tuple.project schema schema t)) i)
-            view.Relation.tuples;
-          let xi =
-            Array.map
-              (fun jt ->
-                let key = Tuple.repr (Tuple.project joined.Relation.schema schema jt) in
-                match Hashtbl.find_opt index_of key with
-                | Some i -> i
-                | None -> invalid_arg "Oblivious_join: J* tuple has no source")
-              joined.Relation.tuples
-          in
-          Oep.apply_shared ctx ~holder:Party.Alice ~xi
+          let tbl : (string, int array) Hashtbl.t = Hashtbl.create 64 in
+          (* walk backwards so each key's duplicates come out in index order *)
+          for i = Array.length view.Relation.tuples - 1 downto 0 do
+            let t = view.Relation.tuples.(i) in
+            (* only kept tuples (keep-mask = view annotation) are
+               addressable; suppressed empty-schema rows look real *)
+            if (not (Tuple.is_dummy t)) && not (Semiring.is_zero view.Relation.annots.(i))
+            then begin
+              let key = Tuple.repr (Tuple.project schema schema t) in
+              let prev =
+                Option.value ~default:[||] (Hashtbl.find_opt tbl key)
+              in
+              Hashtbl.replace tbl key (Array.append [| i |] prev)
+            end
+          done;
+          tbl)
+        views_arr
+    in
+    (* group the (identical) copies of each J* row, preserving order *)
+    let groups : (string, int list) Hashtbl.t = Hashtbl.create 64 in
+    for j = out - 1 downto 0 do
+      let key = Tuple.repr joined.Relation.tuples.(j) in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt groups key) in
+      Hashtbl.replace groups key (j :: prev)
+    done;
+    let xis = Array.init nrel (fun _ -> Array.make out 0) in
+    Hashtbl.iter
+      (fun _ rows ->
+        let jt = joined.Relation.tuples.(List.hd rows) in
+        let dups =
+          Array.init nrel (fun f ->
+              let (sr : Shared_relation.t), _ = views_arr.(f) in
+              let schema = Shared_relation.schema sr in
+              let key = Tuple.repr (Tuple.project joined.Relation.schema schema jt) in
+              match Hashtbl.find_opt indices_of.(f) key with
+              | Some ds -> ds
+              | None -> invalid_arg "Oblivious_join: J* tuple has no source")
+        in
+        let expected = Array.fold_left (fun p ds -> p * Array.length ds) 1 dups in
+        if List.length rows <> expected then
+          invalid_arg "Oblivious_join: J* duplicate group does not match its sources";
+        List.iteri
+          (fun r j ->
+            let stride = ref 1 in
+            for f = 0 to nrel - 1 do
+              let d = Array.length dups.(f) in
+              xis.(f).(j) <- dups.(f).((r / !stride) mod d);
+              stride := !stride * d
+            done)
+          rows)
+      groups;
+    let aligned =
+      List.init nrel (fun f ->
+          let (sr : Shared_relation.t), _ = views_arr.(f) in
+          Oep.apply_shared ctx ~holder:Party.Alice ~xi:xis.(f)
             ~m:(Shared_relation.cardinality sr) sr.Shared_relation.annots)
-        views
     in
     (* One batched circuit: annotation of each J* tuple is the product of
        its per-relation annotations. *)

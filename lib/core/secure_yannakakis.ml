@@ -195,9 +195,13 @@ let run ?resume ctx (q : Query.t) : Relation.t * result =
     Trace.measure ctx @@ fun () ->
     Trace.with_span ctx "reveal" @@ fun () ->
     let annots = Secret_share.reveal_batch ctx Party.Alice r.annots in
-    Relation.with_annots r.joined annots
+    (* J* can retain non-output attributes (a Stop-reduced node keeps its
+       join attributes), so distinct J* tuples may coincide on the output
+       attributes. Alice groups the revealed rows locally — plain share
+       addition on her side, zero communication — mirroring the final
+       collapse of the plaintext algorithm. *)
+    Operators.aggregate q.Query.semiring ~attrs:q.Query.output
+      (Relation.with_annots r.joined annots)
   in
   let r = { r with tally = Comm.add r.tally tally; seconds = r.seconds +. seconds } in
-  (* group once more on the output attributes: J* tuples are distinct, but
-     callers expect canonical attribute order *)
   (revealed, r)

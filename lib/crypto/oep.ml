@@ -63,6 +63,9 @@ let program ~m xi =
     | f :: rest ->
         fillers := rest;
         f
+    (* unreachable counting invariant: over p = m + n wires, the number of
+       unused sources plus padding wires equals the number of unassigned
+       perm1 slots, so the filler pool cannot run dry *)
     | [] -> assert false
   in
   for k = 0 to p - 1 do
@@ -88,6 +91,9 @@ let program ~m xi =
       | s :: rest ->
           perm2.(i) <- s;
           spare := rest
+      (* unreachable counting invariant: [order] marks exactly |order|
+         positions taken, leaving p - |order| spares for the p - |order|
+         outputs with perm2.(i) = -1 *)
       | [] -> assert false
     end
   done;

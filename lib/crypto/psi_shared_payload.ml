@@ -38,6 +38,20 @@ let run ctx ~receiver ~(alice_set : int64 array) ~(bob_set : int64 array)
      determined by the receiver's cuckoo table size. *)
   let b = Cuckoo_hash.n_bins_for (Array.length alice_set) in
   let total = n + b in
+  (* The intermediate payloads of steps 3-4 are *indices* in [0, N+B),
+     which need not fit the annotation ring (a boolean query has a 1-bit
+     ring). Carry them through PSI and the reveal circuit in a widened
+     ring view of the context — same channel, randomness, and counters,
+     only the share modulus grows — and return to the caller's ring for
+     the final OEP over the actual payload shares. *)
+  let index_bits =
+    let rec needed b = if 1 lsl b >= total then b else needed (b + 1) in
+    needed 1
+  in
+  let ictx =
+    if index_bits <= Context.ring_bits ctx then ctx
+    else { ctx with Context.ring = Zn.create index_bits }
+  in
   let xi1 = Prg.permutation (Context.prg_of ctx sender) total in
   let xi1_inv = Array.make total 0 in
   Array.iteri (fun j src -> xi1_inv.(src) <- j) xi1;
@@ -46,9 +60,9 @@ let run ctx ~receiver ~(alice_set : int64 array) ~(bob_set : int64 array)
     Array.init total (fun j -> if j < n then bob_payload_shares.(j) else Secret_share.zero)
   in
   let z' = Oep.apply_shared ctx ~holder:sender ~xi:xi1 ~m:total extended in
-  (* 3. PSI with index payloads *)
+  (* 3. PSI with index payloads (in the index-wide ring) *)
   let index_payloads = Array.init n (fun j -> Int64.of_int xi1_inv.(j)) in
-  let psi = Psi.with_payloads ctx ~receiver ~alice_set ~bob_set ~bob_payloads:index_payloads in
+  let psi = Psi.with_payloads ictx ~receiver ~alice_set ~bob_set ~bob_payloads:index_payloads in
   let b_actual = Psi.n_bins psi in
   if b_actual <> b then
     invalid_arg
@@ -66,7 +80,7 @@ let run ctx ~receiver ~(alice_set : int64 array) ~(bob_set : int64 array)
             {
               owner = sender;
               value = Int64.of_int xi1_inv.(n + i);
-              bits = Context.ring_bits ctx;
+              bits = Context.ring_bits ictx;
             };
         ])
   in
@@ -74,7 +88,7 @@ let run ctx ~receiver ~(alice_set : int64 array) ~(bob_set : int64 array)
     (* ind is arithmetically 0 or 1, so bit 0 is the indicator *)
     [ Circuits.mux_word builder ~sel:words.(0).(0) words.(1) words.(2) ]
   in
-  let ks = Gc_protocol.eval_reveal_batch ctx ~to_:receiver ~items ~build in
+  let ks = Gc_protocol.eval_reveal_batch ictx ~to_:receiver ~items ~build in
   (* 5. second OEP, programmed by the receiver with xi2(i) = k_i *)
   let xi2 = Array.map (fun k -> Int64.to_int k.(0)) ks in
   let payload = Oep.apply_shared ctx ~holder:receiver ~xi:xi2 ~m:total z' in

@@ -1,0 +1,97 @@
+(** Replayable seed files: each entry pins a generator [(seed, case)]
+    pair plus optional per-relation keep-masks produced by the shrinker,
+    so a failing instance travels as a few lines of text.
+
+    Format (line-based, one block per entry):
+    {v
+    case seed=<int64> index=<int>
+    keep <label> <bitstring of 0/1>
+    end
+    v}
+    Lines starting with [#] and blank lines are ignored. *)
+
+type entry = { seed : int64; case : int; masks : (string * bool array) list }
+
+let instance (e : entry) =
+  let t = Gen.generate ~seed:e.seed ~case:e.case in
+  if e.masks = [] then t else Gen.with_masks t e.masks
+
+let mask_bits mask =
+  String.init (Array.length mask) (fun i -> if mask.(i) then '1' else '0')
+
+let write_channel oc entries =
+  output_string oc "# secyan-fuzz seeds v1\n";
+  List.iter
+    (fun e ->
+      Printf.fprintf oc "case seed=%Ld index=%d\n" e.seed e.case;
+      List.iter
+        (fun (label, mask) -> Printf.fprintf oc "keep %s %s\n" label (mask_bits mask))
+        e.masks;
+      output_string oc "end\n")
+    entries
+
+let save path entries =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_channel oc entries)
+
+exception Malformed of string
+
+let parse_case line =
+  try Scanf.sscanf line "case seed=%Ld index=%d" (fun seed case -> (seed, case))
+  with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+    raise (Malformed (Printf.sprintf "bad case line: %s" line))
+
+let parse_keep line =
+  try
+    Scanf.sscanf line "keep %s %s" (fun label bits ->
+        ( label,
+          Array.init (String.length bits) (fun i ->
+              match bits.[i] with
+              | '1' -> true
+              | '0' -> false
+              | c -> raise (Malformed (Printf.sprintf "bad mask bit %C in: %s" c line))) ))
+  with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+    raise (Malformed (Printf.sprintf "bad keep line: %s" line))
+
+let parse_lines lines =
+  let entries = ref [] in
+  let current = ref None in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then ()
+      else if String.length line >= 4 && String.sub line 0 4 = "case" then (
+        (match !current with
+        | Some _ -> raise (Malformed "case block not closed by 'end'")
+        | None -> ());
+        let seed, case = parse_case line in
+        current := Some { seed; case; masks = [] })
+      else if String.length line >= 4 && String.sub line 0 4 = "keep" then (
+        match !current with
+        | None -> raise (Malformed "keep line outside a case block")
+        | Some e -> current := Some { e with masks = e.masks @ [ parse_keep line ] })
+      else if line = "end" then (
+        match !current with
+        | None -> raise (Malformed "'end' outside a case block")
+        | Some e ->
+            entries := e :: !entries;
+            current := None)
+      else raise (Malformed (Printf.sprintf "unrecognized line: %s" line)))
+    lines;
+  (match !current with
+  | Some _ -> raise (Malformed "unterminated case block")
+  | None -> ());
+  List.rev !entries
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      parse_lines (List.rev !lines))

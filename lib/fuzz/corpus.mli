@@ -1,0 +1,22 @@
+(** Replayable seed files: a failing instance travels as its generator
+    [(seed, case)] pair plus the shrinker's per-relation keep-masks. *)
+
+type entry = {
+  seed : int64;
+  case : int;
+  masks : (string * bool array) list;  (** [[]] replays the whole instance *)
+}
+
+(** Regenerate the (possibly shrunk) instance an entry pins. *)
+val instance : entry -> Gen.instance
+
+exception Malformed of string
+
+val save : string -> entry list -> unit
+
+(** @raise Malformed on an unparsable file.
+    @raise Sys_error when the file cannot be read. *)
+val load : string -> entry list
+
+(** Parse entries from in-memory lines (exposed for tests). *)
+val parse_lines : string list -> entry list

@@ -1,0 +1,22 @@
+(** Seeded generator of random free-connex join-aggregate instances:
+    random acyclic join trees with a free-connex output set, random
+    semirings, and databases exercising skew, duplicate keys, empty
+    relations, all-dummy padded inputs, and boundary annotations. *)
+
+type instance = {
+  seed : int64;  (** campaign seed *)
+  case : int;    (** case index within the campaign *)
+  query : Secyan.Query.t;
+}
+
+(** Deterministically derive the instance for [(seed, case)]. Two calls
+    with the same pair produce the same query structure and the same
+    database content (up to fresh dummy-value ids, which carry
+    annotation 0 and never join). *)
+val generate : seed:int64 -> case:int -> instance
+
+(** Restrict relations to the rows whose mask entry is true (used by the
+    shrinker and seed-file replay). Relations without a mask are kept
+    whole.
+    @raise Invalid_argument on a mask/cardinality length mismatch. *)
+val with_masks : instance -> (string * bool array) list -> instance

@@ -1,0 +1,71 @@
+(** Campaign driver: generate instances, run the differential oracle
+    (and optionally the obliviousness auditor) on each, shrink whatever
+    fails, and report replayable seed entries. *)
+
+open Secyan_relational
+
+type failure = {
+  entry : Corpus.entry;
+  kind : [ `Oracle | `Audit ];
+  details : string list;
+  shrink_steps : int;
+}
+
+type stats = {
+  cases : int;
+  gc_checked : int;      (** cases also covered by the cartesian-GC baseline *)
+  audits_run : int;
+  failures : failure list;
+  seconds : float;
+}
+
+let shrink_failure ~kind ~details t =
+  let failing =
+    match kind with
+    | `Oracle -> fun i -> not (Oracle.check i).Oracle.ok
+    | `Audit -> fun i -> not (Audit.check i).Audit.ok
+  in
+  let s = Shrink.minimize ~failing t in
+  { entry = s.Shrink.entry; kind; details; shrink_steps = s.Shrink.steps }
+
+let check_instance ~audit t =
+  let failures = ref [] in
+  let o = Oracle.check t in
+  if not o.Oracle.ok then
+    failures := shrink_failure ~kind:`Oracle ~details:o.Oracle.details t :: !failures;
+  if audit then begin
+    let a = Audit.check t in
+    if not a.Audit.ok then
+      failures := shrink_failure ~kind:`Audit ~details:a.Audit.details t :: !failures
+  end;
+  List.rev !failures
+
+let run ?(audit = false) ?progress ~seed ~cases () =
+  let t0 = Unix.gettimeofday () in
+  let failures = ref [] in
+  let gc_checked = ref 0 in
+  for case = 0 to cases - 1 do
+    (* keep the global dummy-id stream bounded across a long campaign *)
+    Value.reset_dummies ();
+    let t = Gen.generate ~seed ~case in
+    if Oracle.gc_applicable t.Gen.query then incr gc_checked;
+    failures := List.rev_append (check_instance ~audit t) !failures;
+    match progress with Some f -> f case | None -> ()
+  done;
+  {
+    cases;
+    gc_checked = !gc_checked;
+    audits_run = (if audit then cases else 0);
+    failures = List.rev !failures;
+    seconds = Unix.gettimeofday () -. t0;
+  }
+
+let replay ?(audit = false) (e : Corpus.entry) =
+  Value.reset_dummies ();
+  let t = Corpus.instance e in
+  let o = Oracle.check t in
+  let details = o.Oracle.details in
+  if audit then
+    let a = Audit.check t in
+    details @ a.Audit.details
+  else details

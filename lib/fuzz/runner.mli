@@ -1,0 +1,25 @@
+(** Campaign driver: generate, check, shrink, report. *)
+
+type failure = {
+  entry : Corpus.entry;          (** shrunk, replayable *)
+  kind : [ `Oracle | `Audit ];
+  details : string list;         (** from the original (unshrunk) failure *)
+  shrink_steps : int;
+}
+
+type stats = {
+  cases : int;
+  gc_checked : int;   (** cases also covered by the cartesian-GC baseline *)
+  audits_run : int;
+  failures : failure list;
+  seconds : float;
+}
+
+(** Run [cases] instances derived from [seed] through the differential
+    oracle, plus the obliviousness auditor when [audit] is set.
+    [progress] is called after each case with its index. *)
+val run :
+  ?audit:bool -> ?progress:(int -> unit) -> seed:int64 -> cases:int -> unit -> stats
+
+(** Re-check one seed-file entry; returns divergence details ([] = pass). *)
+val replay : ?audit:bool -> Corpus.entry -> string list

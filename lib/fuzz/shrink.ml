@@ -1,0 +1,67 @@
+(** Greedy delta-debugging shrinker: starting from a failing instance,
+    drop whole relations' content, then halves, then single rows, as
+    long as the caller's predicate still fails, and emit a replayable
+    {!Corpus.entry} pinning the minimized instance. The generator pair
+    [(seed, case)] is never changed — masks are the only shrink axis,
+    which keeps every shrunk instance replayable from a few lines of
+    text. *)
+
+type result = { entry : Corpus.entry; instance : Gen.instance; steps : int }
+
+let kept mask = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 mask
+
+let minimize ?(budget = 400) ~failing (t : Gen.instance) =
+  let labels_and_sizes =
+    List.map
+      (fun (label, (i : Secyan.Query.input)) ->
+        (label, Array.length i.Secyan.Query.relation.Secyan_relational.Relation.tuples))
+      t.Gen.query.Secyan.Query.inputs
+  in
+  let masks = List.map (fun (l, n) -> (l, Array.make n true)) labels_and_sizes in
+  let steps = ref 0 in
+  let still_failing () =
+    incr steps;
+    !steps <= budget && failing (Gen.with_masks t masks)
+  in
+  (* try one candidate mask change; keep it iff the instance still fails *)
+  let try_drop mask indices =
+    let saved = Array.copy mask in
+    List.iter (fun i -> mask.(i) <- false) indices;
+    if not (still_failing ()) then Array.blit saved 0 mask 0 (Array.length mask)
+  in
+  List.iter
+    (fun (_, mask) ->
+      if kept mask > 0 then
+        (* whole relation first: the cheapest big win *)
+        try_drop mask (List.init (Array.length mask) Fun.id))
+    masks;
+  (* halves, then single rows, until a pass removes nothing *)
+  let changed = ref true in
+  while !changed && !steps < budget do
+    changed := false;
+    List.iter
+      (fun (_, mask) ->
+        let live = ref [] in
+        Array.iteri (fun i b -> if b then live := i :: !live) mask;
+        let live = List.rev !live in
+        let n_live = List.length live in
+        if n_live > 1 && !steps < budget then begin
+          let before = kept mask in
+          let half = List.filteri (fun k _ -> k < n_live / 2) live in
+          try_drop mask half;
+          let second = List.filter (fun i -> mask.(i)) live in
+          if List.length second > 1 && !steps < budget then
+            try_drop mask (List.filteri (fun k _ -> k >= List.length second / 2) second);
+          if kept mask < before then changed := true
+        end;
+        List.iter
+          (fun i ->
+            if mask.(i) && !steps < budget then begin
+              try_drop mask [ i ];
+              if not mask.(i) then changed := true
+            end)
+          live)
+      masks
+  done;
+  let entry = { Corpus.seed = t.Gen.seed; case = t.Gen.case; masks } in
+  { entry; instance = Gen.with_masks t masks; steps = !steps }

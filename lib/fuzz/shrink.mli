@@ -1,0 +1,12 @@
+(** Greedy delta-debugging shrinker over per-relation keep-masks. *)
+
+type result = {
+  entry : Corpus.entry;     (** replayable pin of the minimized instance *)
+  instance : Gen.instance;  (** the minimized instance itself *)
+  steps : int;              (** predicate evaluations spent *)
+}
+
+(** Minimize a failing instance: [failing] must hold on the input and is
+    re-checked on every candidate; candidates that stop failing are
+    rolled back. At most [budget] predicate evaluations (default 400). *)
+val minimize : ?budget:int -> failing:(Gen.instance -> bool) -> Gen.instance -> result

@@ -7,6 +7,6 @@ type t
 val create : int64 -> t
 val next : t -> int64
 
-(** Uniform-ish draw in [\[0, bound)].
+(** Uniform draw in [\[0, bound)] (rejection-sampled, no modulo bias).
     @raise Invalid_argument unless [bound > 0]. *)
 val below : t -> int -> int

@@ -265,7 +265,10 @@ let compile ?(bits = 52) ?(selection = Secyan.Selection.Private) (catalog : cata
   (* combine a table's factors in the clear and encode the result *)
   let combine_factors values =
     match q.Ast.aggregate with
-    | Ast.Count -> assert false
+    | Ast.Count ->
+        (* annot_spec is [] for COUNT, so no table has factors to combine;
+           reaching here means the factorizer produced a spec it shouldn't. *)
+        fail "COUNT takes no aggregate factors (internal factorizer error)"
     | Ast.Sum _ ->
         Secyan_crypto.Zn.norm semiring.Semiring.zn
           (Int64.of_int (List.fold_left ( * ) 1 values))

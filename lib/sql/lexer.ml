@@ -1,6 +1,7 @@
 (** Hand-rolled lexer for the SQL subset. Keywords are case-insensitive;
     identifiers keep their case. String literals use single quotes with
-    [''] as the escaped quote. *)
+    [''] as the escaped quote. Every token carries the byte offset of its
+    first character so the parser can report positions. *)
 
 type token =
   | Kw of string          (** upper-cased keyword *)
@@ -10,7 +11,9 @@ type token =
   | Symbol of string      (** punctuation / operators *)
   | Eof
 
-exception Error of string
+exception Error of { offset : int; message : string }
+
+let fail ~offset fmt = Fmt.kstr (fun message -> raise (Error { offset; message })) fmt
 
 let keywords =
   [ "SELECT"; "FROM"; "WHERE"; "GROUP"; "BY"; "AND"; "SUM"; "COUNT"; "MIN"; "MAX";
@@ -20,21 +23,24 @@ let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '
 let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
 let is_digit c = c >= '0' && c <= '9'
 
-let tokenize (src : string) : token list =
+let tokenize (src : string) : (token * int) list =
   let n = String.length src in
   let tokens = ref [] in
-  let emit t = tokens := t :: !tokens in
   let i = ref 0 in
+  let emit_at start t = tokens := (t, start) :: !tokens in
   while !i < n do
     let c = src.[!i] in
+    let start = !i in
+    let emit t = emit_at start t in
     if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
     else if is_digit c then begin
-      let start = !i in
       while !i < n && is_digit src.[!i] do incr i done;
-      emit (Int (int_of_string (String.sub src start (!i - start))))
+      let digits = String.sub src start (!i - start) in
+      match int_of_string_opt digits with
+      | Some v -> emit (Int v)
+      | None -> fail ~offset:start "integer literal '%s' does not fit" digits
     end
     else if is_ident_start c then begin
-      let start = !i in
       while !i < n && is_ident_char src.[!i] do incr i done;
       let word = String.sub src start (!i - start) in
       let upper = String.uppercase_ascii word in
@@ -45,7 +51,7 @@ let tokenize (src : string) : token list =
       let buf = Buffer.create 16 in
       let closed = ref false in
       while not !closed do
-        if !i >= n then raise (Error "unterminated string literal");
+        if !i >= n then fail ~offset:start "unterminated string literal";
         if src.[!i] = '\'' then
           if !i + 1 < n && src.[!i + 1] = '\'' then begin
             Buffer.add_char buf '\'';
@@ -73,10 +79,10 @@ let tokenize (src : string) : token list =
           | '=' | '<' | '>' | '*' | '+' | '-' | '(' | ')' | ',' | '.' ->
               emit (Symbol (String.make 1 c));
               incr i
-          | _ -> raise (Error (Printf.sprintf "unexpected character %C at offset %d" c !i)))
+          | _ -> fail ~offset:start "unexpected character %C" c)
     end
   done;
-  List.rev (Eof :: !tokens)
+  List.rev ((Eof, n) :: !tokens)
 
 let pp_token fmt = function
   | Kw k -> Fmt.pf fmt "keyword %s" k

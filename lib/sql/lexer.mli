@@ -9,9 +9,11 @@ type token =
   | Symbol of string
   | Eof
 
-exception Error of string
+exception Error of { offset : int; message : string }
 
-(** @raise Error on unexpected characters or unterminated strings. *)
-val tokenize : string -> token list
+(** Tokens paired with the byte offset of their first character; ends
+    with [Eof] at offset [String.length src].
+    @raise Error on unexpected characters or unterminated strings. *)
+val tokenize : string -> (token * int) list
 
 val pp_token : Format.formatter -> token -> unit

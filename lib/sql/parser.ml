@@ -1,12 +1,37 @@
-(** Recursive-descent parser for the SQL subset (see {!Ast}). *)
+(** Recursive-descent parser for the SQL subset (see {!Ast}).
 
-exception Error of string
+    Errors are typed: every failure carries the byte offset it was
+    detected at and a snippet of the offending source text, so callers
+    (the CLI, the fuzzer) can print a precise diagnostic instead of a
+    backtrace. *)
 
-type state = { mutable tokens : Lexer.token list }
+type error = { offset : int; text : string; message : string }
 
-let fail fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+exception Error of error
 
-let peek st = match st.tokens with t :: _ -> t | [] -> Lexer.Eof
+(** Human-readable one-line rendering of a parse error. *)
+let error_message { offset; text; message } =
+  if text = "" then Printf.sprintf "%s at offset %d" message offset
+  else Printf.sprintf "%s at offset %d near '%s'" message offset text
+
+type state = { src : string; mutable tokens : (Lexer.token * int) list }
+
+(* Snippet of the source starting at [offset] (for error reports). *)
+let snippet src offset =
+  let n = String.length src in
+  if offset >= n then ""
+  else String.sub src offset (min 24 (n - offset))
+
+let pos st = match st.tokens with (_, p) :: _ -> p | [] -> String.length st.src
+
+let fail_at st offset fmt =
+  Fmt.kstr
+    (fun message -> raise (Error { offset; text = snippet st.src offset; message }))
+    fmt
+
+let fail st fmt = fail_at st (pos st) fmt
+
+let peek st = match st.tokens with (t, _) :: _ -> t | [] -> Lexer.Eof
 
 let advance st =
   match st.tokens with
@@ -16,12 +41,12 @@ let advance st =
 let expect_kw st kw =
   match peek st with
   | Lexer.Kw k when k = kw -> advance st
-  | t -> fail "expected %s, found %a" kw Lexer.pp_token t
+  | t -> fail st "expected %s, found %a" kw Lexer.pp_token t
 
 let expect_symbol st sym =
   match peek st with
   | Lexer.Symbol s when s = sym -> advance st
-  | t -> fail "expected '%s', found %a" sym Lexer.pp_token t
+  | t -> fail st "expected '%s', found %a" sym Lexer.pp_token t
 
 let accept_symbol st sym =
   match peek st with
@@ -35,7 +60,7 @@ let ident st =
   | Lexer.Ident s ->
       advance st;
       s
-  | t -> fail "expected identifier, found %a" Lexer.pp_token t
+  | t -> fail st "expected identifier, found %a" Lexer.pp_token t
 
 (* column: ident | ident '.' ident *)
 let column st =
@@ -43,16 +68,33 @@ let column st =
   if accept_symbol st "." then { Ast.table = Some first; name = ident st }
   else { Ast.table = None; name = first }
 
-let date_of_string s =
+let is_leap y = (y mod 4 = 0 && y mod 100 <> 0) || y mod 400 = 0
+
+let days_in_month ~year ~month =
+  match month with
+  | 1 | 3 | 5 | 7 | 8 | 10 | 12 -> 31
+  | 4 | 6 | 9 | 11 -> 30
+  | 2 -> if is_leap year then 29 else 28
+  | _ -> 0
+
+(* [offset] is the position of the string literal being decoded. *)
+let date_of_string st offset s =
   match String.split_on_char '-' s with
   | [ y; m; d ] -> (
       match int_of_string_opt y, int_of_string_opt m, int_of_string_opt d with
       | Some year, Some month, Some day -> (
+          if month < 1 || month > 12 then
+            fail_at st offset "date literal '%s' has month %d outside [1, 12]" s month;
+          if day < 1 || day > days_in_month ~year ~month then
+            fail_at st offset "date literal '%s' has day %d outside [1, %d] for %04d-%02d" s
+              day (days_in_month ~year ~month) year month;
           match Secyan_relational.Value.date ~year ~month ~day with
           | Secyan_relational.Value.Date days -> days
-          | _ -> assert false)
-      | _ -> fail "malformed date literal '%s'" s)
-  | _ -> fail "malformed date literal '%s'" s
+          | v ->
+              fail_at st offset "date literal '%s' did not encode as a date (got %s)" s
+                (Secyan_relational.Value.repr v))
+      | _ -> fail_at st offset "malformed date literal '%s' (expected YYYY-MM-DD)" s)
+  | _ -> fail_at st offset "malformed date literal '%s' (expected YYYY-MM-DD)" s
 
 (* expr := term (('+'|'-') term)* ; term := atom ('*' atom)* *)
 let rec expr st =
@@ -94,16 +136,17 @@ and atom st =
       advance st;
       match peek st with
       | Lexer.String s ->
+          let offset = pos st in
           advance st;
-          Ast.Date_lit (date_of_string s)
-      | t -> fail "expected date string after DATE, found %a" Lexer.pp_token t)
+          Ast.Date_lit (date_of_string st offset s)
+      | t -> fail st "expected date string after DATE, found %a" Lexer.pp_token t)
   | Lexer.Symbol "(" ->
       advance st;
       let e = expr st in
       expect_symbol st ")";
       e
   | Lexer.Ident _ -> Ast.Col (column st)
-  | t -> fail "expected expression, found %a" Lexer.pp_token t
+  | t -> fail st "expected expression, found %a" Lexer.pp_token t
 
 let comparison_op st =
   match peek st with
@@ -125,7 +168,7 @@ let comparison_op st =
   | Lexer.Symbol ">=" ->
       advance st;
       Ast.Ge
-  | t -> fail "expected comparison operator, found %a" Lexer.pp_token t
+  | t -> fail st "expected comparison operator, found %a" Lexer.pp_token t
 
 (* condition := expr cmp expr | expr IN '(' expr, ... ')'
               | expr LIKE 'pattern' | expr BETWEEN e AND e *)
@@ -148,7 +191,7 @@ let condition st =
       | Lexer.String s ->
           advance st;
           [ Ast.Like (left, s) ]
-      | t -> fail "expected pattern after LIKE, found %a" Lexer.pp_token t)
+      | t -> fail st "expected pattern after LIKE, found %a" Lexer.pp_token t)
   | Lexer.Kw "BETWEEN" ->
       advance st;
       let lo = expr st in
@@ -192,7 +235,12 @@ let select_item st =
 
 (** Parse one SELECT statement. *)
 let select (src : string) : Ast.select =
-  let st = { tokens = Lexer.tokenize src } in
+  let tokens =
+    try Lexer.tokenize src
+    with Lexer.Error { offset; message } ->
+      raise (Error { offset; text = snippet src offset; message })
+  in
+  let st = { src; tokens } in
   expect_kw st "SELECT";
   let rec items acc =
     let item = select_item st in
@@ -212,8 +260,8 @@ let select (src : string) : Ast.select =
   let aggregate =
     match aggregates with
     | [ a ] -> a
-    | [] -> fail "exactly one aggregate is required (SUM/COUNT/MIN/MAX)"
-    | _ -> fail "only one aggregate per query; use query composition for more"
+    | [] -> fail st "exactly one aggregate is required (SUM/COUNT/MIN/MAX)"
+    | _ -> fail st "only one aggregate per query; use query composition for more"
   in
   expect_kw st "FROM";
   let rec tables acc =
@@ -250,5 +298,5 @@ let select (src : string) : Ast.select =
   in
   (match peek st with
   | Lexer.Eof -> ()
-  | t -> fail "trailing input: %a" Lexer.pp_token t);
+  | t -> fail st "trailing input: %a" Lexer.pp_token t);
   { Ast.out_columns; aggregate; tables; where; group_by }

@@ -1,7 +1,15 @@
 (** Recursive-descent parser for the SQL subset (see {!Ast}). *)
 
-exception Error of string
+(** A parse error: byte [offset] into the source, a short [text]
+    snippet starting at that offset, and the [message]. Lexer errors
+    surface through this same type. *)
+type error = { offset : int; text : string; message : string }
+
+exception Error of error
+
+(** One-line human-readable rendering of an error (offset + snippet). *)
+val error_message : error -> string
 
 (** Parse one SELECT statement.
-    @raise Error with a human-readable message on malformed input. *)
+    @raise Error with position and offending text on malformed input. *)
 val select : string -> Ast.select

@@ -300,7 +300,12 @@ let q8_plaintext (d : Datagen.dataset) : (int * int64) list =
     let r = Secyan.Query.plaintext q in
     Relation.nonzero r
     |> List.map (fun (t, a) ->
-           match t.(0) with Value.Int y -> (y, a) | _ -> assert false)
+           match t.(0) with
+           | Value.Int y -> (y, a)
+           | v ->
+               invalid_arg
+                 (Printf.sprintf "q8_plaintext: year column holds %s, expected an int"
+                    (Value.repr v)))
   in
   let nums = result (q8_inner d ~numerator:true) in
   let dens = result (q8_inner d ~numerator:false) in
@@ -420,7 +425,13 @@ let q9_plaintext ?nations (d : Datagen.dataset) : (int * int * int) list =
       let result q =
         Relation.nonzero (Secyan.Query.plaintext q)
         |> List.map (fun (t, a) ->
-               match t.(0) with Value.Int y -> (y, a) | _ -> assert false)
+               match t.(0) with
+               | Value.Int y -> (y, a)
+               | v ->
+                   invalid_arg
+                     (Printf.sprintf
+                        "q9_plaintext: year column holds %s, expected an int"
+                        (Value.repr v)))
       in
       let revs = result (q9_inner d ~nationkey ~volume:true) in
       let costs = result (q9_inner d ~nationkey ~volume:false) in

@@ -708,6 +708,35 @@ let test_psi_shared_payload () =
           Alcotest.check check_i64 "empty payload" 0L pay)
     r.Psi_shared_payload.table.Cuckoo_hash.slots
 
+let test_psi_shared_payload_narrow_ring () =
+  (* regression: the protocol's intermediate payloads are indices in
+     [0, N+B), which must survive a ring narrower than their width — a
+     1-bit boolean ring once truncated them to their low bit *)
+  List.iter
+    (fun seed ->
+      let ctx = Context.create ~bits:1 ~seed () in
+      let alice_set = [| 2L; 5L; 9L |] in
+      let bob_set = [| 5L; 9L; 11L |] in
+      let bob_payload_shares =
+        Array.map (fun _ -> Secret_share.share ctx ~owner:Party.Bob 1L) bob_set
+      in
+      let r =
+        Psi_shared_payload.run ctx ~receiver:Party.Alice ~alice_set ~bob_set
+          ~bob_payload_shares
+      in
+      Array.iteri
+        (fun i slot ->
+          let ind = Secret_share.reconstruct ctx r.Psi_shared_payload.ind.(i) in
+          let pay = Secret_share.reconstruct ctx r.Psi_shared_payload.payload.(i) in
+          let expected =
+            match slot with Some (5L | 9L) -> 1L | Some _ | None -> 0L
+          in
+          Alcotest.check check_i64 (Printf.sprintf "seed %Ld bin %d ind" seed i) expected ind;
+          Alcotest.check check_i64 (Printf.sprintf "seed %Ld bin %d payload" seed i) expected
+            pay)
+        r.Psi_shared_payload.table.Cuckoo_hash.slots)
+    [ 1L; 2L; 3L; 4L; 5L; 6L; 7L; 8L ]
+
 (* ------------------------------------------------------------------ *)
 (* AES-128 *)
 
@@ -1081,6 +1110,8 @@ let () =
           Alcotest.test_case "with payloads" `Quick test_psi_with_payloads;
           Alcotest.test_case "element bounds" `Quick test_psi_element_bounds;
           Alcotest.test_case "shared payloads" `Quick test_psi_shared_payload;
+          Alcotest.test_case "shared payloads in a narrow ring" `Quick
+            test_psi_shared_payload_narrow_ring;
           Alcotest.test_case "boundary sizes" `Quick test_psi_boundary_sizes;
           Alcotest.test_case "transcript oblivious" `Quick test_transcript_oblivious;
         ]

@@ -302,6 +302,33 @@ let prop_chaos_deterministic =
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 (* ------------------------------------------------------------------ *)
+(* Rng                                                                *)
+
+let test_rng_below_uniform () =
+  (* rejection sampling makes [below] exactly uniform; with the old
+     [Int64.rem]-only draw a bound this close to a power of two would
+     still pass, so also pin per-value counts tightly enough to catch a
+     reintroduced bias on small bounds *)
+  let rng = Rng.create 2024L in
+  let bound = 3 in
+  let n = 30_000 in
+  let counts = Array.make bound 0 in
+  for _ = 1 to n do
+    let v = Rng.below rng bound in
+    Alcotest.(check bool) "in range" true (0 <= v && v < bound);
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun v c ->
+      if c < 9_500 || c > 10_500 then
+        Alcotest.failf "value %d drawn %d times out of %d (expected ~%d)" v c n (n / bound))
+    counts;
+  Alcotest.(check int) "bound 1 is constant" 0 (Rng.below rng 1);
+  Alcotest.check_raises "bound 0 rejected"
+    (Invalid_argument "Rng.below: bound = 0, expected a positive integer") (fun () ->
+      ignore (Rng.below rng 0))
+
+(* ------------------------------------------------------------------ *)
 (* Accounting equivalence: sim vs real channel                        *)
 
 let project_content output (r : Secyan_relational.Relation.t) =
@@ -464,6 +491,7 @@ let () =
           Alcotest.test_case "inproc roundtrip" `Quick test_inproc_roundtrip;
           Alcotest.test_case "tcp large transfer" `Quick test_tcp_large_transfer;
         ] );
+      ("rng", [ Alcotest.test_case "below is uniform" `Quick test_rng_below_uniform ]);
       ("chaos-spec", [ Alcotest.test_case "parse" `Quick test_parse_spec ]);
       ( "resilient",
         [

@@ -18,29 +18,42 @@ let rel name schema rows =
 let test_lexer_basic () =
   let tokens = Lexer.tokenize "SELECT a, SUM(x) FROM r WHERE a >= 10" in
   Alcotest.(check int) "token count" 14 (List.length tokens);
-  (match tokens with
+  (match List.map fst tokens with
   | Lexer.Kw "SELECT" :: Lexer.Ident "a" :: Lexer.Symbol "," :: Lexer.Kw "SUM" :: _ -> ()
   | _ -> Alcotest.fail "unexpected token stream");
   (* keywords are case-insensitive *)
   match Lexer.tokenize "select" with
-  | [ Lexer.Kw "SELECT"; Lexer.Eof ] -> ()
+  | [ (Lexer.Kw "SELECT", 0); (Lexer.Eof, 6) ] -> ()
   | _ -> Alcotest.fail "lowercase keyword"
 
 let test_lexer_strings () =
-  (match Lexer.tokenize "'hello world'" with
+  (match List.map fst (Lexer.tokenize "'hello world'") with
   | [ Lexer.String "hello world"; Lexer.Eof ] -> ()
   | _ -> Alcotest.fail "string literal");
-  (match Lexer.tokenize "'it''s'" with
+  (match List.map fst (Lexer.tokenize "'it''s'") with
   | [ Lexer.String "it's"; Lexer.Eof ] -> ()
   | _ -> Alcotest.fail "escaped quote");
-  Alcotest.check_raises "unterminated" (Lexer.Error "unterminated string literal") (fun () ->
-      ignore (Lexer.tokenize "'oops"))
+  match Lexer.tokenize "ab 'oops" with
+  | exception Lexer.Error { offset = 3; message = "unterminated string literal" } -> ()
+  | exception Lexer.Error { offset; _ } ->
+      Alcotest.failf "unterminated string reported at offset %d, expected 3" offset
+  | _ -> Alcotest.fail "unterminated string lexed"
 
 let test_lexer_operators () =
-  match Lexer.tokenize "a <= b <> c != d" with
+  match List.map fst (Lexer.tokenize "a <= b <> c != d") with
   | [ Lexer.Ident "a"; Lexer.Symbol "<="; Lexer.Ident "b"; Lexer.Symbol "<>";
       Lexer.Ident "c"; Lexer.Symbol "<>"; Lexer.Ident "d"; Lexer.Eof ] -> ()
   | _ -> Alcotest.fail "operator tokens"
+
+let test_lexer_offsets () =
+  let tokens = Lexer.tokenize "SELECT a FROM r" in
+  Alcotest.(check (list int)) "byte offsets" [ 0; 7; 9; 14; 15 ] (List.map snd tokens);
+  (* a stray character is rejected with its position, not a crash *)
+  match Lexer.tokenize "SELECT a; b" with
+  | exception Lexer.Error { offset = 8; _ } -> ()
+  | exception Lexer.Error { offset; _ } ->
+      Alcotest.failf "stray char reported at offset %d, expected 8" offset
+  | _ -> Alcotest.fail "stray character lexed"
 
 (* ------------------------------------------------------------------ *)
 (* Parser *)
@@ -86,6 +99,34 @@ let test_parser_errors () =
   expect_fail "SELECT SUM(x), SUM(y) FROM r" (* two aggregates *);
   expect_fail "SELECT SUM(x) FROM r WHERE";
   expect_fail "SELECT SUM(x) FROM r trailing garbage"
+
+(* Invalid dates used to trip an [assert false] inside the parser; they
+   must now surface as typed errors carrying position and source text. *)
+let test_parser_bad_dates () =
+  let expect_date_error src =
+    match Parser.select src with
+    | exception Parser.Error ({ offset; text; _ } as e) ->
+        if offset <= 0 then Alcotest.failf "no position in: %s" (Parser.error_message e);
+        if text = "" then Alcotest.failf "no source text in: %s" (Parser.error_message e)
+    | _ -> Alcotest.fail ("should not parse: " ^ src)
+  in
+  expect_date_error "SELECT SUM(x) FROM r WHERE d < DATE '1995-13-01'" (* month 13 *);
+  expect_date_error "SELECT SUM(x) FROM r WHERE d < DATE '1995-04-31'" (* April 31 *);
+  expect_date_error "SELECT SUM(x) FROM r WHERE d < DATE '1995-02-29'" (* not a leap year *);
+  expect_date_error "SELECT SUM(x) FROM r WHERE d < DATE '1995-00-10'" (* month 0 *);
+  expect_date_error "SELECT SUM(x) FROM r WHERE d < DATE 'yesterday'" (* not Y-M-D *);
+  expect_date_error "SELECT SUM(x) FROM r WHERE d < DATE '1995-03'" (* two fields *);
+  (* leap day on an actual leap year still parses *)
+  match Parser.select "SELECT SUM(x) FROM r WHERE d < DATE '1996-02-29'" with
+  | _ -> ()
+  | exception Parser.Error e -> Alcotest.fail (Parser.error_message e)
+
+let test_parser_error_positions () =
+  match Parser.select "SELECT SUM(x) FROM r WHERE x @ 3" with
+  | exception Parser.Error { offset = 29; _ } -> ()
+  | exception Parser.Error e ->
+      Alcotest.failf "expected offset 29, got: %s" (Parser.error_message e)
+  | _ -> Alcotest.fail "should not parse stray '@'"
 
 (* ------------------------------------------------------------------ *)
 (* Compiler + end-to-end execution *)
@@ -282,12 +323,15 @@ let () =
           Alcotest.test_case "basic" `Quick test_lexer_basic;
           Alcotest.test_case "strings" `Quick test_lexer_strings;
           Alcotest.test_case "operators" `Quick test_lexer_operators;
+          Alcotest.test_case "offsets" `Quick test_lexer_offsets;
         ] );
       ( "parser",
         [
           Alcotest.test_case "Q3 shape" `Quick test_parser_q3_shape;
           Alcotest.test_case "BETWEEN/IN/LIKE" `Quick test_parser_between_and_in;
           Alcotest.test_case "errors" `Quick test_parser_errors;
+          Alcotest.test_case "bad dates" `Quick test_parser_bad_dates;
+          Alcotest.test_case "error positions" `Quick test_parser_error_positions;
         ] );
       ( "compiler",
         [
