@@ -553,6 +553,31 @@ let write_bench2_json () =
   close_out oc;
   line "wrote %s (%d records)" path (List.length !bench2_records)
 
+(* Per-domain contention timelines and metrics overhead: records go to
+   BENCH_6.json (EXPERIMENTS.md documents the schema). The timelines are
+   the instrumented view of ROADMAP item 1 — where the wall-clock goes
+   (busy vs queue-wait vs lock-wait) as the pool grows. *)
+
+let bench6_records : Json.t list ref = ref []
+
+let write_bench6_json () =
+  let path = "BENCH_6.json" in
+  let doc =
+    Json.Obj
+      [
+        ("harness", Json.Str "secyan-bench");
+        ("section", Json.Str "gc-perf");
+        ("seed", Json.Str (Int64.to_string seed));
+        ("cores", Json.Int (Domain.recommended_domain_count ()));
+        ("records", Json.List (List.rev !bench6_records));
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  line "wrote %s (%d records)" path (List.length !bench6_records)
+
 (* Bechamel OLS estimate for one run of [f], in nanoseconds. *)
 let ns_per_run name f =
   let open Bechamel in
@@ -619,19 +644,19 @@ let gc_perf () =
     [ ("sha256", Garbling.Sha256_kdf); ("aes128", Garbling.Aes128_kdf) ];
   (* 3. batch wall-clock across pool sizes, with a determinism cross-check *)
   let items = 48 in
+  let batch_inputs () =
+    let inp = Prg.create 7L in
+    Array.init items (fun _ ->
+        [
+          Gc_protocol.Priv { owner = Party.Alice; value = Prg.bits inp 16; bits = 32 };
+          Gc_protocol.Priv { owner = Party.Bob; value = Prg.bits inp 16; bits = 32 };
+        ])
+  in
+  let build b words = [ Circuits.mul_word b words.(0) words.(1) ] in
   let batch domains =
     let ctx = Context.create ~gc_backend:Context.Real ~domains ~seed () in
-    let inp = Prg.create 7L in
-    let inputs =
-      Array.init items (fun _ ->
-          [
-            Gc_protocol.Priv { owner = Party.Alice; value = Prg.bits inp 16; bits = 32 };
-            Gc_protocol.Priv { owner = Party.Bob; value = Prg.bits inp 16; bits = 32 };
-          ])
-    in
-    let build b words = [ Circuits.mul_word b words.(0) words.(1) ] in
     let shares, secs =
-      time (fun () -> Gc_protocol.eval_to_shares_batch ctx ~items:inputs ~build)
+      time (fun () -> Gc_protocol.eval_to_shares_batch ctx ~items:(batch_inputs ()) ~build)
     in
     Context.shutdown_pool ctx;
     (shares, secs)
@@ -657,7 +682,80 @@ let gc_perf () =
             ("identical_to_sequential", Json.Bool identical);
           ]
         :: !bench2_records)
-    pool_sizes
+    pool_sizes;
+  (* 4. per-domain contention timelines: where each participant's
+     wall-clock goes (busy vs queue-wait vs lock-wait) as the pool grows
+     — the instrumented view of the ROADMAP item-1 regression. *)
+  let was_enabled = Secyan_metrics.enabled () in
+  Secyan_metrics.set_enabled true;
+  let timeline_sizes = List.sort_uniq compare [ 1; 2; 4; max 1 !requested_domains ] in
+  List.iter
+    (fun domains ->
+      settle ();
+      let ctx = Context.create ~gc_backend:Context.Real ~domains ~seed () in
+      let _, secs =
+        time (fun () -> Gc_protocol.eval_to_shares_batch ctx ~items:(batch_inputs ()) ~build)
+      in
+      let tls =
+        match Context.pool_opt ctx with
+        | Some pool -> Domain_pool.timelines pool
+        | None -> []
+      in
+      Context.shutdown_pool ctx;
+      let sum f = List.fold_left (fun acc tl -> acc +. f tl) 0. tls in
+      let wall = sum (fun tl -> tl.Domain_pool.wall_ns) in
+      let frac f = if wall > 0. then sum f /. wall else 0. in
+      let busy = frac (fun tl -> tl.Domain_pool.busy_ns) in
+      let queue = frac (fun tl -> tl.Domain_pool.queue_wait_ns) in
+      let lock = frac (fun tl -> tl.Domain_pool.lock_wait_ns) in
+      line "%-24s %12.3f ms  busy %5.1f%%  queue-wait %5.1f%%  lock-wait %5.1f%%"
+        (Printf.sprintf "timeline-%dd" domains)
+        (secs *. 1e3) (100. *. busy) (100. *. queue) (100. *. lock);
+      bench6_records :=
+        Json.Obj
+          [
+            ("kind", Json.Str "domain-timeline"); ("domains", Json.Int domains);
+            ("items", Json.Int items); ("seconds", Json.Float secs);
+            ("busy_frac", Json.Float busy);
+            ("queue_wait_frac", Json.Float queue);
+            ("lock_wait_frac", Json.Float lock);
+            ("timelines", Json.List (List.map Profile.timeline_json tls));
+          ]
+        :: !bench6_records)
+    timeline_sizes;
+  (* 5. metrics overhead on a full protocol run: the registry must stay
+     within single-digit percent of a metrics-off run (DESIGN.md §13's
+     budget; the acceptance bar is <= 3%). Best-of-reps on both sides to
+     suppress scheduler noise. *)
+  let sf = Secyan_tpch.Datagen.preset_sf "xs" in
+  let d = Secyan_tpch.Datagen.generate ~sf ~seed in
+  let run_secs () =
+    settle ();
+    let ctx = Secyan_tpch.Queries.context ~seed () in
+    let q = Secyan_tpch.Queries.q3 d in
+    let _, secs = time (fun () -> Secyan.Secure_yannakakis.run ctx q) in
+    Context.shutdown_pool ctx;
+    secs
+  in
+  let reps = 5 in
+  let best f = List.fold_left (fun acc _ -> Float.min acc (f ())) infinity (List.init reps Fun.id) in
+  Secyan_metrics.set_enabled false;
+  let off_secs = best run_secs in
+  Secyan_metrics.set_enabled true;
+  let on_secs = best run_secs in
+  Secyan_metrics.set_enabled was_enabled;
+  let overhead_pct = 100. *. (on_secs -. off_secs) /. off_secs in
+  line "%-24s off %.3f ms  on %.3f ms  overhead %.2f%%" "metrics-overhead-q3-xs"
+    (off_secs *. 1e3) (on_secs *. 1e3) overhead_pct;
+  bench6_records :=
+    Json.Obj
+      [
+        ("kind", Json.Str "metrics-overhead"); ("query", Json.Str "Q3");
+        ("scale", Json.Str "xs"); ("reps", Json.Int reps);
+        ("off_seconds", Json.Float off_secs); ("on_seconds", Json.Float on_secs);
+        ("overhead_pct", Json.Float overhead_pct);
+      ]
+    :: !bench6_records
 
 (* ------------------------------------------------------------------ *)
 (* Checkpoint overhead: wall-clock and bytes-written delta of a fully
@@ -844,7 +942,52 @@ let all_sections =
     ("checkpoint-overhead", checkpoint_overhead); ("fuzz-perf", fuzz_perf);
   ]
 
+(* [bench diff BASE.json NEW.json [--tolerance T] [--strict]]: the BENCH
+   regression gate. Exit 1 on regression, 2 on usage/parse errors. *)
+let diff_main args =
+  let usage () =
+    prerr_endline "usage: bench diff BASE.json NEW.json [--tolerance T] [--strict]";
+    exit 2
+  in
+  let tolerance = ref 0.15 and strict = ref false and files = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--strict" :: rest ->
+        strict := true;
+        parse rest
+    | "--tolerance" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some t when t >= 0. -> tolerance := t
+        | _ -> usage ());
+        parse rest
+    | arg :: rest when String.length arg > 12 && String.sub arg 0 12 = "--tolerance=" -> (
+        match float_of_string_opt (String.sub arg 12 (String.length arg - 12)) with
+        | Some t when t >= 0. ->
+            tolerance := t;
+            parse rest
+        | _ -> usage ())
+    | arg :: _ when String.length arg >= 2 && String.sub arg 0 2 = "--" -> usage ()
+    | file :: rest ->
+        files := file :: !files;
+        parse rest
+  in
+  parse args;
+  match List.rev !files with
+  | [ base; next ] -> (
+      match Bench_diff.compare_files ~tolerance:!tolerance ~strict:!strict ~base ~next () with
+      | Error e ->
+          Printf.eprintf "bench diff: %s\n" e;
+          exit 2
+      | Ok report ->
+          Bench_diff.pp_report Format.std_formatter report;
+          Format.pp_print_flush Format.std_formatter ();
+          exit (if Bench_diff.regressions report = [] then 0 else 1))
+  | _ -> usage ()
+
 let () =
+  (match Array.to_list Sys.argv with
+  | _ :: "diff" :: rest -> diff_main rest
+  | _ -> ());
   (* consume [--domains N] (or --domains=N) before section selection *)
   let rec strip_domains = function
     | [] -> []
@@ -885,4 +1028,5 @@ let () =
   if !bench_records <> [] then write_bench_json ();
   if !bench2_records <> [] then write_bench2_json ();
   if !bench4_records <> [] then write_bench4_json ();
-  if !bench5_records <> [] then write_bench5_json ()
+  if !bench5_records <> [] then write_bench5_json ();
+  if !bench6_records <> [] then write_bench6_json ()

@@ -65,6 +65,34 @@ let trace_out_arg =
   let doc = "Write the trace to $(docv) instead of stdout." in
   Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
 
+let metrics_arg =
+  let doc =
+    "Enable the metrics registry (counters, gauges, histograms recorded in the crypto \
+     and transport hot paths) and export a snapshot after the run. $(docv) is \
+     $(b,pretty) (aligned table, the default), $(b,jsonl) (one JSON object per metric \
+     per line) or $(b,prometheus) (Prometheus text exposition format)."
+  in
+  Arg.(value
+    & opt ~vopt:(Some `Pretty)
+        (some (enum [ ("pretty", `Pretty); ("jsonl", `Jsonl); ("prometheus", `Prometheus) ]))
+        None
+    & info [ "metrics" ] ~docv:"FORMAT" ~doc)
+
+let metrics_out_arg =
+  let doc = "Write the metrics export to $(docv) instead of stdout." in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let progress_arg =
+  let doc =
+    "Render a live progress line on stderr (current phase, AND gates done against the \
+     cost-model estimate, ETA)."
+  in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
+let progress_out_arg =
+  let doc = "Append machine-readable JSONL progress heartbeats to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "progress-out" ] ~docv:"FILE" ~doc)
+
 let transport_arg =
   let doc =
     "Message transport behind the protocol's channel: $(b,sim) (pure cost accounting, the \
@@ -226,7 +254,7 @@ let make_checkpoint query checkpoint_dir resume =
   | dir, _ -> Ok (Option.map (fun dir -> Checkpoint.sink ~dir ()) dir)
 
 let run_cmd query scale sf seed backend domains transport chaos chaos_seed checkpoint_dir
-    resume verify trace trace_out =
+    resume verify trace trace_out metrics metrics_out progress progress_out =
   match make_transport transport chaos chaos_seed with
   | Error msg ->
       Fmt.epr "transport error: %s@." msg;
@@ -244,12 +272,58 @@ let run_cmd query scale sf seed backend domains transport chaos chaos_seed check
     Secyan_tpch.Queries.context ~gc_backend:backend ~domains ?transport:tr ?checkpoint:ck
       ~seed ()
   in
+  if metrics <> None then Secyan_obs.Metrics.set_enabled true;
+  (* Attach the per-phase GC sampler and the live progress reporter
+     around one protocol execution (inside the tracer, so both wrappers
+     forward events to it); detach in reverse attach order. *)
+  let observed ?total f =
+    let sampler =
+      if metrics <> None then Some (Secyan_obs.Profile.attach_gc_sampler ctx) else None
+    in
+    let heartbeat = Option.map open_out progress_out in
+    let reporter =
+      if progress || heartbeat <> None then
+        Some (Secyan_obs.Progress.attach ?total ~render:progress ?heartbeat ctx)
+      else None
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Option.iter Secyan_obs.Progress.detach reporter;
+        Option.iter close_out heartbeat;
+        Option.iter
+          (fun s ->
+            Secyan_obs.Profile.publish_gc_phases (Secyan_obs.Profile.detach_gc_sampler s))
+          sampler)
+      f
+  in
+  let export_metrics () =
+    match metrics with
+    | None -> ()
+    | Some format ->
+        Option.iter Secyan_obs.Profile.publish_pool_timelines (Context.pool_opt ctx);
+        let format =
+          match format with
+          | `Pretty -> Secyan_obs.Metrics.Pretty
+          | `Jsonl -> Secyan_obs.Metrics.Jsonl
+          | `Prometheus -> Secyan_obs.Metrics.Prometheus
+        in
+        (match metrics_out with
+        | None ->
+            Fmt.pr "@.";
+            Secyan_obs.Metrics.export format Format.std_formatter
+        | Some file ->
+            let oc = open_out file in
+            Secyan_obs.Metrics.export format (Format.formatter_of_out_channel oc);
+            close_out oc;
+            Fmt.pr "metrics written to %s@." file)
+  in
   let simple q =
     Fmt.pr "query %s, join tree %a (root %s)@." q.Secyan.Query.name Join_tree.pp
       q.Secyan.Query.tree (Join_tree.root q.Secyan.Query.tree);
+    let total = Secyan.Secure_yannakakis.estimate_and_gates ctx q in
     let revealed, stats =
       traced ~name:q.Secyan.Query.name trace trace_out ctx (fun () ->
-          Secyan.Secure_yannakakis.run ~resume ctx q)
+          observed ~total (fun () -> Secyan.Secure_yannakakis.run ~resume ctx q))
     in
     print_rows revealed;
     print_cost stats.Secyan.Secure_yannakakis.tally stats.Secyan.Secure_yannakakis.seconds;
@@ -263,6 +337,7 @@ let run_cmd query scale sf seed backend domains transport chaos chaos_seed check
   let finish code =
     print_transport_stats tr;
     print_checkpoint_stats ck;
+    export_metrics ();
     Context.close_transport ctx;
     Context.shutdown_pool ctx;
     code
@@ -273,7 +348,10 @@ let run_cmd query scale sf seed backend domains transport chaos chaos_seed check
   | `Q10 -> simple (Secyan_tpch.Queries.q10 d)
   | `Q18 -> simple (Secyan_tpch.Queries.q18 d)
   | `Q8 ->
-      let r = traced ~name:"q8" trace trace_out ctx (fun () -> Secyan_tpch.Queries.run_q8 ctx d) in
+      let r =
+        traced ~name:"q8" trace trace_out ctx (fun () ->
+            observed (fun () -> Secyan_tpch.Queries.run_q8 ctx d))
+      in
       Fmt.pr "market share per year (x1000):@.";
       List.iter (fun (y, v) -> Fmt.pr "  %d -> %Ld@." y v) r.Secyan_tpch.Queries.shares_per_year;
       print_cost r.Secyan_tpch.Queries.tally r.Secyan_tpch.Queries.seconds;
@@ -283,7 +361,10 @@ let run_cmd query scale sf seed backend domains transport chaos chaos_seed check
         if not ok then exit 1
       end
   | `Q9 ->
-      let r = traced ~name:"q9" trace trace_out ctx (fun () -> Secyan_tpch.Queries.run_q9 ctx d) in
+      let r =
+        traced ~name:"q9" trace trace_out ctx (fun () ->
+            observed (fun () -> Secyan_tpch.Queries.run_q9 ctx d))
+      in
       let rows = List.filter (fun (_, _, a) -> a <> 0) r.Secyan_tpch.Queries.rows in
       Fmt.pr "profit per (nation, year), cents:@.";
       List.iter (fun (n, y, a) -> Fmt.pr "  nation %2d, %d -> %d@." n y a) rows;
@@ -548,7 +629,8 @@ let run_t =
   Cmd.v (Cmd.info "run" ~doc:"Run a query through the secure Yannakakis protocol")
     Term.(const run_cmd $ query_arg $ scale_arg $ sf_arg $ seed_arg $ backend_arg
           $ domains_arg $ transport_arg $ chaos_arg $ chaos_seed_arg $ checkpoint_dir_arg
-          $ resume_arg $ verify_arg $ trace_arg $ trace_out_arg)
+          $ resume_arg $ verify_arg $ trace_arg $ trace_out_arg $ metrics_arg
+          $ metrics_out_arg $ progress_arg $ progress_out_arg)
 
 let plan_t =
   Cmd.v (Cmd.info "plan" ~doc:"Show a query's join tree and protocol plan")

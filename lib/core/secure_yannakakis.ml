@@ -205,3 +205,27 @@ let run ?resume ctx (q : Query.t) : Relation.t * result =
   in
   let r = { r with tally = Comm.add r.tally tally; seconds = r.seconds +. seconds } in
   (revealed, r)
+
+(** Rough AND-gate total of a run, for progress estimation (ETA) only:
+    every plan operator touches its relations tuple-by-tuple through
+    per-tuple merge/aggregate circuits, so the estimate charges
+    [Cost_model.merge_circuit_and_gates] per involved tuple. Deliberately
+    coarse — progress percentages are clamped below 100% until the run
+    actually finishes. *)
+let estimate_and_gates ctx (q : Query.t) =
+  let per_tuple = Cost_model.merge_circuit_and_gates ~bits:(Context.ring_bits ctx) in
+  let card name =
+    match List.assoc_opt name q.Query.inputs with
+    | Some i -> Relation.cardinality i.Query.relation
+    | None -> 0
+  in
+  let plan = Yannakakis.plan q.Query.tree ~output:q.Query.output in
+  let tuples = function
+    | Yannakakis.Fold { child; parent; _ } -> card child + card parent
+    | Yannakakis.Stop { node; _ } | Yannakakis.Root_project { node; _ } -> card node
+    | Yannakakis.Semijoin_up { child; parent } | Yannakakis.Semijoin_down { child; parent }
+      ->
+        card child + card parent
+    | Yannakakis.Join_up _ -> Query.total_input_size q
+  in
+  List.fold_left (fun acc op -> acc + (tuples op * per_tuple)) 0 plan

@@ -30,3 +30,7 @@ val run_shared : ?resume:bool -> Context.t -> Query.t -> result
 (** Run the protocol and reveal the result annotations to Alice, the
     designated receiver: the standard top-level entry point. *)
 val run : ?resume:bool -> Context.t -> Query.t -> Relation.t * result
+
+(** Rough AND-gate total of a run over this context's ring width —
+    progress-estimation (ETA) input only, never cost accounting. *)
+val estimate_and_gates : Context.t -> Query.t -> int

@@ -40,8 +40,17 @@ type t = {
 }
 
 (** Bump a typed primitive counter: always added to the context's running
-    totals, and forwarded to the active span when a tracer is attached. *)
+    totals, forwarded to the active span when a tracer is attached, and
+    mirrored into the metrics registry when metrics are enabled. *)
 let bump t counter n =
+  let i = Trace_sink.counter_index counter in
+  t.counters.(i) <- t.counters.(i) + n;
+  t.sink.Trace_sink.bump counter n;
+  Trace_sink.registry_bump counter n
+
+(* Totals + sink only, no registry mirror: for folding in work that a
+   parallel item context already mirrored when it did the work. *)
+let bump_merged t counter n =
   let i = Trace_sink.counter_index counter in
   t.counters.(i) <- t.counters.(i) + n;
   t.sink.Trace_sink.bump counter n
@@ -110,6 +119,9 @@ let close_transport t =
 (** The context's work pool (spawned on first use). *)
 let pool t = Lazy.force t.pool
 
+(** The pool if it was ever spawned, without spawning it. *)
+let pool_opt t = if Lazy.is_val t.pool then Some (Lazy.force t.pool) else None
+
 (** Join the pool's worker domains, if any were ever spawned. Contexts
     never need this for correctness (pools also shut down [at_exit]), but
     tests and long-lived processes that churn through many parallel
@@ -154,12 +166,14 @@ let restore_counters t totals =
 
 (** Fold a private counter delta (e.g. a parallel worker's) into this
     context: totals and the attached tracer both see one bump per nonzero
-    counter. Call from the domain that owns the context. *)
+    counter. Call from the domain that owns the context. The metrics
+    registry is deliberately {e not} re-bumped: the item context that did
+    the work already mirrored it there. *)
 let merge_counters t (counts : int array) =
   List.iter
     (fun c ->
       let n = counts.(Trace_sink.counter_index c) in
-      if n <> 0 then bump t c n)
+      if n <> 0 then bump_merged t c n)
     Trace_sink.all_counters
 
 let prg_of t = function

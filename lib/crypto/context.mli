@@ -56,6 +56,9 @@ val create :
 (** The context's work pool (spawned on first use). *)
 val pool : t -> Domain_pool.t
 
+(** The pool if it was ever spawned, without spawning it. *)
+val pool_opt : t -> Domain_pool.t option
+
 (** Join the pool's worker domains if any were spawned. Never needed for
     correctness (pools also shut down [at_exit]); promptly releases the
     domains of short-lived parallel contexts. *)

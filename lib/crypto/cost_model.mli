@@ -29,3 +29,8 @@ val opprf_bin_bits : kappa:int -> sigma:int -> int
 (** One oblivious switch of a permutation network on [bits]-wide
     payloads. *)
 val oep_switch_bits : kappa:int -> bits:int -> int
+
+(** Rough AND-gate count of one per-tuple merge/aggregate circuit over a
+    [bits]-wide ring. Progress estimation only; never used for cost
+    accounting. *)
+val merge_circuit_and_gates : bits:int -> int

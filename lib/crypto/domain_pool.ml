@@ -15,7 +15,30 @@
     a mutex/condition-variable queue between batches, so per-batch
     overhead is one broadcast plus one atomic fetch-and-add per item.
     [shutdown] joins the workers; pools also register an [at_exit] hook so
-    forgotten pools cannot hang program termination. *)
+    forgotten pools cannot hang program termination.
+
+    When [Secyan_metrics.enabled], every participant keeps a contention
+    timeline — nanoseconds spent running items (busy), parked or waiting
+    on the barrier (queue-wait), and acquiring the pool lock (lock-wait),
+    plus batches/items claimed and condvar wakeups — readable via
+    {!timelines}. Timing uses [Unix.gettimeofday] (microsecond
+    resolution), which is far finer than the millisecond-scale waits the
+    profile exists to expose. With metrics disabled no clock is read and
+    the code paths are the unprofiled originals. *)
+
+type timeline = {
+  slot : int;  (* 0 = the calling domain, 1.. = workers *)
+  mutable busy_ns : float;
+  mutable queue_wait_ns : float;
+  mutable lock_wait_ns : float;
+  mutable batches : int;   (* batches this participant claimed >= 1 item of *)
+  mutable items : int;
+  mutable wakeups : int;   (* condvar wakeups (worker parking + barrier) *)
+  mutable origin_ns : float;
+      (* workers: spawn (or last reset) timestamp, for wall-clock;
+         caller (slot 0): unused, wall accumulates in [run_ns] *)
+  mutable run_ns : float;  (* slot 0 only: wall-clock spent inside [run] *)
+}
 
 type job = {
   f : int -> unit;
@@ -33,61 +56,103 @@ type t = {
   mutable pending : job option;
   mutable stop : bool;
   mutable domains : unit Domain.t list;
+  timelines : timeline array;  (* one per participant, index = slot *)
 }
 
 let size t = t.size
+
+let profiling () = Secyan_metrics.enabled ()
+
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+let fresh_timeline slot =
+  { slot; busy_ns = 0.; queue_wait_ns = 0.; lock_wait_ns = 0.; batches = 0; items = 0;
+    wakeups = 0; origin_ns = 0.; run_ns = 0. }
+
+(* Take the pool lock, charging contention to [tl] when profiling. The
+   try_lock fast path keeps the uncontended case clock-free. *)
+let lock_timed t tl =
+  if profiling () then begin
+    if not (Mutex.try_lock t.lock) then begin
+      let t0 = now_ns () in
+      Mutex.lock t.lock;
+      tl.lock_wait_ns <- tl.lock_wait_ns +. (now_ns () -. t0)
+    end
+  end
+  else Mutex.lock t.lock
 
 (* Claim and run items of [job] until the index space is exhausted. The
    first participant to see exhaustion unpublishes the job so parked
    workers do not rediscover it. Exceptions from [f] are recorded (first
    wins) and re-raised by [run] on the calling domain; the item still
    counts as finished so the barrier cannot deadlock. *)
-let drain t job =
-  let rec go () =
+let drain t tl job =
+  let rec go claimed_any =
     let i = Atomic.fetch_and_add job.next 1 in
     if i >= job.n then begin
-      Mutex.lock t.lock;
+      lock_timed t tl;
       (match t.pending with
       | Some j when j == job -> t.pending <- None
       | _ -> ());
       Mutex.unlock t.lock
     end
     else begin
-      (try job.f i
-       with e -> ignore (Atomic.compare_and_set job.failure None (Some e)));
+      if profiling () then begin
+        if not claimed_any then tl.batches <- tl.batches + 1;
+        let t0 = now_ns () in
+        (try job.f i
+         with e -> ignore (Atomic.compare_and_set job.failure None (Some e)));
+        tl.busy_ns <- tl.busy_ns +. (now_ns () -. t0);
+        tl.items <- tl.items + 1
+      end
+      else
+        (try job.f i
+         with e -> ignore (Atomic.compare_and_set job.failure None (Some e)));
       if Atomic.fetch_and_add job.finished 1 = job.n - 1 then begin
-        Mutex.lock t.lock;
+        lock_timed t tl;
         Condition.broadcast t.idle;
         Mutex.unlock t.lock
       end;
-      go ()
+      go true
     end
   in
-  go ()
+  go false
 
-let rec worker t =
-  Mutex.lock t.lock;
+let rec worker t slot =
+  let tl = t.timelines.(slot) in
+  lock_timed t tl;
   while t.pending = None && not t.stop do
-    Condition.wait t.work t.lock
+    if profiling () then begin
+      let t0 = now_ns () in
+      Condition.wait t.work t.lock;
+      tl.queue_wait_ns <- tl.queue_wait_ns +. (now_ns () -. t0);
+      tl.wakeups <- tl.wakeups + 1
+    end
+    else Condition.wait t.work t.lock
   done;
   if t.stop then Mutex.unlock t.lock
   else begin
     let job = match t.pending with Some j -> j | None -> assert false in
     Mutex.unlock t.lock;
-    drain t job;
-    worker t
+    drain t tl job;
+    worker t slot
   end
 
+(* Idempotent — and safe against concurrent callers (a test shutting the
+   pool down racing the [at_exit] hook): the domain list is captured and
+   cleared atomically under the lock, so exactly one caller joins each
+   worker and a second call finds nothing to do. Workers parked in
+   [Condition.wait] wake on the broadcast and exit; a worker mid-drain
+   finishes its items, re-checks [stop], and exits. Either way every
+   join terminates. *)
 let shutdown t =
   Mutex.lock t.lock;
-  if t.stop then Mutex.unlock t.lock
-  else begin
-    t.stop <- true;
-    Condition.broadcast t.work;
-    Mutex.unlock t.lock;
-    List.iter Domain.join t.domains;
-    t.domains <- []
-  end
+  t.stop <- true;
+  Condition.broadcast t.work;
+  let doomed = t.domains in
+  t.domains <- [];
+  Mutex.unlock t.lock;
+  List.iter Domain.join doomed
 
 let create size =
   let size = max 1 (min size 128) in
@@ -100,10 +165,16 @@ let create size =
       pending = None;
       stop = false;
       domains = [];
+      timelines = Array.init size fresh_timeline;
     }
   in
   if size > 1 then begin
-    t.domains <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+    t.domains <-
+      List.init (size - 1) (fun i ->
+          let slot = i + 1 in
+          Domain.spawn (fun () ->
+              t.timelines.(slot).origin_ns <- now_ns ();
+              worker t slot));
     (* A parked worker would keep the program alive at exit; make sure
        forgotten pools wind down. [shutdown] is idempotent. *)
     at_exit (fun () -> shutdown t)
@@ -113,22 +184,90 @@ let create size =
 let run t ~n ~f =
   if n > 0 then
     if t.size = 1 || n = 1 || t.stop then
-      for i = 0 to n - 1 do
-        f i
-      done
+      if profiling () then begin
+        (* profiled sequential path: all wall-clock is busy time *)
+        let tl = t.timelines.(0) in
+        let t0 = now_ns () in
+        for i = 0 to n - 1 do
+          f i
+        done;
+        let d = now_ns () -. t0 in
+        tl.busy_ns <- tl.busy_ns +. d;
+        tl.run_ns <- tl.run_ns +. d;
+        tl.items <- tl.items + n;
+        tl.batches <- tl.batches + 1
+      end
+      else
+        for i = 0 to n - 1 do
+          f i
+        done
     else begin
+      let tl = t.timelines.(0) in
+      let t_start = if profiling () then now_ns () else 0. in
       let job =
         { f; n; next = Atomic.make 0; finished = Atomic.make 0; failure = Atomic.make None }
       in
-      Mutex.lock t.lock;
+      lock_timed t tl;
       t.pending <- Some job;
       Condition.broadcast t.work;
       Mutex.unlock t.lock;
-      drain t job;
-      Mutex.lock t.lock;
+      drain t tl job;
+      lock_timed t tl;
       while Atomic.get job.finished < n do
-        Condition.wait t.idle t.lock
+        if profiling () then begin
+          let t0 = now_ns () in
+          Condition.wait t.idle t.lock;
+          tl.queue_wait_ns <- tl.queue_wait_ns +. (now_ns () -. t0);
+          tl.wakeups <- tl.wakeups + 1
+        end
+        else Condition.wait t.idle t.lock
       done;
       Mutex.unlock t.lock;
+      if profiling () then tl.run_ns <- tl.run_ns +. (now_ns () -. t_start);
       match Atomic.get job.failure with Some e -> raise e | None -> ()
     end
+
+type timeline_snapshot = {
+  domain : int;
+  busy_ns : float;
+  queue_wait_ns : float;
+  lock_wait_ns : float;
+  wall_ns : float;
+  batches : int;
+  items : int;
+  wakeups : int;
+}
+
+let timelines t =
+  let now = now_ns () in
+  Array.to_list
+    (Array.map
+       (fun (tl : timeline) ->
+         {
+           domain = tl.slot;
+           busy_ns = tl.busy_ns;
+           queue_wait_ns = tl.queue_wait_ns;
+           lock_wait_ns = tl.lock_wait_ns;
+           wall_ns =
+             (if tl.slot = 0 then tl.run_ns
+              else if tl.origin_ns > 0. then now -. tl.origin_ns
+              else 0.);
+           batches = tl.batches;
+           items = tl.items;
+           wakeups = tl.wakeups;
+         })
+       t.timelines)
+
+let reset_timelines t =
+  let now = now_ns () in
+  Array.iter
+    (fun (tl : timeline) ->
+      tl.busy_ns <- 0.;
+      tl.queue_wait_ns <- 0.;
+      tl.lock_wait_ns <- 0.;
+      tl.batches <- 0;
+      tl.items <- 0;
+      tl.wakeups <- 0;
+      tl.run_ns <- 0.;
+      if tl.slot > 0 && tl.origin_ns > 0. then tl.origin_ns <- now)
+    t.timelines

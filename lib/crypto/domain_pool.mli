@@ -22,6 +22,41 @@ val size : t -> int
     the first exception is re-raised in the caller after the barrier. *)
 val run : t -> n:int -> f:(int -> unit) -> unit
 
-(** Join the worker domains. Idempotent; a shut-down pool still accepts
+(** Join the worker domains. Idempotent — a second call, a call racing
+    the [at_exit] hook, or a call after a worker-side exception all
+    return promptly without double-joining (the domain list is claimed
+    atomically under the pool lock). A shut-down pool still accepts
     {!run}, which then executes sequentially on the caller. *)
 val shutdown : t -> unit
+
+(** {1 Contention profiling}
+
+    Recorded only while [Secyan_metrics.enabled]; with metrics off the
+    pool never reads a clock. *)
+
+(** One participant's accumulated timeline. [domain] 0 is the calling
+    domain; workers are 1 .. size-1. For workers [wall_ns] is the time
+    since the domain was spawned (or since {!reset_timelines}); for the
+    caller it is the total time spent inside {!run}. While profiling,
+    busy + queue-wait + lock-wait accounts for a participant's wall
+    clock (workers spend the rest of their lives parked, which counts
+    as queue-wait). *)
+type timeline_snapshot = {
+  domain : int;
+  busy_ns : float;        (** running items *)
+  queue_wait_ns : float;  (** parked between batches / waiting on the barrier *)
+  lock_wait_ns : float;   (** acquiring the pool mutex *)
+  wall_ns : float;
+  batches : int;          (** batches this participant claimed >= 1 item of *)
+  items : int;
+  wakeups : int;          (** condition-variable wakeups *)
+}
+
+(** Snapshot every participant's timeline (index = [domain]). Safe to
+    call between batches; racing a running batch reads slightly stale
+    values, never corrupt ones. *)
+val timelines : t -> timeline_snapshot list
+
+(** Zero the timelines (and restart the workers' wall-clock origin).
+    Call it between batches, not while one runs. *)
+val reset_timelines : t -> unit

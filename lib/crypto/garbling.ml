@@ -75,11 +75,25 @@ type garbled = {
   output_decode : bool array;  (** color of the false label of each output *)
 }
 
+(* Garbling throughput histograms. Half-gates hashes 4 labels per AND
+   gate (two per half gate), so labels/s ~ 4 x gates / elapsed; the
+   per-circuit gate count doubles as a circuit-size profile. *)
+let m_garble_gates =
+  lazy
+    (Secyan_metrics.histogram ~help:"AND gates per garbled circuit"
+       "secyan_garble_and_gates")
+
+let m_garble_labels_per_s =
+  lazy
+    (Secyan_metrics.histogram ~help:"label hashes per second while garbling (4 per AND gate)"
+       "secyan_garble_labels_per_s")
+
 (** Garble [circuit] with randomness from [prg] (the generator's stream).
     Label planes are preallocated per call; the inner loop allocates
     nothing but the hash results. *)
 let garble ?(kdf = Aes128_kdf) prg circuit =
   let open Boolean_circuit in
+  let t_start = if Secyan_metrics.enabled () then Unix.gettimeofday () else 0. in
   let hash = flat_hash kdf in
   (* Draw order matches Label.random_delta / Label.random: hi then lo. *)
   let delta_hi = Prg.next_int64 prg in
@@ -144,6 +158,13 @@ let garble ?(kdf = Aes128_kdf) prg circuit =
   let output_decode =
     Array.map (fun w -> Int64.logand lo.(w) 1L = 1L) circuit.outputs
   in
+  if Secyan_metrics.enabled () then begin
+    let dt = Unix.gettimeofday () -. t_start in
+    Secyan_metrics.observe (Lazy.force m_garble_gates) (float_of_int circuit.and_count);
+    if dt > 0. then
+      Secyan_metrics.observe (Lazy.force m_garble_labels_per_s)
+        (4. *. float_of_int circuit.and_count /. dt)
+  end;
   {
     circuit;
     input_hi = Array.sub hi 0 circuit.n_inputs;

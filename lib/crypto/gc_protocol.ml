@@ -183,6 +183,20 @@ let slice_outputs widths (flat : 'a array) =
   in
   go 0 widths
 
+(* Batch-shape histograms for the contention profile: how large the
+   parallel fan-outs are and how long each takes end to end (including
+   the pool barrier and the per-batch delta merge). *)
+let m_batch_items =
+  lazy
+    (Secyan_metrics.histogram
+       ~help:"items per GC parallel batch (fan-out width)" "secyan_gc_batch_items")
+
+let m_batch_seconds =
+  lazy
+    (Secyan_metrics.histogram
+       ~help:"wall-clock seconds per GC parallel batch (pool barrier and merge included)"
+       "secyan_gc_batch_seconds")
+
 (* Run [f] over the [n] independent batch items on the context's pool.
 
    Each item gets a private context: child PRGs split *sequentially* from
@@ -194,6 +208,7 @@ let slice_outputs widths (flat : 'a array) =
    and listener totals are bit-identical for every pool size, including
    1. Item code must not open spans (the item sink ignores them). *)
 let map_batch ctx ~n (f : Context.t -> int -> 'a) : 'a array =
+  let t_start = if Secyan_metrics.enabled () then Unix.gettimeofday () else 0. in
   let item_ctxs =
     Array.init n (fun _ ->
         let prg_alice = Prg.split ctx.Context.prg_alice in
@@ -217,6 +232,10 @@ let map_batch ctx ~n (f : Context.t -> int -> 'a) : 'a array =
   if !a_bits > 0 then Comm.send ctx.Context.comm ~from:Party.Alice ~bits:!a_bits;
   if !b_bits > 0 then Comm.send ctx.Context.comm ~from:Party.Bob ~bits:!b_bits;
   if !rounds > 0 then Comm.bump_rounds ctx.Context.comm !rounds;
+  if Secyan_metrics.enabled () then begin
+    Secyan_metrics.observe (Lazy.force m_batch_items) (float_of_int n);
+    Secyan_metrics.observe (Lazy.force m_batch_seconds) (Unix.gettimeofday () -. t_start)
+  end;
   Array.map (function Some r -> r | None -> assert false) results
 
 (** Evaluate the same circuit over a batch of same-shaped input lists; each

@@ -82,6 +82,39 @@ let all_counters =
   [ And_gates; Ots; Oep_switches; Cuckoo_bins; B2a_words; Gc_circuits; Retries; Timeouts;
     Frames_corrupted; Checkpoints_written; Checkpoint_bytes ]
 
+let counter_help = function
+  | And_gates -> "AND gates garbled or cost-equivalently simulated"
+  | Ots -> "1-out-of-2 oblivious transfers executed or accounted"
+  | Oep_switches -> "oblivious permutation-network switches evaluated"
+  | Cuckoo_bins -> "cuckoo bins processed by circuit-PSI"
+  | B2a_words -> "Boolean-to-arithmetic share conversions"
+  | Gc_circuits -> "individual circuit executions through the GC protocol"
+  | Retries -> "transport-level retransmissions"
+  | Timeouts -> "transport receive attempts that expired"
+  | Frames_corrupted -> "frames rejected by the transport CRC check"
+  | Checkpoints_written -> "durable protocol-state snapshots emitted"
+  | Checkpoint_bytes -> "total on-disk bytes of checkpoints"
+
+(* Mirror every typed counter into the process-wide metrics registry
+   (Prometheus convention: monotonic counters end in _total). Interned
+   lazily so processes that never enable metrics allocate nothing. *)
+let registry_counters =
+  (* [all_counters] is in [counter_index] order *)
+  lazy
+    (Array.of_list
+       (List.map
+          (fun c ->
+            Secyan_metrics.counter ~help:(counter_help c)
+              ("secyan_" ^ counter_name c ^ "_total"))
+          all_counters))
+
+(** Forward one counter bump to the metrics registry (no-op when metrics
+    are disabled). [Context.bump] calls this exactly once per unit of
+    work — merged parallel-batch deltas do not re-forward. *)
+let registry_bump c n =
+  if Secyan_metrics.enabled () then
+    Secyan_metrics.add (Lazy.force registry_counters).(counter_index c) n
+
 type t = {
   enter : string -> unit;  (** open a child span under the active span *)
   exit : unit -> unit;     (** close the active span *)

@@ -189,6 +189,21 @@ let recv_attempt t dir ~deadline =
   in
   go ()
 
+(* Per-transfer latency profile: every logical transfer's end-to-end
+   seconds, and separately the end-to-end seconds of transfers that
+   needed at least one retransmission (backoffs included) — the cost a
+   flaky channel adds per recovered message. *)
+let m_transfer_seconds =
+  lazy
+    (Secyan_metrics.histogram ~help:"end-to-end seconds per logical transfer"
+       "secyan_net_transfer_seconds")
+
+let m_retry_latency_seconds =
+  lazy
+    (Secyan_metrics.histogram
+       ~help:"end-to-end seconds of transfers that needed retransmission"
+       "secyan_net_retry_latency_seconds")
+
 let transfer t ~dir payload =
   let i = dir_index dir in
   let seq = t.send_seq.(i) in
@@ -217,7 +232,14 @@ let transfer t ~dir payload =
         t.raw.Transport.send_frame dir frame;
         recv_attempt t dir ~deadline:(Unix.gettimeofday () +. t.config.timeout)
       with
-      | `Delivered payload -> payload
+      | `Delivered payload ->
+          if Secyan_metrics.enabled () then begin
+            let elapsed = Unix.gettimeofday () -. start in
+            Secyan_metrics.observe (Lazy.force m_transfer_seconds) elapsed;
+            if n > 1 then
+              Secyan_metrics.observe (Lazy.force m_retry_latency_seconds) elapsed
+          end;
+          payload
       | `Timeout ->
           event t Timeout_hit;
           attempt (n + 1) `Timeout

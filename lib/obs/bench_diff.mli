@@ -1,0 +1,48 @@
+(** Field-by-field comparison of two BENCH JSON files — the regression
+    gate behind [bench diff BASE NEW].
+
+    Fields are classified by name and JSON type: {b exact} fields
+    (booleans, deterministic integers) regress on any change; {b ratio}
+    fields ([speedup_*], [*_pct], [*_frac]) are gated by default under
+    [tolerance] — relatively for ratios, absolutely in their own units
+    for percentages ([tolerance * 100] points) and fractions
+    ([tolerance]) — directionally where the name implies a better
+    direction;
+    {b machine-absolute} fields ([*_seconds], [ns_per_*], [*_per_s],
+    [*_ms], [wakeups], [batches]) are gated only under [~strict:true].
+    Records are matched by their string fields plus conventional integer
+    identity fields ([domains], [items], [reps], [cores]); a base record
+    missing from the new file is a regression. See DESIGN.md §13. *)
+
+type severity = Regression | Note
+
+type issue = {
+  severity : severity;
+  record : string;  (** identity key of the record *)
+  field : string;
+  detail : string;
+}
+
+type report = {
+  issues : issue list;
+  compared_fields : int;
+  matched_records : int;
+}
+
+val regressions : report -> issue list
+val notes : report -> issue list
+
+(** Compare two parsed BENCH documents. [tolerance] (default 0.15) is
+    the relative band for ratio fields; [strict] additionally gates
+    machine-absolute fields. [Error] on structural problems (missing
+    [records], section mismatch). *)
+val compare_json :
+  ?tolerance:float -> ?strict:bool -> base:Json.t -> next:Json.t -> unit ->
+  (report, string) result
+
+(** Same, reading and parsing both files from disk. *)
+val compare_files :
+  ?tolerance:float -> ?strict:bool -> base:string -> next:string -> unit ->
+  (report, string) result
+
+val pp_report : Format.formatter -> report -> unit

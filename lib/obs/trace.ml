@@ -114,8 +114,6 @@ let with_span = Context.with_span
     and the communication it generated — the one-stop replacement for
     hand-rolled [Unix.gettimeofday] + [Comm.diff] bracketing. *)
 let measure ctx f =
-  let before = Comm.tally ctx.Context.comm in
   let t0 = Unix.gettimeofday () in
-  let result = f () in
-  let seconds = Unix.gettimeofday () -. t0 in
-  (result, seconds, Comm.diff (Comm.tally ctx.Context.comm) before)
+  let result, delta = Context.measured ctx f in
+  (result, Unix.gettimeofday () -. t0, delta)

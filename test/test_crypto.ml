@@ -419,6 +419,51 @@ let test_pool_shutdown_idempotent () =
   Domain_pool.run pool ~n:8 ~f:(fun i -> hits.(i) <- true);
   Alcotest.(check bool) "sequential fallback after shutdown" true (Array.for_all Fun.id hits)
 
+let test_pool_timelines_account_wall () =
+  let was = Secyan_metrics.enabled () in
+  Secyan_metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Secyan_metrics.set_enabled was) @@ fun () ->
+  let pool = Domain_pool.create 2 in
+  Domain_pool.run pool ~n:12 ~f:(fun i ->
+      ignore (Sys.opaque_identity (Array.init ((i * 53 mod 400) + 100) Fun.id)));
+  let tls = Domain_pool.timelines pool in
+  Alcotest.(check int) "one timeline per participant" 2 (List.length tls);
+  Alcotest.(check int) "every item accounted" 12
+    (List.fold_left (fun acc tl -> acc + tl.Domain_pool.items) 0 tls);
+  List.iter
+    (fun tl ->
+      let accounted =
+        tl.Domain_pool.busy_ns +. tl.Domain_pool.queue_wait_ns
+        +. tl.Domain_pool.lock_wait_ns
+      in
+      (* busy + waits accounts for the wall clock (5% slack plus 1ms of
+         clock-read noise on very short runs) *)
+      Alcotest.(check bool)
+        (Printf.sprintf "domain %d accounted <= wall" tl.Domain_pool.domain)
+        true
+        (accounted <= (tl.Domain_pool.wall_ns *. 1.05) +. 1e6);
+      if tl.Domain_pool.items > 0 then begin
+        Alcotest.(check bool) "claimed at least one batch" true (tl.Domain_pool.batches >= 1);
+        Alcotest.(check bool) "busy time recorded" true (tl.Domain_pool.busy_ns > 0.)
+      end)
+    tls;
+  Domain_pool.reset_timelines pool;
+  List.iter
+    (fun tl ->
+      Alcotest.(check int) "items zeroed" 0 tl.Domain_pool.items;
+      Alcotest.(check int) "batches zeroed" 0 tl.Domain_pool.batches;
+      Alcotest.(check (float 0.)) "busy zeroed" 0. tl.Domain_pool.busy_ns)
+    (Domain_pool.timelines pool);
+  (* timelines survive shutdown without error, and record nothing while
+     metrics are disabled *)
+  Secyan_metrics.set_enabled false;
+  Domain_pool.reset_timelines pool;
+  Domain_pool.run pool ~n:4 ~f:(fun _ -> ());
+  List.iter
+    (fun tl -> Alcotest.(check int) "disabled records no items" 0 tl.Domain_pool.items)
+    (Domain_pool.timelines pool);
+  Domain_pool.shutdown pool
+
 (* ------------------------------------------------------------------ *)
 (* Parallel batches: determinism across pool sizes, agreement across
    KDFs and backends *)
@@ -1070,6 +1115,8 @@ let () =
             test_pool_shutdown_after_worker_exn;
           Alcotest.test_case "context shutdown after failing batch" `Quick
             test_context_shutdown_pool_after_failing_batch;
+          Alcotest.test_case "timelines account wall clock" `Quick
+            test_pool_timelines_account_wall;
           Alcotest.test_case "parallel batches deterministic" `Quick
             test_gc_parallel_deterministic;
         ] );

@@ -1,0 +1,506 @@
+(* Tests for the metrics layer: the lock-striped registry (lib/metrics),
+   merge-on-read correctness across pool sizes, the registry mirror of
+   the protocol counters, the exporters, the live progress reporter, and
+   the BENCH regression differ. The registry is a process-wide
+   singleton, so every test uses uniquely-named metrics and restores the
+   enable flag it found. *)
+
+open Secyan_crypto
+open Secyan_obs
+
+let seed = 23L
+
+let with_metrics f =
+  let was = Secyan_metrics.enabled () in
+  Secyan_metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Secyan_metrics.set_enabled was) f
+
+let find_sample name =
+  List.find_opt (fun s -> s.Secyan_metrics.name = name) (Secyan_metrics.snapshot ())
+
+let get_sample name =
+  match find_sample name with
+  | Some s -> s
+  | None -> Alcotest.failf "metric %s not in snapshot" name
+
+(* ------------------------------------------------------------------ *)
+(* Registry basics *)
+
+let test_counter_basics () =
+  with_metrics @@ fun () ->
+  let c = Secyan_metrics.counter ~help:"test" "test_counter_basics_total" in
+  Secyan_metrics.add c 3;
+  Secyan_metrics.add c 4;
+  match (get_sample "test_counter_basics_total").Secyan_metrics.value with
+  | Secyan_metrics.Counter n -> Alcotest.(check int) "sum of adds" 7 n
+  | _ -> Alcotest.fail "expected a counter"
+
+let test_disabled_records_nothing () =
+  let was = Secyan_metrics.enabled () in
+  Secyan_metrics.set_enabled false;
+  Fun.protect ~finally:(fun () -> Secyan_metrics.set_enabled was) @@ fun () ->
+  let c = Secyan_metrics.counter ~help:"test" "test_disabled_total" in
+  let h = Secyan_metrics.histogram ~help:"test" "test_disabled_hist" in
+  Secyan_metrics.add c 5;
+  Secyan_metrics.observe h 1.0;
+  Secyan_metrics.set_enabled true;
+  (match (get_sample "test_disabled_total").Secyan_metrics.value with
+  | Secyan_metrics.Counter n -> Alcotest.(check int) "no count while disabled" 0 n
+  | _ -> Alcotest.fail "expected a counter");
+  match (get_sample "test_disabled_hist").Secyan_metrics.value with
+  | Secyan_metrics.Histogram h -> Alcotest.(check int) "no observations" 0 h.Secyan_metrics.count
+  | _ -> Alcotest.fail "expected a histogram"
+
+let test_gauge_overwrites () =
+  with_metrics @@ fun () ->
+  let g = Secyan_metrics.gauge ~help:"test" "test_gauge" in
+  Secyan_metrics.set g 1.5;
+  Secyan_metrics.set g 2.5;
+  match (get_sample "test_gauge").Secyan_metrics.value with
+  | Secyan_metrics.Gauge v -> Alcotest.(check (float 1e-9)) "last write wins" 2.5 v
+  | _ -> Alcotest.fail "expected a gauge"
+
+let test_kind_clash_rejected () =
+  Alcotest.check_raises "counter reused as gauge"
+    (Invalid_argument "Secyan_metrics: \"test_kind_clash\" is already registered as a counter")
+    (fun () ->
+      ignore (Secyan_metrics.counter ~help:"test" "test_kind_clash");
+      ignore (Secyan_metrics.gauge ~help:"test" "test_kind_clash"))
+
+let test_histogram_counts_and_sum () =
+  with_metrics @@ fun () ->
+  let h = Secyan_metrics.histogram ~help:"test" "test_hist_counts" in
+  List.iter (Secyan_metrics.observe h) [ 0.5; 1.0; 2.0; 1024.0; 1e12 ];
+  match (get_sample "test_hist_counts").Secyan_metrics.value with
+  | Secyan_metrics.Histogram hs ->
+      Alcotest.(check int) "count" 5 hs.Secyan_metrics.count;
+      Alcotest.(check (float 1e-3)) "sum" (0.5 +. 1.0 +. 2.0 +. 1024.0 +. 1e12)
+        hs.Secyan_metrics.sum;
+      Alcotest.(check int) "bucket cells = bounds + overflow"
+        (Array.length hs.Secyan_metrics.upper + 1)
+        (Array.length hs.Secyan_metrics.counts);
+      Alcotest.(check int) "overflow bucket holds the huge value" 1
+        hs.Secyan_metrics.counts.(Array.length hs.Secyan_metrics.counts - 1)
+  | _ -> Alcotest.fail "expected a histogram"
+
+let test_snapshot_sorted () =
+  with_metrics @@ fun () ->
+  let names = List.map (fun s -> s.Secyan_metrics.name) (Secyan_metrics.snapshot ()) in
+  Alcotest.(check (list string)) "sorted by name" (List.sort compare names) names
+
+(* ------------------------------------------------------------------ *)
+(* Merge-on-read across pool sizes (satellite: bit-identical counts) *)
+
+let merged_histogram_counts pool_size =
+  let h = Secyan_metrics.histogram ~help:"test" "test_merge_hist" in
+  Secyan_metrics.reset ();
+  let pool = Domain_pool.create pool_size in
+  (* a spread of values so many distinct buckets fill *)
+  Domain_pool.run pool ~n:96 ~f:(fun i ->
+      Secyan_metrics.observe h (Float.pow 1.7 (float_of_int (i mod 40)) *. 0.01));
+  Domain_pool.shutdown pool;
+  match (get_sample "test_merge_hist").Secyan_metrics.value with
+  | Secyan_metrics.Histogram hs -> (hs.Secyan_metrics.counts, hs.Secyan_metrics.count)
+  | _ -> Alcotest.fail "expected a histogram"
+
+let test_merge_bit_identical () =
+  with_metrics @@ fun () ->
+  let base_counts, base_count = merged_histogram_counts 1 in
+  List.iter
+    (fun size ->
+      let counts, count = merged_histogram_counts size in
+      Alcotest.(check int) (Printf.sprintf "total at pool size %d" size) base_count count;
+      Alcotest.(check (array int))
+        (Printf.sprintf "bucket counts at pool size %d" size)
+        base_counts counts)
+    [ 2; 4 ];
+  Secyan_metrics.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Registry mirror of the protocol counters *)
+
+let test_context_bump_mirrors () =
+  with_metrics @@ fun () ->
+  Secyan_metrics.reset ();
+  let ctx = Context.create ~seed () in
+  Context.bump ctx Trace_sink.And_gates 5;
+  Context.bump ctx Trace_sink.And_gates 7;
+  Context.bump ctx Trace_sink.Ots 2;
+  (match (get_sample "secyan_and_gates_total").Secyan_metrics.value with
+  | Secyan_metrics.Counter n -> Alcotest.(check int) "and_gates mirrored" 12 n
+  | _ -> Alcotest.fail "expected a counter");
+  match (get_sample "secyan_ots_total").Secyan_metrics.value with
+  | Secyan_metrics.Counter n -> Alcotest.(check int) "ots mirrored" 2 n
+  | _ -> Alcotest.fail "expected a counter"
+
+(* A parallel batch must mirror each unit of work exactly once: the item
+   contexts mirror as they bump, and the merge into the owning context
+   must not mirror again. *)
+let test_parallel_batch_no_double_count () =
+  with_metrics @@ fun () ->
+  Secyan_metrics.reset ();
+  let ctx = Context.create ~gc_backend:Context.Real ~domains:2 ~seed () in
+  let inp = Prg.create 5L in
+  let items =
+    Array.init 6 (fun _ ->
+        [
+          Gc_protocol.Priv { owner = Party.Alice; value = Prg.bits inp 16; bits = 32 };
+          Gc_protocol.Priv { owner = Party.Bob; value = Prg.bits inp 16; bits = 32 };
+        ])
+  in
+  let build b words = [ Circuits.mul_word b words.(0) words.(1) ] in
+  let _ = Gc_protocol.eval_to_shares_batch ctx ~items ~build in
+  let totals = Context.counter_totals ctx in
+  Context.shutdown_pool ctx;
+  let mirrored name =
+    match (get_sample name).Secyan_metrics.value with
+    | Secyan_metrics.Counter n -> n
+    | _ -> Alcotest.fail "expected a counter"
+  in
+  Alcotest.(check int) "and_gates mirrored once"
+    totals.(Trace_sink.counter_index Trace_sink.And_gates)
+    (mirrored "secyan_and_gates_total");
+  Alcotest.(check int) "ots mirrored once"
+    totals.(Trace_sink.counter_index Trace_sink.Ots)
+    (mirrored "secyan_ots_total")
+
+(* ------------------------------------------------------------------ *)
+(* Pool timelines *)
+
+let test_pool_timelines () =
+  with_metrics @@ fun () ->
+  let pool = Domain_pool.create 2 in
+  Domain_pool.run pool ~n:16 ~f:(fun i ->
+      ignore (Sys.opaque_identity (Array.init ((i * 37 mod 211) + 64) Fun.id)));
+  let tls = Domain_pool.timelines pool in
+  Alcotest.(check int) "one snapshot per participant" 2 (List.length tls);
+  Alcotest.(check int) "items accounted" 16
+    (List.fold_left (fun acc tl -> acc + tl.Domain_pool.items) 0 tls);
+  List.iter
+    (fun tl ->
+      let accounted =
+        tl.Domain_pool.busy_ns +. tl.Domain_pool.queue_wait_ns +. tl.Domain_pool.lock_wait_ns
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "domain %d: accounted within 5%% of wall" tl.Domain_pool.domain)
+        true
+        (accounted <= (tl.Domain_pool.wall_ns *. 1.05) +. 1e6);
+      if tl.Domain_pool.items > 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "domain %d: claimed a batch" tl.Domain_pool.domain)
+          true
+          (tl.Domain_pool.batches >= 1))
+    tls;
+  Domain_pool.reset_timelines pool;
+  List.iter
+    (fun tl ->
+      Alcotest.(check int) "items reset" 0 tl.Domain_pool.items;
+      Alcotest.(check (float 0.)) "busy reset" 0. tl.Domain_pool.busy_ns)
+    (Domain_pool.timelines pool);
+  Domain_pool.shutdown pool
+
+(* ------------------------------------------------------------------ *)
+(* Exporters *)
+
+let test_prometheus_format () =
+  with_metrics @@ fun () ->
+  Secyan_metrics.reset ();
+  let h = Secyan_metrics.histogram ~help:"test histogram" "test_prom_hist" in
+  List.iter (Secyan_metrics.observe h) [ 0.5; 0.5; 3.0 ];
+  let g0 = Secyan_metrics.gauge ~help:"labelled" "test_prom_gauge{domain=\"0\"}" in
+  let g1 = Secyan_metrics.gauge ~help:"labelled" "test_prom_gauge{domain=\"1\"}" in
+  Secyan_metrics.set g0 1.;
+  Secyan_metrics.set g1 2.;
+  let out = Metrics.export_string Metrics.Prometheus in
+  let count_sub sub =
+    let n = String.length out and m = String.length sub in
+    let rec go i acc =
+      if i + m > n then acc
+      else go (i + 1) (if String.sub out i m = sub then acc + 1 else acc)
+    in
+    go 0 0
+  in
+  (* one TYPE header per base name, even for labelled gauge families *)
+  Alcotest.(check int) "one TYPE for the gauge family" 1
+    (count_sub "# TYPE test_prom_gauge gauge");
+  Alcotest.(check int) "one TYPE for the histogram" 1
+    (count_sub "# TYPE test_prom_hist histogram");
+  Alcotest.(check int) "sum line" 1 (count_sub "test_prom_hist_sum 4\n");
+  Alcotest.(check int) "count line" 1 (count_sub "test_prom_hist_count 3\n");
+  Alcotest.(check int) "cumulative +Inf bucket" 1
+    (count_sub "test_prom_hist_bucket{le=\"+Inf\"} 3\n");
+  Secyan_metrics.reset ()
+
+let test_jsonl_export_parses () =
+  with_metrics @@ fun () ->
+  let h = Secyan_metrics.histogram ~help:"test" "test_jsonl_hist" in
+  Secyan_metrics.observe h 2.0;
+  let out = Metrics.export_string Metrics.Jsonl in
+  let lines = String.split_on_char '\n' out |> List.filter (fun l -> l <> "") in
+  Alcotest.(check bool) "at least one metric" true (lines <> []);
+  List.iter
+    (fun l ->
+      match Json.parse l with
+      | Ok (Json.Obj fields) ->
+          Alcotest.(check bool) "has name" true (List.mem_assoc "name" fields)
+      | Ok _ -> Alcotest.fail "line is not an object"
+      | Error e -> Alcotest.failf "unparsable JSONL line %s: %s" l e)
+    lines
+
+let test_quantile_estimates () =
+  with_metrics @@ fun () ->
+  let h = Secyan_metrics.histogram ~help:"test" "test_quantile_hist" in
+  for _ = 1 to 90 do Secyan_metrics.observe h 1.0 done;
+  for _ = 1 to 10 do Secyan_metrics.observe h 1000.0 done;
+  match (get_sample "test_quantile_hist").Secyan_metrics.value with
+  | Secyan_metrics.Histogram hs ->
+      let p50 = Metrics.quantile hs 0.50 and p99 = Metrics.quantile hs 0.99 in
+      Alcotest.(check bool) "p50 near 1" true (p50 >= 1.0 && p50 <= 2.0);
+      Alcotest.(check bool) "p99 near 1000" true (p99 >= 1000.0 && p99 <= 2048.0)
+  | _ -> Alcotest.fail "expected a histogram"
+
+(* ------------------------------------------------------------------ *)
+(* GC sampler and progress reporter *)
+
+let test_gc_sampler_phases () =
+  let ctx = Context.create ~seed () in
+  let s = Profile.attach_gc_sampler ctx in
+  Context.with_span ctx "phase:reduce" (fun () ->
+      ignore (Sys.opaque_identity (Array.init 4096 (fun i -> string_of_int i))));
+  Context.with_span ctx "reveal" (fun () -> ());
+  let phases = Profile.detach_gc_sampler s in
+  let names = List.map (fun p -> p.Profile.phase) phases in
+  Alcotest.(check (list string)) "phases in order"
+    [ "setup"; "phase:reduce"; "reveal" ] names;
+  Alcotest.(check bool) "sink restored" true (ctx.Context.sink == Trace_sink.noop);
+  let reduce = List.nth phases 1 in
+  Alcotest.(check bool) "reduce allocated" true (reduce.Profile.minor_words > 0.);
+  (* detach is idempotent *)
+  Alcotest.(check int) "second detach returns same" (List.length phases)
+    (List.length (Profile.detach_gc_sampler s))
+
+let test_progress_heartbeats () =
+  let ctx = Context.create ~seed () in
+  let file = Filename.temp_file "secyan_hb" ".jsonl" in
+  let oc = open_out file in
+  let t = Progress.attach ~total:1000 ~interval:0. ~render:false ~heartbeat:oc ctx in
+  Context.with_span ctx "phase:reduce" (fun () ->
+      Context.bump ctx Trace_sink.And_gates 250;
+      Context.bump ctx Trace_sink.And_gates 250);
+  Progress.detach t;
+  close_out oc;
+  Alcotest.(check int) "gates observed" 500 (Progress.and_gates t);
+  Alcotest.(check bool) "sink restored" true (ctx.Context.sink == Trace_sink.noop);
+  let ic = open_in file in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove file;
+  let lines = List.rev !lines in
+  Alcotest.(check bool) "has heartbeats" true (List.length lines >= 2);
+  let parsed =
+    List.map
+      (fun l ->
+        match Json.parse l with
+        | Ok j -> j
+        | Error e -> Alcotest.failf "unparsable heartbeat %s: %s" l e)
+      lines
+  in
+  let last = List.nth parsed (List.length parsed - 1) in
+  Alcotest.(check (option string)) "final phase" (Some "done")
+    (Option.bind (Json.member "phase" last) Json.to_string_opt);
+  Alcotest.(check (option int)) "final gates" (Some 500)
+    (Option.bind (Json.member "and_gates" last) Json.to_int_opt);
+  Alcotest.(check (option int)) "total present" (Some 1000)
+    (Option.bind (Json.member "estimated_total" last) Json.to_int_opt)
+
+(* Progress must forward events to a wrapped tracer unchanged. *)
+let test_progress_composes_with_tracer () =
+  let d = Secyan_tpch.Datagen.generate ~sf:4e-5 ~seed in
+  let q = Secyan_tpch.Queries.q3 d in
+  let run ~with_progress =
+    let ctx = Secyan_tpch.Queries.context ~seed () in
+    let (revealed, _), root =
+      Trace.with_tracing ~name:"q3" ctx (fun () ->
+          if with_progress then begin
+            let t = Progress.attach ~render:false ctx in
+            Fun.protect ~finally:(fun () -> Progress.detach t) (fun () ->
+                Secyan.Secure_yannakakis.run ctx q)
+          end
+          else Secyan.Secure_yannakakis.run ctx q)
+    in
+    (revealed, Span.tally root)
+  in
+  let plain_result, plain_tally = run ~with_progress:false in
+  let prog_result, prog_tally = run ~with_progress:true in
+  Alcotest.(check bool) "results identical" true (plain_result = prog_result);
+  Alcotest.(check bool) "root tally identical" true (Comm.equal plain_tally prog_tally)
+
+(* ------------------------------------------------------------------ *)
+(* bench diff *)
+
+let bench_doc records =
+  Json.Obj
+    [
+      ("harness", Json.Str "secyan-bench");
+      ("section", Json.Str "gc-perf");
+      ("records", Json.List records);
+    ]
+
+let record ?(speedup = 1.0) ?(seconds = 0.5) ?(identical = true) ?(overhead_pct = 2.0)
+    domains =
+  Json.Obj
+    [
+      ("kind", Json.Str "batch-wallclock");
+      ("domains", Json.Int domains);
+      ("items", Json.Int 48);
+      ("and_gates", Json.Int 47664);
+      ("seconds", Json.Float seconds);
+      ("speedup_vs_domains1", Json.Float speedup);
+      ("overhead_pct", Json.Float overhead_pct);
+      ("identical_to_sequential", Json.Bool identical);
+    ]
+
+let diff ?tolerance ?strict base next =
+  match
+    Bench_diff.compare_json ?tolerance ?strict ~base:(bench_doc base) ~next:(bench_doc next)
+      ()
+  with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "diff errored: %s" e
+
+let test_diff_equal_ok () =
+  let rs = [ record 1; record ~speedup:0.9 2 ] in
+  let r = diff rs rs in
+  Alcotest.(check int) "no regressions" 0 (List.length (Bench_diff.regressions r));
+  Alcotest.(check int) "both records matched" 2 r.Bench_diff.matched_records
+
+let test_diff_flags_degraded_ratio () =
+  let base = [ record ~speedup:1.0 2 ] in
+  let degraded = [ record ~speedup:0.7 2 ] in
+  let r = diff base degraded in
+  Alcotest.(check int) "one regression" 1 (List.length (Bench_diff.regressions r));
+  let i = List.hd (Bench_diff.regressions r) in
+  Alcotest.(check string) "on the speedup field" "speedup_vs_domains1" i.Bench_diff.field;
+  (* an improvement of the same magnitude is not a regression *)
+  let improved = [ record ~speedup:1.3 2 ] in
+  Alcotest.(check int) "improvement passes" 0
+    (List.length (Bench_diff.regressions (diff base improved)))
+
+let test_diff_tolerance_band () =
+  let base = [ record ~speedup:1.0 2 ] in
+  let slightly = [ record ~speedup:0.9 2 ] in
+  Alcotest.(check int) "within 15% band" 0
+    (List.length (Bench_diff.regressions (diff base slightly)));
+  Alcotest.(check int) "outside a 5% band" 1
+    (List.length (Bench_diff.regressions (diff ~tolerance:0.05 base slightly)))
+
+let test_diff_exact_fields () =
+  let base = [ record 2 ] in
+  let flipped = [ record ~identical:false 2 ] in
+  Alcotest.(check int) "bool flip is a regression" 1
+    (List.length (Bench_diff.regressions (diff base flipped)))
+
+let test_diff_missing_record () =
+  let base = [ record 1; record 2 ] in
+  let partial = [ record 1 ] in
+  let r = diff base partial in
+  Alcotest.(check int) "missing record is a regression" 1
+    (List.length (Bench_diff.regressions r))
+
+let test_diff_machine_fields_strict_only () =
+  let base = [ record ~seconds:0.5 2 ] in
+  let slower = [ record ~seconds:5.0 2 ] in
+  Alcotest.(check int) "seconds ungated by default" 0
+    (List.length (Bench_diff.regressions (diff base slower)));
+  Alcotest.(check int) "seconds gated under strict" 1
+    (List.length (Bench_diff.regressions (diff ~strict:true base slower)))
+
+let test_diff_pct_absolute_band () =
+  let base = [ record ~overhead_pct:1.0 2 ] in
+  (* 1% -> 2% overhead is one percentage point, far inside a 15-point
+     band, even though it is a 100% relative change *)
+  let doubled = [ record ~overhead_pct:2.0 2 ] in
+  Alcotest.(check int) "small absolute move passes" 0
+    (List.length (Bench_diff.regressions (diff base doubled)));
+  let jumped = [ record ~overhead_pct:40.0 2 ] in
+  Alcotest.(check int) "39-point jump regresses" 1
+    (List.length (Bench_diff.regressions (diff base jumped)))
+
+let test_diff_files_roundtrip () =
+  let write doc =
+    let file = Filename.temp_file "secyan_bench" ".json" in
+    let oc = open_out file in
+    output_string oc (Json.to_string doc);
+    close_out oc;
+    file
+  in
+  let base = write (bench_doc [ record 1; record ~speedup:0.9 2 ]) in
+  let degraded = write (bench_doc [ record 1; record ~speedup:0.5 2 ]) in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove base;
+      Sys.remove degraded)
+    (fun () ->
+      (match Bench_diff.compare_files ~base ~next:base () with
+      | Ok r -> Alcotest.(check int) "self-diff clean" 0 (List.length (Bench_diff.regressions r))
+      | Error e -> Alcotest.failf "self-diff errored: %s" e);
+      match Bench_diff.compare_files ~base ~next:degraded () with
+      | Ok r ->
+          Alcotest.(check bool) "degraded file regresses" true
+            (Bench_diff.regressions r <> [])
+      | Error e -> Alcotest.failf "degraded diff errored: %s" e)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "secyan_metrics"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "counter adds" `Quick test_counter_basics;
+          Alcotest.test_case "disabled records nothing" `Quick test_disabled_records_nothing;
+          Alcotest.test_case "gauge overwrites" `Quick test_gauge_overwrites;
+          Alcotest.test_case "kind clash rejected" `Quick test_kind_clash_rejected;
+          Alcotest.test_case "histogram counts and sum" `Quick test_histogram_counts_and_sum;
+          Alcotest.test_case "snapshot sorted" `Quick test_snapshot_sorted;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "bit-identical across pool sizes" `Quick test_merge_bit_identical;
+          Alcotest.test_case "context bump mirrors" `Quick test_context_bump_mirrors;
+          Alcotest.test_case "parallel batch no double count" `Quick
+            test_parallel_batch_no_double_count;
+        ] );
+      ( "timelines",
+        [ Alcotest.test_case "pool timelines account wall" `Quick test_pool_timelines ] );
+      ( "exporters",
+        [
+          Alcotest.test_case "prometheus format" `Quick test_prometheus_format;
+          Alcotest.test_case "jsonl parses" `Quick test_jsonl_export_parses;
+          Alcotest.test_case "quantile estimates" `Quick test_quantile_estimates;
+        ] );
+      ( "profiling",
+        [
+          Alcotest.test_case "gc sampler phases" `Quick test_gc_sampler_phases;
+          Alcotest.test_case "progress heartbeats" `Quick test_progress_heartbeats;
+          Alcotest.test_case "progress composes with tracer" `Quick
+            test_progress_composes_with_tracer;
+        ] );
+      ( "bench-diff",
+        [
+          Alcotest.test_case "equal files pass" `Quick test_diff_equal_ok;
+          Alcotest.test_case "degraded ratio flagged" `Quick test_diff_flags_degraded_ratio;
+          Alcotest.test_case "tolerance band" `Quick test_diff_tolerance_band;
+          Alcotest.test_case "exact fields" `Quick test_diff_exact_fields;
+          Alcotest.test_case "missing record" `Quick test_diff_missing_record;
+          Alcotest.test_case "machine fields strict-only" `Quick
+            test_diff_machine_fields_strict_only;
+          Alcotest.test_case "pct absolute band" `Quick test_diff_pct_absolute_band;
+          Alcotest.test_case "files roundtrip" `Quick test_diff_files_roundtrip;
+        ] );
+    ]

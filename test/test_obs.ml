@@ -196,6 +196,47 @@ let test_measure () =
     delta;
   Alcotest.(check int) "delta bits" 123 delta.Comm.alice_to_bob_bits
 
+(* Nested measures must not double-count: each call reads the tally once
+   before and once after its own body, so the inner delta is contained in
+   (not added to) the outer one. *)
+let test_measure_nesting () =
+  let ctx = Context.create ~seed () in
+  let send bits = Comm.send ctx.Context.comm ~from:Party.Alice ~bits in
+  let (inner_delta, _), _, outer_delta =
+    Trace.measure ctx (fun () ->
+        send 100;
+        let (), _, inner = Trace.measure ctx (fun () -> send 50) in
+        send 25;
+        (inner, ()))
+  in
+  Alcotest.(check int) "inner sees only its own traffic" 50
+    inner_delta.Comm.alice_to_bob_bits;
+  Alcotest.(check int) "outer includes the inner" 175
+    outer_delta.Comm.alice_to_bob_bits
+
+(* The span-level equivalent: a child span's traffic lands in the parent's
+   inclusive tally but not its self tally. *)
+let test_span_attribution_nested () =
+  let ctx = Context.create ~seed () in
+  let send bits = Comm.send ctx.Context.comm ~from:Party.Alice ~bits in
+  let (), root =
+    Trace.with_tracing ~name:"parent" ctx (fun () ->
+        send 100;
+        Context.with_span ctx "child" (fun () -> send 50);
+        send 25)
+  in
+  let child =
+    match Span.children root with
+    | [ c ] -> c
+    | _ -> Alcotest.fail "expected exactly one child span under the root"
+  in
+  Alcotest.(check int) "child self = child inclusive" 50
+    (Span.self_tally child).Comm.alice_to_bob_bits;
+  Alcotest.(check int) "parent self excludes the child" 125
+    (Span.self_tally root).Comm.alice_to_bob_bits;
+  Alcotest.(check int) "parent inclusive includes the child" 175
+    (Span.tally root).Comm.alice_to_bob_bits
+
 (* ------------------------------------------------------------------ *)
 (* JSON *)
 
@@ -312,6 +353,9 @@ let () =
           Alcotest.test_case "parallel trace identical" `Quick test_traced_parallel_identical;
           Alcotest.test_case "noop sink default" `Quick test_noop_sink_is_default;
           Alcotest.test_case "measure" `Quick test_measure;
+          Alcotest.test_case "measure nesting" `Quick test_measure_nesting;
+          Alcotest.test_case "span attribution nested" `Quick
+            test_span_attribution_nested;
         ] );
       ( "json",
         [
