@@ -578,6 +578,33 @@ let write_bench6_json () =
   close_out oc;
   line "wrote %s (%d records)" path (List.length !bench6_records)
 
+(* Allocation-free kernel proof and the domain-scaling sweep: records go
+   to BENCH_7.json (EXPERIMENTS.md documents the schema). The cross-
+   machine CI gates are the exact booleans of the scaling-summary record
+   ([alloc_reduction_ok], [scaling_ok], [identical_at_all_pool_sizes]);
+   words-per-gate and the reduction factor are machine-absolute
+   diagnostics (DESIGN.md §14). *)
+
+let bench7_records : Json.t list ref = ref []
+
+let write_bench7_json () =
+  let path = "BENCH_7.json" in
+  let doc =
+    Json.Obj
+      [
+        ("harness", Json.Str "secyan-bench");
+        ("section", Json.Str "gc-perf");
+        ("seed", Json.Str (Int64.to_string seed));
+        ("cores", Json.Int (Domain.recommended_domain_count ()));
+        ("records", Json.List (List.rev !bench7_records));
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  line "wrote %s (%d records)" path (List.length !bench7_records)
+
 (* Bechamel OLS estimate for one run of [f], in nanoseconds. *)
 let ns_per_run name f =
   let open Bechamel in
@@ -755,7 +782,165 @@ let gc_perf () =
         ("off_seconds", Json.Float off_secs); ("on_seconds", Json.Float on_secs);
         ("overhead_pct", Json.Float overhead_pct);
       ]
-    :: !bench6_records
+    :: !bench6_records;
+  (* 6. allocation-free kernels (DESIGN.md §14): words allocated per AND
+     gate by the boxed reference vs the unboxed arena implementation, the
+     batch engine's steady-state per-item allocation (read back through
+     the [secyan_gc_item_*_words] registry histograms), and the domains
+     1/2/4/8 scaling sweep. Records go to BENCH_7.json; CI gates on the
+     scaling-summary booleans, which are machine-independent. *)
+  Secyan_metrics.set_enabled false;
+  let n_inputs = circuit.Boolean_circuit.n_inputs in
+  let input_bit i = i land 1 = 1 in
+  let alloc_reps = 32 in
+  let alloc_per_gate f =
+    f ();
+    (* warmed up: arenas grown, lazy state forced. [Gc.minor_words] (not
+       [quick_stat], which only advances at GC points) so sub-minor-heap
+       allocation volumes still resolve. *)
+    let minor0 = Gc.minor_words () in
+    let major0 = (Gc.quick_stat ()).Gc.major_words in
+    for _ = 1 to alloc_reps do f () done;
+    let per w0 w1 = (w1 -. w0) /. float_of_int (alloc_reps * ands) in
+    ( per minor0 (Gc.minor_words ()),
+      per major0 (Gc.quick_stat ()).Gc.major_words )
+  in
+  let boxed_prg = Prg.create 9L in
+  let boxed () =
+    let g = Garbling_reference.garble boxed_prg circuit in
+    let labels =
+      Array.init n_inputs (fun i -> Garbling_reference.encode_input g i (input_bit i))
+    in
+    ignore (Garbling_reference.eval_labels g labels : Garbling.Label.t array)
+  in
+  let arena = Garbling.Arena.create () in
+  let unboxed_prg = Prg.create 9L in
+  let unboxed () =
+    let g = Garbling.garble ~arena unboxed_prg circuit in
+    ignore (Garbling.eval_colors ~arena g input_bit : Bytes.t)
+  in
+  let record_alloc impl (minor, major) =
+    line "%-24s %12.2f minor words/AND  %10.4f major words/AND" ("alloc-" ^ impl) minor
+      major;
+    bench7_records :=
+      Json.Obj
+        [
+          ("kind", Json.Str "alloc-per-gate"); ("impl", Json.Str impl);
+          ("and_gates", Json.Int ands); ("reps", Json.Int alloc_reps);
+          ("minor_words_per_gate", Json.Float minor);
+          ("major_words_per_gate", Json.Float major);
+        ]
+      :: !bench7_records
+  in
+  let ((boxed_minor, _) as boxed_alloc) = alloc_per_gate boxed in
+  record_alloc "boxed" boxed_alloc;
+  let ((unboxed_minor, _) as unboxed_alloc) = alloc_per_gate unboxed in
+  record_alloc "unboxed" unboxed_alloc;
+  let alloc_reduction = boxed_minor /. Float.max unboxed_minor 1e-9 in
+  line "%-24s %12.1fx fewer minor words/AND (gate: >= 10x)" "alloc-reduction"
+    alloc_reduction;
+  (* steady-state batch-engine allocation: the second batch on a context
+     runs on recycled item contexts and warmed arenas *)
+  Secyan_metrics.set_enabled true;
+  let alloc_ctx = Context.create ~gc_backend:Context.Real ~domains:1 ~seed () in
+  ignore (Gc_protocol.eval_to_shares_batch alloc_ctx ~items:(batch_inputs ()) ~build);
+  Secyan_metrics.reset ();
+  ignore (Gc_protocol.eval_to_shares_batch alloc_ctx ~items:(batch_inputs ()) ~build);
+  Context.shutdown_pool alloc_ctx;
+  let hist_mean name =
+    match
+      List.find_opt
+        (fun (s : Secyan_metrics.sample) -> s.Secyan_metrics.name = name)
+        (Secyan_metrics.snapshot ())
+    with
+    | Some { Secyan_metrics.value = Secyan_metrics.Histogram h; _ }
+      when h.Secyan_metrics.count > 0 ->
+        h.Secyan_metrics.sum /. float_of_int h.Secyan_metrics.count
+    | _ -> 0.
+  in
+  let item_minor = hist_mean "secyan_gc_item_minor_words" in
+  let item_major = hist_mean "secyan_gc_item_major_words" in
+  line "%-24s %12.0f minor words/item  (%.2f per AND gate)" "batch-alloc-steady"
+    item_minor
+    (item_minor /. float_of_int ands);
+  bench7_records :=
+    Json.Obj
+      [
+        ("kind", Json.Str "batch-alloc"); ("domains", Json.Int 1);
+        ("items", Json.Int items);
+        ("minor_words_per_item", Json.Float item_minor);
+        ("minor_words_per_gate", Json.Float (item_minor /. float_of_int ands));
+        ("major_words_per_item", Json.Float item_major);
+      ]
+    :: !bench7_records;
+  (* the scaling sweep: always domains 1/2/4/8 (plus --domains if larger)
+     so regenerated files match record-for-record on any machine;
+     wall-clock scaling is only asserted for pool sizes the host can
+     actually run in parallel *)
+  Secyan_metrics.set_enabled false;
+  let sweep_sizes = List.sort_uniq compare [ 1; 2; 4; 8; max 1 !requested_domains ] in
+  let sweep_reps = 3 in
+  let sweep domains =
+    let shares = ref [||] and best = ref infinity in
+    for _ = 1 to sweep_reps do
+      settle ();
+      let s, secs = batch domains in
+      shares := s;
+      if secs < !best then best := secs
+    done;
+    (!shares, !best)
+  in
+  let sweep_base, sweep_base_secs = sweep 1 in
+  let sweep_results =
+    List.map
+      (fun domains ->
+        let shares, secs =
+          if domains = 1 then (sweep_base, sweep_base_secs) else sweep domains
+        in
+        let identical = shares = sweep_base in
+        let speedup = sweep_base_secs /. secs in
+        line "%-24s %12.3f ms  (speedup %.2fx, identical %b)"
+          (Printf.sprintf "sweep-%dd" domains)
+          (secs *. 1e3) speedup identical;
+        if not identical then line "  !! parallel batch diverged from sequential";
+        bench7_records :=
+          Json.Obj
+            [
+              ("kind", Json.Str "domain-sweep"); ("domains", Json.Int domains);
+              ("items", Json.Int items); ("and_gates", Json.Int (ands * items));
+              ("seconds", Json.Float secs);
+              ("and_gates_per_s", Json.Float (float_of_int (ands * items) /. secs));
+              ("speedup_vs_domains1", Json.Float speedup);
+              ("identical_to_sequential", Json.Bool identical);
+            ]
+          :: !bench7_records;
+        (domains, speedup, identical))
+      sweep_sizes
+  in
+  let cores = Domain.recommended_domain_count () in
+  let gated = List.filter (fun (d, _, _) -> d <= cores) sweep_results in
+  let rec monotone = function
+    | (_, s1, _) :: ((_, s2, _) :: _ as rest) -> s2 >= s1 -. 0.1 && monotone rest
+    | _ -> true
+  in
+  let all_identical = List.for_all (fun (_, _, id) -> id) sweep_results in
+  let at2_ok = cores < 2 || List.for_all (fun (d, s, _) -> d <> 2 || s >= 0.9) gated in
+  let scaling_ok = all_identical && at2_ok && monotone gated in
+  let alloc_reduction_ok = alloc_reduction >= 10. in
+  line "%-24s reduction %.0fx (ok %b)  scaling ok %b (asserted on %d of %d pool sizes; %d cores)"
+    "scaling-summary" alloc_reduction alloc_reduction_ok scaling_ok (List.length gated)
+    (List.length sweep_results) cores;
+  bench7_records :=
+    Json.Obj
+      [
+        ("kind", Json.Str "scaling-summary"); ("items", Json.Int items);
+        ("alloc_reduction", Json.Float alloc_reduction);
+        ("alloc_reduction_ok", Json.Bool alloc_reduction_ok);
+        ("scaling_ok", Json.Bool scaling_ok);
+        ("identical_at_all_pool_sizes", Json.Bool all_identical);
+      ]
+    :: !bench7_records;
+  Secyan_metrics.set_enabled was_enabled
 
 (* ------------------------------------------------------------------ *)
 (* Checkpoint overhead: wall-clock and bytes-written delta of a fully
@@ -1029,4 +1214,5 @@ let () =
   if !bench2_records <> [] then write_bench2_json ();
   if !bench4_records <> [] then write_bench4_json ();
   if !bench5_records <> [] then write_bench5_json ();
-  if !bench6_records <> [] then write_bench6_json ()
+  if !bench6_records <> [] then write_bench6_json ();
+  if !bench7_records <> [] then write_bench7_json ()

@@ -225,3 +225,53 @@ let label_hash_with (sched : schedule) ~tweak (hi, lo) =
   (Int64.logxor chi hi', Int64.logxor clo lo')
 
 let label_hash ~tweak pair = label_hash_with fixed_key ~tweak pair
+
+(* Unaligned native-endian int64 access into [Bytes]. These compile to
+   plain loads/stores in native code — the operands stay unboxed, which
+   is the whole point of the [Bytes]-plane variant below. *)
+external get64u : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external set64u : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+
+(** The label hash over [Bytes] planes: reads the 128-bit label at
+    [src.(soff, soff+16)] ([hi] first, [lo] at [soff + 8], native byte
+    order) and writes H(label, tweak) at [dst.(doff, doff+16)] in the
+    same layout. Bit-identical to {!label_hash_with} at the same
+    [tweak] value; unlike it, every intermediate stays unboxed — the
+    per-gate call allocates nothing. Offsets are not bounds-checked:
+    callers are the garbling inner loops, which size their planes from
+    the circuit before the loop. *)
+let label_hash_bytes (sched : schedule) ~tweak (src : Bytes.t) soff (dst : Bytes.t) doff =
+  let tweak64 = Int64.of_int tweak in
+  let hi' = Int64.logxor (Int64.shift_left (get64u src soff) 1) tweak64 in
+  let lo' = Int64.logxor (Int64.shift_left (get64u src (soff + 8)) 1) (Int64.lognot tweak64) in
+  let st = Domain.DLS.get scratch in
+  (* [state_of_pair]/[pair_of_state] inlined by hand: calling them would
+     box [hi']/[lo'] at the call boundary and allocate the result pair,
+     which is exactly what this variant exists to avoid. *)
+  for i = 0 to 7 do
+    st.(i) <- Int64.to_int (Int64.logand (Int64.shift_right_logical hi' (56 - (8 * i))) 0xFFL);
+    st.(8 + i) <- Int64.to_int (Int64.logand (Int64.shift_right_logical lo' (56 - (8 * i))) 0xFFL)
+  done;
+  encrypt_state sched st;
+  let chi =
+    Int64.logor (Int64.shift_left (Int64.of_int st.(0)) 56)
+      (Int64.logor (Int64.shift_left (Int64.of_int st.(1)) 48)
+         (Int64.logor (Int64.shift_left (Int64.of_int st.(2)) 40)
+            (Int64.logor (Int64.shift_left (Int64.of_int st.(3)) 32)
+               (Int64.logor (Int64.shift_left (Int64.of_int st.(4)) 24)
+                  (Int64.logor (Int64.shift_left (Int64.of_int st.(5)) 16)
+                     (Int64.logor (Int64.shift_left (Int64.of_int st.(6)) 8)
+                        (Int64.of_int st.(7))))))))
+  in
+  let clo =
+    Int64.logor (Int64.shift_left (Int64.of_int st.(8)) 56)
+      (Int64.logor (Int64.shift_left (Int64.of_int st.(9)) 48)
+         (Int64.logor (Int64.shift_left (Int64.of_int st.(10)) 40)
+            (Int64.logor (Int64.shift_left (Int64.of_int st.(11)) 32)
+               (Int64.logor (Int64.shift_left (Int64.of_int st.(12)) 24)
+                  (Int64.logor (Int64.shift_left (Int64.of_int st.(13)) 16)
+                     (Int64.logor (Int64.shift_left (Int64.of_int st.(14)) 8)
+                        (Int64.of_int st.(15))))))))
+  in
+  set64u dst doff (Int64.logxor chi hi');
+  set64u dst (doff + 8) (Int64.logxor clo lo')

@@ -33,3 +33,13 @@ val label_hash_with : schedule -> tweak:int64 -> int64 * int64 -> int64 * int64
 
 (** {!label_hash_with} under {!fixed_key}. *)
 val label_hash : tweak:int64 -> int64 * int64 -> int64 * int64
+
+(** The label hash over [Bytes] planes, for the unboxed garbling kernels:
+    reads the label at [src.(soff, soff+16)] ([hi] then [lo], native byte
+    order), writes H(label, tweak) at [dst.(doff, doff+16)] in the same
+    layout. Bit-identical to {!label_hash_with} at the same tweak value,
+    but every intermediate stays unboxed — the call allocates nothing.
+    Offsets are {e not} bounds-checked (callers size their planes from
+    the circuit before the loop); [src == dst] is fine as long as the
+    ranges do not overlap. *)
+val label_hash_bytes : schedule -> tweak:int -> Bytes.t -> int -> Bytes.t -> int -> unit

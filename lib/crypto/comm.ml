@@ -89,6 +89,15 @@ let bump_rounds t n =
 let tally t =
   { alice_to_bob_bits = t.alice_to_bob; bob_to_alice_bits = t.bob_to_alice; rounds = t.rounds }
 
+(** Zero the counters in place, keeping listeners and wire attached.
+    Listeners do not fire — this is bookkeeping for channel reuse (the GC
+    batch engine recycles per-item channels across batches), not
+    traffic. *)
+let reset t =
+  t.alice_to_bob <- 0;
+  t.bob_to_alice <- 0;
+  t.rounds <- 0
+
 (** Overwrite the counters with an absolute tally. Listeners and the wire
     do not fire: this is state restoration (checkpoint resume), not
     traffic. *)

@@ -52,6 +52,11 @@ val set_wire : t -> (from:Party.t -> bits:int -> unit) option -> unit
 
 val tally : t -> tally
 
+(** Zero the counters in place (listeners and wire stay attached and do
+    not fire): channel reuse, not traffic. The GC batch engine recycles
+    per-item channels across batches with this. *)
+val reset : t -> unit
+
 (** Overwrite the counters with an absolute tally, e.g. one captured in a
     checkpoint. Listeners and the wire do not fire — this is state
     restoration, not traffic. *)

@@ -37,6 +37,13 @@ type t = {
           classic pure-accounting simulation *)
   checkpoint : Checkpoint.sink option;
       (** durable snapshot stream for the run, if checkpointing is on *)
+  mutable batch_ctxs : t array;
+      (** the batch engine's cache of per-item contexts ([[||]] until the
+          first batch): private channel/PRGs/counters reused across
+          batches so steady-state [map_batch] allocates no per-item
+          context state. Owned by {!Gc_protocol.map_batch}; reseeded and
+          reset per batch, so nothing here carries state between
+          batches. *)
 }
 
 (** Bump a typed primitive counter: always added to the context's running
@@ -92,6 +99,7 @@ let create ?(bits = 32) ?(kappa = 128) ?(sigma = 40) ?(gc_backend = Sim)
       counters = Array.make Trace_sink.n_counters 0;
       transport;
       checkpoint;
+      batch_ctxs = [||];
     }
   in
   (match transport with

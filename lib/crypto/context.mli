@@ -32,6 +32,9 @@ type t = {
           classic pure-accounting simulation *)
   checkpoint : Checkpoint.sink option;
       (** durable snapshot stream for the run, if checkpointing is on *)
+  mutable batch_ctxs : t array;
+      (** the batch engine's per-item context cache ([[||]] until the
+          first batch); owned and recycled by [Gc_protocol.map_batch] *)
 }
 
 (** Defaults match the paper's evaluation: bits = 32 annotation ring,

@@ -6,13 +6,21 @@
     AND gate costs two 128-bit ciphertexts; XOR and NOT are free.
 
     Two key-derivation functions are supported: fixed-key AES-128 (the
-    default — the standard choice in MPC practice) and SHA-256. The
-    garble/eval inner loops are allocation-lean: wire labels live in two
-    preallocated [int64] planes ([hi]/[lo] arrays indexed by wire id)
-    rather than one boxed record per wire, and the AES schedule is
-    resolved once per circuit, not per gate. The {!Label} module remains
-    the boxed representation used at the protocol boundary (input
-    encoding, output labels). *)
+    default — the standard choice in MPC practice) and SHA-256.
+
+    The garble/eval inner loops are {e allocation-free} (under the AES
+    KDF): wire labels, half-gate tables, and output decode bits live in
+    [Bytes] planes accessed through unaligned native [int64] loads and
+    stores, so no per-gate value is ever boxed — unlike [int64 array],
+    whose every element store allocates a 3-word box on the minor heap
+    (see DESIGN.md §14). Planes come either from fresh per-call buffers
+    (the safe default) or from a per-domain {!Arena} reused across batch
+    items. The boxed {!Label} module remains the representation at the
+    protocol boundary (input encoding, output labels).
+
+    {!Garbling_reference} preserves the pre-arena boxed implementation;
+    the test suite asserts both paths are bit-identical and the bench
+    harness uses it as the allocation baseline. *)
 
 module Label = struct
   type t = { hi : int64; lo : int64 }
@@ -49,30 +57,111 @@ type kdf = Sha256_kdf | Aes128_kdf
 let hash_with kdf =
   match kdf with Sha256_kdf -> Label.hash | Aes128_kdf -> Label.hash_aes
 
-(* The flat (plane-level) hash: tweak, hi, lo -> (hi, lo). The AES branch
-   captures the pre-expanded fixed schedule so the per-gate call does no
-   lazy checks or schedule lookups. *)
-let flat_hash kdf : int64 -> int64 -> int64 -> int64 * int64 =
+(* Unaligned native-endian int64 access into the label planes. The layout
+   convention everywhere below: wire [w]'s false (resp. active) label
+   lives at byte offset [16 * w], [hi] first, [lo] at [+ 8]; AND gate
+   [k]'s ciphertexts live at [32 * k] as T_G.hi, T_G.lo, T_E.hi, T_E.lo.
+   Endianness never escapes: labels are written and read through the
+   same primitives, so the int64 values round-trip bit-identically on
+   any platform. *)
+external get64u : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external set64u : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+
+(* The plane-level hash: dst.(doff, doff+16) <- H(src.(soff, soff+16),
+   tweak). The AES branch is Aes128.label_hash_bytes under the
+   pre-expanded fixed schedule — fully unboxed, zero allocation per
+   call. The SHA branch allocates its digest (SHA-256 is the legacy KDF,
+   kept for differential coverage, not throughput). *)
+let bytes_hash kdf : tweak:int -> Bytes.t -> int -> Bytes.t -> int -> unit =
   match kdf with
   | Aes128_kdf ->
       let sched = Aes128.fixed_key in
-      fun tweak hi lo -> Aes128.label_hash_with sched ~tweak (hi, lo)
+      fun ~tweak src soff dst doff -> Aes128.label_hash_bytes sched ~tweak src soff dst doff
   | Sha256_kdf ->
-      fun tweak hi lo ->
-        let d = Sha256.digest_int64s [ hi; lo; tweak ] in
-        (Bytes.get_int64_be d 0, Bytes.get_int64_be d 8)
+      fun ~tweak src soff dst doff ->
+        let d =
+          Sha256.digest_int64s
+            [ get64u src soff; get64u src (soff + 8); Int64.of_int tweak ]
+        in
+        set64u dst doff (Bytes.get_int64_be d 0);
+        set64u dst (doff + 8) (Bytes.get_int64_be d 8)
+
+(** Per-domain scratch arena: every plane the garble/eval hot paths touch,
+    grown geometrically and reused across batch items, so steady-state
+    garbling performs no plane allocation at all. Each domain owns its
+    arena through [Domain.DLS] — pool workers never share one, which is
+    what makes reuse safe without locks (DESIGN.md §14). *)
+module Arena = struct
+  type t = {
+    mutable wires_g : Bytes.t;  (** generator false-label planes, 16 B per wire *)
+    mutable wires_e : Bytes.t;  (** evaluator active-label planes, 16 B per wire *)
+    mutable tables : Bytes.t;   (** half-gate ciphertexts, 32 B per AND gate *)
+    mutable decode : Bytes.t;   (** 1 B per output: color of the false label *)
+    mutable colors : Bytes.t;   (** 1 B per output: color of the active label *)
+    scratch : Bytes.t;
+        (** 48 B: one shifted label at 0, two hash outputs at 16 and 32 *)
+  }
+
+  let m_grows =
+    lazy
+      (Secyan_metrics.counter ~help:"arena plane growth events (steady state: none)"
+         "secyan_arena_grows_total")
+
+  let m_bytes =
+    lazy
+      (Secyan_metrics.counter ~help:"bytes added to arena planes by growth"
+         "secyan_arena_grow_bytes_total")
+
+  let create () =
+    {
+      wires_g = Bytes.create 0;
+      wires_e = Bytes.create 0;
+      tables = Bytes.create 0;
+      decode = Bytes.create 0;
+      colors = Bytes.create 0;
+      scratch = Bytes.create 48;
+    }
+
+  let key = Domain.DLS.new_key create
+
+  (** The calling domain's arena (one per domain, created on first use).
+      Buffers handed out against it stay valid until the same domain
+      garbles/evaluates again — exactly the per-item lifetime of the
+      batch engine. *)
+  let current () = Domain.DLS.get key
+
+  (* Geometric growth, never shrinking: a steady stream of same-shaped
+     circuits settles after the first item and allocates nothing. *)
+  let grown cur need =
+    if Bytes.length cur >= need then cur
+    else begin
+      let cap = max need (max 64 (2 * Bytes.length cur)) in
+      if Secyan_metrics.enabled () then begin
+        Secyan_metrics.add (Lazy.force m_grows) 1;
+        Secyan_metrics.add (Lazy.force m_bytes) (cap - Bytes.length cur)
+      end;
+      Bytes.create cap
+    end
+
+  let prepare_garble a ~n_wires ~n_ands ~n_outputs =
+    a.wires_g <- grown a.wires_g (16 * n_wires);
+    a.tables <- grown a.tables (32 * n_ands);
+    a.decode <- grown a.decode (max 1 n_outputs)
+
+  let prepare_eval a ~n_wires ~n_outputs =
+    a.wires_e <- grown a.wires_e (16 * n_wires);
+    a.colors <- grown a.colors (max 1 n_outputs)
+end
 
 type garbled = {
   circuit : Boolean_circuit.t;
-  input_hi : int64 array;  (** false-label [hi] plane of each input wire *)
-  input_lo : int64 array;  (** false-label [lo] plane of each input wire *)
+  wires : Bytes.t;
+      (** false-label [hi]/[lo] planes of {e every} wire (16 B each); the
+          input labels are the prefix — no copy is ever taken *)
   delta_hi : int64;
   delta_lo : int64;
-  table_g_hi : int64 array;  (** generator half-gate ciphertext T_G, per AND gate *)
-  table_g_lo : int64 array;
-  table_e_hi : int64 array;  (** evaluator half-gate ciphertext T_E, per AND gate *)
-  table_e_lo : int64 array;
-  output_decode : bool array;  (** color of the false label of each output *)
+  tables : Bytes.t;  (** T_G/T_E ciphertexts, 32 B per AND gate in gate order *)
+  decode : Bytes.t;  (** 1 B per output: 1 iff the false label has color 1 *)
 }
 
 (* Garbling throughput histograms. Half-gates hashes 4 labels per AND
@@ -89,75 +178,93 @@ let m_garble_labels_per_s =
        "secyan_garble_labels_per_s")
 
 (** Garble [circuit] with randomness from [prg] (the generator's stream).
-    Label planes are preallocated per call; the inner loop allocates
-    nothing but the hash results. *)
-let garble ?(kdf = Aes128_kdf) prg circuit =
+    With [?arena] the result's planes alias the arena and stay valid only
+    until the next garble on the same arena (the batch engine's per-item
+    lifetime); without it the result owns freshly allocated, exactly
+    sized planes. The inner loop allocates nothing either way (AES
+    KDF). *)
+let garble ?(kdf = Aes128_kdf) ?arena prg circuit =
   let open Boolean_circuit in
   let t_start = if Secyan_metrics.enabled () then Unix.gettimeofday () else 0. in
-  let hash = flat_hash kdf in
+  let hash = bytes_hash kdf in
   (* Draw order matches Label.random_delta / Label.random: hi then lo. *)
   let delta_hi = Prg.next_int64 prg in
   let delta_lo = Int64.logor (Prg.next_int64 prg) 1L in
   let n_wires = n_wires circuit in
-  let hi = Array.make n_wires 0L in
-  let lo = Array.make n_wires 0L in
+  let n_outputs = Array.length circuit.outputs in
+  let wires, tables, decode, scratch =
+    match arena with
+    | Some a ->
+        Arena.prepare_garble a ~n_wires ~n_ands:circuit.and_count ~n_outputs;
+        (a.Arena.wires_g, a.Arena.tables, a.Arena.decode, a.Arena.scratch)
+    | None ->
+        ( Bytes.create (16 * n_wires),
+          Bytes.create (32 * circuit.and_count),
+          Bytes.create (max 1 n_outputs),
+          Bytes.create 48 )
+  in
   for i = 0 to circuit.n_inputs - 1 do
-    hi.(i) <- Prg.next_int64 prg;
-    lo.(i) <- Prg.next_int64 prg
+    set64u wires (16 * i) (Prg.next_int64 prg);
+    set64u wires ((16 * i) + 8) (Prg.next_int64 prg)
   done;
-  let table_g_hi = Array.make circuit.and_count 0L in
-  let table_g_lo = Array.make circuit.and_count 0L in
-  let table_e_hi = Array.make circuit.and_count 0L in
-  let table_e_lo = Array.make circuit.and_count 0L in
   let and_idx = ref 0 in
   Array.iteri
     (fun i gate ->
-      let out = circuit.n_inputs + i in
+      let out = 16 * (circuit.n_inputs + i) in
       match gate with
       | Xor (x, y) ->
-          hi.(out) <- Int64.logxor hi.(x) hi.(y);
-          lo.(out) <- Int64.logxor lo.(x) lo.(y)
+          set64u wires out (Int64.logxor (get64u wires (16 * x)) (get64u wires (16 * y)));
+          set64u wires (out + 8)
+            (Int64.logxor (get64u wires ((16 * x) + 8)) (get64u wires ((16 * y) + 8)))
       | Not x ->
-          hi.(out) <- Int64.logxor hi.(x) delta_hi;
-          lo.(out) <- Int64.logxor lo.(x) delta_lo
+          set64u wires out (Int64.logxor (get64u wires (16 * x)) delta_hi);
+          set64u wires (out + 8) (Int64.logxor (get64u wires ((16 * x) + 8)) delta_lo)
       | And (x, y) ->
           let k = !and_idx in
-          let j = Int64.of_int (2 * k) in
-          let j' = Int64.of_int ((2 * k) + 1) in
-          let wa0_hi = hi.(x) and wa0_lo = lo.(x) in
-          let wb0_hi = hi.(y) and wb0_lo = lo.(y) in
-          let pa = Int64.logand wa0_lo 1L = 1L in
-          let pb = Int64.logand wb0_lo 1L = 1L in
-          (* generator half-gate *)
-          let ha0_hi, ha0_lo = hash j wa0_hi wa0_lo in
-          let ha1_hi, ha1_lo =
-            hash j (Int64.logxor wa0_hi delta_hi) (Int64.logxor wa0_lo delta_lo)
-          in
+          let j = 2 * k in
+          let j' = (2 * k) + 1 in
+          let ax = 16 * x and by = 16 * y in
+          let wa0_hi = get64u wires ax and wa0_lo = get64u wires (ax + 8) in
+          let wb0_hi = get64u wires by and wb0_lo = get64u wires (by + 8) in
+          let pa = Int64.to_int wa0_lo land 1 = 1 in
+          let pb = Int64.to_int wb0_lo land 1 = 1 in
+          (* generator half-gate: ha0 = H(j, wa0), ha1 = H(j, wa0 ^ delta) *)
+          hash ~tweak:j wires ax scratch 16;
+          set64u scratch 0 (Int64.logxor wa0_hi delta_hi);
+          set64u scratch 8 (Int64.logxor wa0_lo delta_lo);
+          hash ~tweak:j scratch 0 scratch 32;
+          let ha0_hi = get64u scratch 16 and ha0_lo = get64u scratch 24 in
+          let ha1_hi = get64u scratch 32 and ha1_lo = get64u scratch 40 in
           let tg_hi = Int64.logxor ha0_hi ha1_hi and tg_lo = Int64.logxor ha0_lo ha1_lo in
           let tg_hi = if pb then Int64.logxor tg_hi delta_hi else tg_hi in
           let tg_lo = if pb then Int64.logxor tg_lo delta_lo else tg_lo in
           let wg0_hi = if pa then Int64.logxor ha0_hi tg_hi else ha0_hi in
           let wg0_lo = if pa then Int64.logxor ha0_lo tg_lo else ha0_lo in
-          (* evaluator half-gate *)
-          let hb0_hi, hb0_lo = hash j' wb0_hi wb0_lo in
-          let hb1_hi, hb1_lo =
-            hash j' (Int64.logxor wb0_hi delta_hi) (Int64.logxor wb0_lo delta_lo)
-          in
+          (* evaluator half-gate: hb0 = H(j', wb0), hb1 = H(j', wb0 ^ delta) *)
+          hash ~tweak:j' wires by scratch 16;
+          set64u scratch 0 (Int64.logxor wb0_hi delta_hi);
+          set64u scratch 8 (Int64.logxor wb0_lo delta_lo);
+          hash ~tweak:j' scratch 0 scratch 32;
+          let hb0_hi = get64u scratch 16 and hb0_lo = get64u scratch 24 in
+          let hb1_hi = get64u scratch 32 and hb1_lo = get64u scratch 40 in
           let te_hi = Int64.logxor (Int64.logxor hb0_hi hb1_hi) wa0_hi in
           let te_lo = Int64.logxor (Int64.logxor hb0_lo hb1_lo) wa0_lo in
           let we0_hi = if pb then Int64.logxor hb0_hi (Int64.logxor te_hi wa0_hi) else hb0_hi in
           let we0_lo = if pb then Int64.logxor hb0_lo (Int64.logxor te_lo wa0_lo) else hb0_lo in
-          hi.(out) <- Int64.logxor wg0_hi we0_hi;
-          lo.(out) <- Int64.logxor wg0_lo we0_lo;
-          table_g_hi.(k) <- tg_hi;
-          table_g_lo.(k) <- tg_lo;
-          table_e_hi.(k) <- te_hi;
-          table_e_lo.(k) <- te_lo;
+          set64u wires out (Int64.logxor wg0_hi we0_hi);
+          set64u wires (out + 8) (Int64.logxor wg0_lo we0_lo);
+          let tk = 32 * k in
+          set64u tables tk tg_hi;
+          set64u tables (tk + 8) tg_lo;
+          set64u tables (tk + 16) te_hi;
+          set64u tables (tk + 24) te_lo;
           incr and_idx)
     circuit.gates;
-  let output_decode =
-    Array.map (fun w -> Int64.logand lo.(w) 1L = 1L) circuit.outputs
-  in
+  Array.iteri
+    (fun oi w ->
+      Bytes.unsafe_set decode oi
+        (if Int64.to_int (get64u wires ((16 * w) + 8)) land 1 = 1 then '\001' else '\000'))
+    circuit.outputs;
   if Secyan_metrics.enabled () then begin
     let dt = Unix.gettimeofday () -. t_start in
     Secyan_metrics.observe (Lazy.force m_garble_gates) (float_of_int circuit.and_count);
@@ -165,82 +272,129 @@ let garble ?(kdf = Aes128_kdf) prg circuit =
       Secyan_metrics.observe (Lazy.force m_garble_labels_per_s)
         (4. *. float_of_int circuit.and_count /. dt)
   end;
-  {
-    circuit;
-    input_hi = Array.sub hi 0 circuit.n_inputs;
-    input_lo = Array.sub lo 0 circuit.n_inputs;
-    delta_hi;
-    delta_lo;
-    table_g_hi;
-    table_g_lo;
-    table_e_hi;
-    table_e_lo;
-    output_decode;
-  }
+  { circuit; wires; delta_hi; delta_lo; tables; decode }
+
+(** The color (Boolean share) of output [out_index]'s false label — the
+    generator's side of the Yao sharing. *)
+let decode_bit g out_index = Bytes.get g.decode out_index = '\001'
 
 (** The label encoding bit [b] on input wire [i]. *)
 let encode_input g i b =
-  if b then
-    { Label.hi = Int64.logxor g.input_hi.(i) g.delta_hi;
-      lo = Int64.logxor g.input_lo.(i) g.delta_lo }
-  else { Label.hi = g.input_hi.(i); lo = g.input_lo.(i) }
+  let hi = get64u g.wires (16 * i) and lo = get64u g.wires ((16 * i) + 8) in
+  if b then { Label.hi = Int64.logxor hi g.delta_hi; lo = Int64.logxor lo g.delta_lo }
+  else { Label.hi; lo }
 
-(** Evaluate on active labels; returns the active label of each output.
-    [kdf] must match the one used at garbling time. Like {!garble}, the
-    inner loop works on preallocated [int64] planes. *)
-let eval_labels ?(kdf = Aes128_kdf) g (input_labels : Label.t array) =
+(* Half-gates evaluation over a preloaded active-label plane: wires 0 ..
+   n_inputs-1 must already hold the active input labels. Shares the plane
+   layout (and the zero-allocation property) with [garble]. *)
+let eval_plane hash g (wires : Bytes.t) (scratch : Bytes.t) =
   let open Boolean_circuit in
-  let hash = flat_hash kdf in
   let circuit = g.circuit in
-  if Array.length input_labels <> circuit.n_inputs then
-    invalid_arg
-      (Printf.sprintf "Garbling.eval_labels: %d input labels for a circuit with %d inputs"
-         (Array.length input_labels) circuit.n_inputs);
-  let n_wires = n_wires circuit in
-  let hi = Array.make n_wires 0L in
-  let lo = Array.make n_wires 0L in
-  Array.iteri
-    (fun i (l : Label.t) ->
-      hi.(i) <- l.Label.hi;
-      lo.(i) <- l.Label.lo)
-    input_labels;
+  let tables = g.tables in
   let and_idx = ref 0 in
   Array.iteri
     (fun i gate ->
-      let out = circuit.n_inputs + i in
+      let out = 16 * (circuit.n_inputs + i) in
       match gate with
       | Xor (x, y) ->
-          hi.(out) <- Int64.logxor hi.(x) hi.(y);
-          lo.(out) <- Int64.logxor lo.(x) lo.(y)
+          set64u wires out (Int64.logxor (get64u wires (16 * x)) (get64u wires (16 * y)));
+          set64u wires (out + 8)
+            (Int64.logxor (get64u wires ((16 * x) + 8)) (get64u wires ((16 * y) + 8)))
       | Not x ->
-          hi.(out) <- hi.(x);
-          lo.(out) <- lo.(x)
-          (* NOT is free: same label, decoded with flipped semantics via the
-             garbler's false-label offset (handled in [garble]). *)
+          (* NOT is free: same label, decoded with flipped semantics via
+             the garbler's false-label offset (handled in [garble]). *)
+          set64u wires out (get64u wires (16 * x));
+          set64u wires (out + 8) (get64u wires ((16 * x) + 8))
       | And (x, y) ->
           let k = !and_idx in
-          let j = Int64.of_int (2 * k) in
-          let j' = Int64.of_int ((2 * k) + 1) in
-          let wa_hi = hi.(x) and wa_lo = lo.(x) in
-          let wb_hi = hi.(y) and wb_lo = lo.(y) in
-          let sa = Int64.logand wa_lo 1L = 1L in
-          let sb = Int64.logand wb_lo 1L = 1L in
-          let ha_hi, ha_lo = hash j wa_hi wa_lo in
-          let wg_hi = if sa then Int64.logxor ha_hi g.table_g_hi.(k) else ha_hi in
-          let wg_lo = if sa then Int64.logxor ha_lo g.table_g_lo.(k) else ha_lo in
-          let hb_hi, hb_lo = hash j' wb_hi wb_lo in
+          let j = 2 * k in
+          let j' = (2 * k) + 1 in
+          let ax = 16 * x and by = 16 * y in
+          let wa_hi = get64u wires ax and wa_lo = get64u wires (ax + 8) in
+          let sa = Int64.to_int wa_lo land 1 = 1 in
+          let sb = Int64.to_int (get64u wires (by + 8)) land 1 = 1 in
+          let tk = 32 * k in
+          hash ~tweak:j wires ax scratch 16;
+          let ha_hi = get64u scratch 16 and ha_lo = get64u scratch 24 in
+          let wg_hi = if sa then Int64.logxor ha_hi (get64u tables tk) else ha_hi in
+          let wg_lo = if sa then Int64.logxor ha_lo (get64u tables (tk + 8)) else ha_lo in
+          hash ~tweak:j' wires by scratch 16;
+          let hb_hi = get64u scratch 16 and hb_lo = get64u scratch 24 in
           let we_hi =
-            if sb then Int64.logxor hb_hi (Int64.logxor g.table_e_hi.(k) wa_hi) else hb_hi
+            if sb then Int64.logxor hb_hi (Int64.logxor (get64u tables (tk + 16)) wa_hi)
+            else hb_hi
           in
           let we_lo =
-            if sb then Int64.logxor hb_lo (Int64.logxor g.table_e_lo.(k) wa_lo) else hb_lo
+            if sb then Int64.logxor hb_lo (Int64.logxor (get64u tables (tk + 24)) wa_lo)
+            else hb_lo
           in
-          hi.(out) <- Int64.logxor wg_hi we_hi;
-          lo.(out) <- Int64.logxor wg_lo we_lo;
+          set64u wires out (Int64.logxor wg_hi we_hi);
+          set64u wires (out + 8) (Int64.logxor wg_lo we_lo);
           incr and_idx)
-    circuit.gates;
-  Array.map (fun w -> { Label.hi = hi.(w); lo = lo.(w) }) circuit.outputs
+    circuit.gates
+
+(** Evaluate on active labels; returns the active label of each output.
+    [kdf] must match the one used at garbling time. With [?arena] the
+    evaluator wire plane comes from (and the call leaves state in) the
+    arena; the returned labels are fresh boxed values either way. *)
+let eval_labels ?(kdf = Aes128_kdf) ?arena g (input_labels : Label.t array) =
+  let circuit = g.circuit in
+  if Array.length input_labels <> circuit.Boolean_circuit.n_inputs then
+    invalid_arg
+      (Printf.sprintf "Garbling.eval_labels: %d input labels for a circuit with %d inputs"
+         (Array.length input_labels) circuit.Boolean_circuit.n_inputs);
+  let n_wires = Boolean_circuit.n_wires circuit in
+  let n_outputs = Array.length circuit.Boolean_circuit.outputs in
+  let wires, scratch =
+    match arena with
+    | Some a ->
+        Arena.prepare_eval a ~n_wires ~n_outputs;
+        (a.Arena.wires_e, a.Arena.scratch)
+    | None -> (Bytes.create (16 * n_wires), Bytes.create 48)
+  in
+  Array.iteri
+    (fun i (l : Label.t) ->
+      set64u wires (16 * i) l.Label.hi;
+      set64u wires ((16 * i) + 8) l.Label.lo)
+    input_labels;
+  eval_plane (bytes_hash kdf) g wires scratch;
+  Array.map
+    (fun w -> { Label.hi = get64u wires (16 * w); lo = get64u wires ((16 * w) + 8) })
+    circuit.Boolean_circuit.outputs
+
+(** The batch hot path: select each input's active label from the garbled
+    planes by its cleartext bit (what the evaluator would hold after OT),
+    evaluate, and return the active color of every output as one byte
+    each ([1] = color set) in the arena's color plane — valid until the
+    next eval on the same arena. No boxed label is created anywhere:
+    together with [garble ~arena] this runs a whole item without a
+    single per-gate or per-wire heap allocation (AES KDF). *)
+let eval_colors ?(kdf = Aes128_kdf) ~arena g (bit : int -> bool) : Bytes.t =
+  let circuit = g.circuit in
+  let n_wires = Boolean_circuit.n_wires circuit in
+  let n_outputs = Array.length circuit.Boolean_circuit.outputs in
+  Arena.prepare_eval arena ~n_wires ~n_outputs;
+  let wires = arena.Arena.wires_e in
+  for i = 0 to circuit.Boolean_circuit.n_inputs - 1 do
+    let hi = get64u g.wires (16 * i) and lo = get64u g.wires ((16 * i) + 8) in
+    if bit i then begin
+      set64u wires (16 * i) (Int64.logxor hi g.delta_hi);
+      set64u wires ((16 * i) + 8) (Int64.logxor lo g.delta_lo)
+    end
+    else begin
+      set64u wires (16 * i) hi;
+      set64u wires ((16 * i) + 8) lo
+    end
+  done;
+  eval_plane (bytes_hash kdf) g wires arena.Arena.scratch;
+  let colors = arena.Arena.colors in
+  Array.iteri
+    (fun oi w ->
+      Bytes.unsafe_set colors oi
+        (if Int64.to_int (get64u wires ((16 * w) + 8)) land 1 = 1 then '\001' else '\000'))
+    circuit.Boolean_circuit.outputs;
+  colors
 
 (** Decode an output's active label to its cleartext bit using the decode
     (color-of-false-label) information. *)
-let decode_output g ~out_index label = Label.color label <> g.output_decode.(out_index)
+let decode_output g ~out_index label = Label.color label <> decode_bit g out_index

@@ -3,10 +3,16 @@
     ciphertexts per gate; XOR and NOT are free. This is the [Real] backend
     of {!Gc_protocol}.
 
-    The garble/eval inner loops are allocation-lean: wire labels live in
-    preallocated [int64] [hi]/[lo] planes instead of one boxed {!Label.t}
-    record per wire. {!Label.t} remains the boxed representation at the
-    protocol boundary. *)
+    The garble/eval inner loops are {e allocation-free} under the AES
+    KDF: wire labels, half-gate tables, and decode bits live in [Bytes]
+    planes accessed through unaligned native [int64] primitives — never
+    in [int64 array], whose element stores box (DESIGN.md §14). Planes
+    come from fresh per-call buffers by default, or from a per-domain
+    {!Arena} reused across batch items. {!Label.t} remains the boxed
+    representation at the protocol boundary.
+
+    {!Garbling_reference} preserves the previous boxed implementation as
+    a differential baseline (bit-identity is asserted in the tests). *)
 
 module Label : sig
   type t = { hi : int64; lo : int64 }
@@ -38,27 +44,63 @@ type kdf = Sha256_kdf | Aes128_kdf
 
 val hash_with : kdf -> Label.t -> tweak:int64 -> Label.t
 
+(** Per-domain scratch arena for the garble/eval planes: grown
+    geometrically, never shrunk, reused across items, so steady-state
+    garbling of same-shaped circuits allocates nothing. Each domain owns
+    its own arena via [Domain.DLS] ({!Arena.current}); arenas must not be
+    shared across domains. Buffers handed out against an arena (a
+    [garbled] from [garble ~arena], a color plane from {!eval_colors})
+    stay valid only until the next garble/eval call on the same arena. *)
+module Arena : sig
+  type t
+
+  (** A fresh arena with empty planes (they grow on first use). *)
+  val create : unit -> t
+
+  (** The calling domain's arena, created on first use. *)
+  val current : unit -> t
+end
+
 type garbled = {
   circuit : Boolean_circuit.t;
-  input_hi : int64 array;  (** false-label [hi] plane of each input wire *)
-  input_lo : int64 array;  (** false-label [lo] plane of each input wire *)
+  wires : Bytes.t;
+      (** false-label planes of {e every} wire: [hi] at byte [16 * w],
+          [lo] at [16 * w + 8], native byte order. Input wires are the
+          prefix — no separate copy is taken. May alias an arena. *)
   delta_hi : int64;
   delta_lo : int64;
-  table_g_hi : int64 array;  (** T_G ciphertext planes, per AND gate in gate order *)
-  table_g_lo : int64 array;
-  table_e_hi : int64 array;  (** T_E ciphertext planes, per AND gate in gate order *)
-  table_e_lo : int64 array;
-  output_decode : bool array;  (** color of each output's false label *)
+  tables : Bytes.t;
+      (** per AND gate [k] in gate order: T_G.hi, T_G.lo, T_E.hi, T_E.lo
+          at byte [32 * k]. May alias an arena. *)
+  decode : Bytes.t;
+      (** 1 byte per output: ['\001'] iff the false label has color 1 *)
 }
 
-(** Garble a circuit with the generator's randomness. *)
-val garble : ?kdf:kdf -> Prg.t -> Boolean_circuit.t -> garbled
+(** Garble a circuit with the generator's randomness. With [?arena] the
+    result's planes alias the arena and stay valid only until the next
+    garble on the same arena; without it the result owns fresh, exactly
+    sized planes. *)
+val garble : ?kdf:kdf -> ?arena:Arena.t -> Prg.t -> Boolean_circuit.t -> garbled
 
 (** The label encoding bit [b] on input wire [i]. *)
 val encode_input : garbled -> int -> bool -> Label.t
 
-(** Evaluate on active labels; [kdf] must match garbling. *)
-val eval_labels : ?kdf:kdf -> garbled -> Label.t array -> Label.t array
+(** The color (Boolean share) of output [out_index]'s false label — the
+    generator's half of the Yao sharing of that output. *)
+val decode_bit : garbled -> int -> bool
+
+(** Evaluate on active labels; [kdf] must match garbling. With [?arena]
+    the evaluator wire plane comes from the arena (the returned labels
+    are fresh boxed values either way). *)
+val eval_labels : ?kdf:kdf -> ?arena:Arena.t -> garbled -> Label.t array -> Label.t array
+
+(** Select each input's active label by its cleartext bit ([bit i] is
+    input wire [i]'s value), evaluate, and return the active color of
+    every output — one byte per output, ['\001'] = color set — in the
+    arena's color plane, valid until the next eval on the same arena.
+    The batch hot path: with [garble ~arena] this runs a whole item with
+    no per-gate or per-wire allocation (AES KDF). *)
+val eval_colors : ?kdf:kdf -> arena:Arena.t -> garbled -> (int -> bool) -> Bytes.t
 
 (** Decode an output's active label to its cleartext bit. *)
 val decode_output : garbled -> out_index:int -> Label.t -> bool

@@ -119,17 +119,20 @@ type bool_share = { alice_bit : bool; bob_bit : bool }
 
 let run_real ctx (bc : built) (input_bits : (Party.t * bool) array) : bool_share array =
   let kdf = ctx.Context.gc_kdf in
-  let g = Garbling.garble ~kdf ctx.Context.prg_alice bc.circuit in
-  let input_labels =
-    Array.mapi (fun i (_, bit) -> Garbling.encode_input g i bit) input_bits
-  in
+  (* The executing domain's arena: garble writes its planes there and
+     eval reuses them in place, so the whole item runs without per-gate
+     or per-wire allocation; the planes are recycled by the next item on
+     this domain (after the [bool_share]s below are built). *)
+  let arena = Garbling.Arena.current () in
+  let g = Garbling.garble ~kdf ~arena ctx.Context.prg_alice bc.circuit in
   (* Bob's labels arrive via OT (accounted by the caller); functionally he
-     receives exactly the label of his input bit. *)
-  let out_labels = Garbling.eval_labels ~kdf g input_labels in
-  Array.mapi
-    (fun i label ->
-      { alice_bit = g.Garbling.output_decode.(i); bob_bit = Garbling.Label.color label })
-    out_labels
+     receives exactly the label of his input bit — selecting the active
+     label per input below is that exchange, collapsed into the plane. *)
+  let colors = Garbling.eval_colors ~kdf ~arena g (fun i -> snd input_bits.(i)) in
+  Array.init
+    (Boolean_circuit.n_outputs bc.circuit)
+    (fun i ->
+      { alice_bit = Garbling.decode_bit g i; bob_bit = Bytes.get colors i = '\001' })
 
 let run_sim ctx (bc : built) (input_bits : (Party.t * bool) array) : bool_share array =
   let clear = Boolean_circuit.eval bc.circuit (Array.map snd input_bits) in
@@ -197,46 +200,126 @@ let m_batch_seconds =
        ~help:"wall-clock seconds per GC parallel batch (pool barrier and merge included)"
        "secyan_gc_batch_seconds")
 
+(* Allocation-rate observability (DESIGN.md §14): minor/major heap words
+   allocated per batch item, measured as GC-counter deltas on the
+   executing domain (minor words are domain-local in OCaml 5, so the
+   delta brackets exactly the item's own allocation). Minor words come
+   from [Gc.minor_words], which is exact in native code — the
+   [Gc.quick_stat] figure only advances at GC points, and an
+   allocation-free item never reaches one. The regression target is
+   "arena reuse holds": steady-state items of the Real backend should sit
+   within a few hundred words (boxed boundary values only), not the tens
+   of words *per AND gate* the boxed kernels used to cost. *)
+let m_item_minor_words =
+  lazy
+    (Secyan_metrics.histogram
+       ~help:"minor-heap words allocated per GC batch item (executing domain)"
+       "secyan_gc_item_minor_words")
+
+let m_item_major_words =
+  lazy
+    (Secyan_metrics.histogram
+       ~help:"major-heap words allocated per GC batch item, promotions included"
+       "secyan_gc_item_major_words")
+
+(* The per-item contexts of a batch over [ctx]: the expensive allocated
+   state of each slot — the private channel, the three PRGs, the counter
+   array, any nested batch cache — is recycled across batches through
+   [ctx.batch_ctxs] and reseeded/reset per batch; only a fresh context
+   *record* per item is built each time. The record must be rebuilt, not
+   reused: record-copy views of a context (e.g. the ring override in
+   [Psi_shared_payload]) share the cache array, so a cached record could
+   carry immutable fields (ring, kappa, backend) of a different view
+   than the one running this batch.
+
+   Child PRGs are reseeded *sequentially* from the shared streams in item
+   order — exactly the draws [Prg.split] made when contexts were fresh
+   per batch — so the derivation depends only on the item index, never on
+   scheduling or cache state, and results stay bit-identical for every
+   pool size and batch history. *)
+let prepare_item_ctxs ctx n : Context.t array =
+  let cached = ctx.Context.batch_ctxs in
+  let n_cached = Array.length cached in
+  let ctxs =
+    Array.init n (fun i ->
+        if i < n_cached then begin
+          let c = cached.(i) in
+          Prg.split_into ctx.Context.prg_alice c.Context.prg_alice;
+          Prg.split_into ctx.Context.prg_bob c.Context.prg_bob;
+          Prg.split_into ctx.Context.dealer c.Context.dealer;
+          Comm.reset c.Context.comm;
+          Array.fill c.Context.counters 0 Trace_sink.n_counters 0;
+          { ctx with Context.comm = c.Context.comm;
+            prg_alice = c.Context.prg_alice; prg_bob = c.Context.prg_bob;
+            dealer = c.Context.dealer; sink = Trace_sink.noop;
+            counters = c.Context.counters; batch_ctxs = c.Context.batch_ctxs }
+        end
+        else begin
+          let prg_alice = Prg.split ctx.Context.prg_alice in
+          let prg_bob = Prg.split ctx.Context.prg_bob in
+          let dealer = Prg.split ctx.Context.dealer in
+          { ctx with Context.comm = Comm.create (); prg_alice; prg_bob; dealer;
+            sink = Trace_sink.noop; counters = Array.make Trace_sink.n_counters 0;
+            batch_ctxs = [||] }
+        end)
+  in
+  (* Never shrink the cache: a smaller batch recycles a prefix and leaves
+     the rest for the next wide one. *)
+  if n > n_cached then ctx.Context.batch_ctxs <- ctxs;
+  ctxs
+
 (* Run [f] over the [n] independent batch items on the context's pool.
 
-   Each item gets a private context: child PRGs split *sequentially* from
-   the shared streams (so the derivation depends only on the item index,
-   never on scheduling), a fresh private channel, a noop sink, and a
-   private counter-totals array. After the pool barrier the private
+   Each item gets a private context (see [prepare_item_ctxs]): a noop
+   sink, and private channel/PRGs/counters whose state is a function of
+   the item index alone. Item 0 runs on the caller — its result seeds the
+   result array, so no [Option] box is ever created per item — and the
+   remaining items fan out over the pool. After the barrier the private
    deltas are folded back into the parent context in one aggregated step
    per direction: sums are order-independent, so tallies, span counters,
    and listener totals are bit-identical for every pool size, including
    1. Item code must not open spans (the item sink ignores them). *)
 let map_batch ctx ~n (f : Context.t -> int -> 'a) : 'a array =
-  let t_start = if Secyan_metrics.enabled () then Unix.gettimeofday () else 0. in
-  let item_ctxs =
-    Array.init n (fun _ ->
-        let prg_alice = Prg.split ctx.Context.prg_alice in
-        let prg_bob = Prg.split ctx.Context.prg_bob in
-        let dealer = Prg.split ctx.Context.dealer in
-        { ctx with Context.comm = Comm.create (); prg_alice; prg_bob; dealer;
-          sink = Trace_sink.noop; counters = Array.make Trace_sink.n_counters 0 })
-  in
-  let results = Array.make n None in
-  Domain_pool.run (Context.pool ctx) ~n ~f:(fun i ->
-      results.(i) <- Some (f item_ctxs.(i) i));
-  let a_bits = ref 0 and b_bits = ref 0 and rounds = ref 0 in
-  Array.iter
-    (fun ictx ->
+  if n = 0 then [||]
+  else begin
+    let metrics_on = Secyan_metrics.enabled () in
+    let t_start = if metrics_on then Unix.gettimeofday () else 0. in
+    let item_ctxs = prepare_item_ctxs ctx n in
+    let run_item i =
+      if metrics_on then begin
+        let minor0 = Gc.minor_words () in
+        let major0 = (Gc.quick_stat ()).Gc.major_words in
+        let r = f item_ctxs.(i) i in
+        let minor1 = Gc.minor_words () in
+        Secyan_metrics.observe (Lazy.force m_item_minor_words) (minor1 -. minor0);
+        Secyan_metrics.observe (Lazy.force m_item_major_words)
+          ((Gc.quick_stat ()).Gc.major_words -. major0);
+        r
+      end
+      else f item_ctxs.(i) i
+    in
+    let results = Array.make n (run_item 0) in
+    if n > 1 then
+      Domain_pool.run (Context.pool ctx) ~n:(n - 1)
+        ~f:(fun i -> results.(i + 1) <- run_item (i + 1));
+    let a_bits = ref 0 and b_bits = ref 0 and rounds = ref 0 in
+    for i = 0 to n - 1 do
+      let ictx = item_ctxs.(i) in
       let t = Comm.tally ictx.Context.comm in
       a_bits := !a_bits + t.Comm.alice_to_bob_bits;
       b_bits := !b_bits + t.Comm.bob_to_alice_bits;
       rounds := !rounds + t.Comm.rounds;
-      Context.merge_counters ctx ictx.Context.counters)
-    item_ctxs;
-  if !a_bits > 0 then Comm.send ctx.Context.comm ~from:Party.Alice ~bits:!a_bits;
-  if !b_bits > 0 then Comm.send ctx.Context.comm ~from:Party.Bob ~bits:!b_bits;
-  if !rounds > 0 then Comm.bump_rounds ctx.Context.comm !rounds;
-  if Secyan_metrics.enabled () then begin
-    Secyan_metrics.observe (Lazy.force m_batch_items) (float_of_int n);
-    Secyan_metrics.observe (Lazy.force m_batch_seconds) (Unix.gettimeofday () -. t_start)
-  end;
-  Array.map (function Some r -> r | None -> assert false) results
+      Context.merge_counters ctx ictx.Context.counters
+    done;
+    if !a_bits > 0 then Comm.send ctx.Context.comm ~from:Party.Alice ~bits:!a_bits;
+    if !b_bits > 0 then Comm.send ctx.Context.comm ~from:Party.Bob ~bits:!b_bits;
+    if !rounds > 0 then Comm.bump_rounds ctx.Context.comm !rounds;
+    if metrics_on then begin
+      Secyan_metrics.observe (Lazy.force m_batch_items) (float_of_int n);
+      Secyan_metrics.observe (Lazy.force m_batch_seconds) (Unix.gettimeofday () -. t_start)
+    end;
+    results
+  end
 
 (** Evaluate the same circuit over a batch of same-shaped input lists; each
     output word of each item becomes a fresh arithmetic share. Constant

@@ -12,9 +12,13 @@
       in the direction that means "worse" where the name implies one
       ([speedup] higher is better, [*_pct] lower is better).
     - {b machine-absolute} fields — wall-clock and throughput
-      ([*_seconds], [ns_per_*], [*_per_s], [*_ms]) plus scheduling noise
-      ([wakeups], [batches]): meaningless across machines, so gated only
-      under [~strict:true] (for comparing runs of the same host).
+      ([*_seconds], [ns_per_*], [*_per_s], [*_ms]), allocation volumes
+      ([*_words*] — deterministic on one toolchain, compiler-dependent
+      across hosts — and the derived [alloc_reduction*] factors), plus
+      scheduling noise ([wakeups], [batches]): meaningless across
+      machines, so gated only under [~strict:true] (for comparing runs
+      of the same host). The cross-machine allocation gate is the exact
+      boolean [alloc_reduction_ok] instead.
 
     Records are matched by an identity key built from their string
     fields plus the conventional integer identity fields ([domains],
@@ -89,6 +93,8 @@ let classify name (v : Json.t) =
         || starts_with ~prefix:"ns_per_" name
       then Machine Lower_better
       else if ends_with ~suffix:"_per_s" name then Machine Higher_better
+      else if contains_sub name "_words" then Machine Lower_better
+      else if contains_sub name "alloc_reduction" then Machine Higher_better
       else if contains_sub name "speedup" then Ratio (Higher_better, Rel)
       else if ends_with ~suffix:"_pct" name then Ratio (Lower_better, Abs 100.)
       else if ends_with ~suffix:"_frac" name then Ratio (Two_sided, Abs 1.)

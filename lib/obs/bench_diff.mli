@@ -9,7 +9,8 @@
     ([tolerance]) — directionally where the name implies a better
     direction;
     {b machine-absolute} fields ([*_seconds], [ns_per_*], [*_per_s],
-    [*_ms], [wakeups], [batches]) are gated only under [~strict:true].
+    [*_ms], [*_words*], [alloc_reduction*], [wakeups], [batches]) are
+    gated only under [~strict:true].
     Records are matched by their string fields plus conventional integer
     identity fields ([domains], [items], [reps], [cores]); a base record
     missing from the new file is a regression. See DESIGN.md §13. *)

@@ -285,6 +285,74 @@ let test_garbling_label_privacy () =
       (Garbling.Label.color l0 <> Garbling.Label.color l1)
   done
 
+(* The unboxed Bytes-plane implementation is bit-identical to the boxed
+   reference it replaced: same labels at the protocol boundary, same
+   decode bits, same evaluation — for both KDFs, on random circuits. *)
+let test_garbling_unboxed_matches_reference () =
+  let prg = Prg.create 123L in
+  List.iter
+    (fun kdf ->
+      for _trial = 1 to 10 do
+        let circuit = random_circuit prg ~n_inputs:6 ~n_gates:40 in
+        let inputs = Array.init 6 (fun _ -> Prg.bool prg) in
+        let seed = Prg.next_int64 prg in
+        let g = Garbling.garble ~kdf (Prg.create seed) circuit in
+        let r = Garbling_reference.garble ~kdf (Prg.create seed) circuit in
+        for i = 0 to 5 do
+          List.iter
+            (fun b ->
+              Alcotest.(check bool) "input labels identical" true
+                (Garbling.Label.equal (Garbling.encode_input g i b)
+                   (Garbling_reference.encode_input r i b)))
+            [ false; true ]
+        done;
+        let labels = Array.mapi (fun i b -> Garbling.encode_input g i b) inputs in
+        let out = Garbling.eval_labels ~kdf g labels in
+        let out_ref = Garbling_reference.eval_labels ~kdf r labels in
+        Array.iteri
+          (fun i l ->
+            Alcotest.(check bool) "output labels identical" true
+              (Garbling.Label.equal l out_ref.(i));
+            Alcotest.(check bool) "decode identical"
+              (Garbling_reference.decode_output r ~out_index:i out_ref.(i))
+              (Garbling.decode_output g ~out_index:i l))
+          out;
+        let expected = Boolean_circuit.eval circuit inputs in
+        Alcotest.(check (array bool)) "unboxed = clear" expected
+          (Array.mapi (fun i l -> Garbling.decode_output g ~out_index:i l) out)
+      done)
+    [ Garbling.Sha256_kdf; Garbling.Aes128_kdf ]
+
+(* One arena across interleaved garble/eval of circuits of different
+   shapes: the planes grow on the big circuit, then get reused (with
+   stale tail bytes) on the small ones; every result must match the
+   clear evaluation and the fresh-buffer path. *)
+let test_garbling_arena_reuse () =
+  let prg = Prg.create 321L in
+  let arena = Garbling.Arena.create () in
+  for _round = 1 to 6 do
+    List.iter
+      (fun (n_inputs, n_gates) ->
+        let circuit = random_circuit prg ~n_inputs ~n_gates in
+        let inputs = Array.init n_inputs (fun _ -> Prg.bool prg) in
+        let seed = Prg.next_int64 prg in
+        let g = Garbling.garble ~arena (Prg.create seed) circuit in
+        let colors = Garbling.eval_colors ~arena g (fun i -> inputs.(i)) in
+        let got =
+          Array.init (Boolean_circuit.n_outputs circuit) (fun i ->
+              Bytes.get colors i = '\001' <> Garbling.decode_bit g i)
+        in
+        Alcotest.(check (array bool)) "arena garble/eval = clear"
+          (Boolean_circuit.eval circuit inputs)
+          got;
+        let g2 = Garbling.garble (Prg.create seed) circuit in
+        let labels = Array.mapi (fun i b -> Garbling.encode_input g2 i b) inputs in
+        let out = Garbling.eval_labels g2 labels in
+        Alcotest.(check (array bool)) "fresh buffers agree" got
+          (Array.mapi (fun i l -> Garbling.decode_output g2 ~out_index:i l) out))
+      [ (6, 40); (4, 200); (8, 12) ]
+  done
+
 (* ------------------------------------------------------------------ *)
 (* GC protocol: Real and Sim agree on values and on communication *)
 
@@ -514,8 +582,23 @@ let test_gc_parallel_deterministic () =
           Alcotest.(check bool) "revealed values identical" true (r0 = r1);
           Alcotest.(check bool) "comm tally identical" true (Comm.equal t0 t1);
           Alcotest.(check (array int)) "primitive counters identical" c0 c1)
-        [ 2; 4 ])
+        [ 2; 4; 8 ])
     [ Context.Real; Context.Sim ]
+
+(* One context through batches of changing widths: the per-item context
+   cache grows, gets reused as a prefix, and regrows; every batch must
+   still reveal the right values. *)
+let test_gc_batch_cache_reuse () =
+  let ctx = Context.create ~gc_backend:Context.Real ~domains:2 ~seed:42L () in
+  List.iter
+    (fun n_items ->
+      let _, revealed = gc_batch_fixture ctx ~n_items in
+      Alcotest.(check bool)
+        (Printf.sprintf "batch of %d correct" n_items)
+        true
+        (revealed = gc_batch_expected ~n_items))
+    [ 5; 17; 3; 17; 1; 8 ];
+  Context.shutdown_pool ctx
 
 let gc_run_with ~gc_backend ~gc_kdf =
   let ctx = Context.create ~gc_backend ~gc_kdf ~seed:42L () in
@@ -1096,6 +1179,9 @@ let () =
         [
           Alcotest.test_case "matches clear eval" `Quick test_garbling_matches_clear;
           Alcotest.test_case "label privacy" `Quick test_garbling_label_privacy;
+          Alcotest.test_case "unboxed matches boxed reference" `Quick
+            test_garbling_unboxed_matches_reference;
+          Alcotest.test_case "arena reuse interleaved" `Quick test_garbling_arena_reuse;
         ] );
       ( "gc-protocol",
         [
@@ -1119,6 +1205,7 @@ let () =
             test_pool_timelines_account_wall;
           Alcotest.test_case "parallel batches deterministic" `Quick
             test_gc_parallel_deterministic;
+          Alcotest.test_case "batch context cache reuse" `Quick test_gc_batch_cache_reuse;
         ] );
       ( "oblivious-transfer",
         [

@@ -164,6 +164,47 @@ let test_parallel_batch_no_double_count () =
     totals.(Trace_sink.counter_index Trace_sink.Ots)
     (mirrored "secyan_ots_total")
 
+(* Per-item allocation observability (DESIGN.md §14): every batch item
+   records its minor/major word delta, at any pool size, and turning the
+   histograms on must not perturb the results. *)
+let test_batch_alloc_words_histograms () =
+  with_metrics @@ fun () ->
+  Secyan_metrics.reset ();
+  let run domains =
+    let ctx = Context.create ~gc_backend:Context.Real ~domains ~seed () in
+    let inp = Prg.create 5L in
+    let items =
+      Array.init 6 (fun _ ->
+          [
+            Gc_protocol.Priv { owner = Party.Alice; value = Prg.bits inp 16; bits = 32 };
+            Gc_protocol.Priv { owner = Party.Bob; value = Prg.bits inp 16; bits = 32 };
+          ])
+    in
+    let build b words = [ Circuits.mul_word b words.(0) words.(1) ] in
+    let shares = Gc_protocol.eval_to_shares_batch ctx ~items ~build in
+    Context.shutdown_pool ctx;
+    shares
+  in
+  let hist name =
+    match (get_sample name).Secyan_metrics.value with
+    | Secyan_metrics.Histogram h -> h
+    | _ -> Alcotest.failf "metric %s is not a histogram" name
+  in
+  let s1 = run 1 in
+  let h1 = hist "secyan_gc_item_minor_words" in
+  Alcotest.(check bool) "at least one observation per item" true
+    (h1.Secyan_metrics.count >= 6);
+  Alcotest.(check bool) "items allocate a measurable amount" true
+    (h1.Secyan_metrics.sum > 0.);
+  let s4 = run 4 in
+  Alcotest.(check bool) "shares identical under metrics" true (s1 = s4);
+  let h4 = hist "secyan_gc_item_minor_words" in
+  Alcotest.(check int) "same observation count at pool 4" (2 * h1.Secyan_metrics.count)
+    h4.Secyan_metrics.count;
+  let major = hist "secyan_gc_item_major_words" in
+  Alcotest.(check int) "major histogram observes with minor"
+    h4.Secyan_metrics.count major.Secyan_metrics.count
+
 (* ------------------------------------------------------------------ *)
 (* Pool timelines *)
 
@@ -475,6 +516,8 @@ let () =
           Alcotest.test_case "context bump mirrors" `Quick test_context_bump_mirrors;
           Alcotest.test_case "parallel batch no double count" `Quick
             test_parallel_batch_no_double_count;
+          Alcotest.test_case "batch allocation histograms" `Quick
+            test_batch_alloc_words_histograms;
         ] );
       ( "timelines",
         [ Alcotest.test_case "pool timelines account wall" `Quick test_pool_timelines ] );
