@@ -119,6 +119,44 @@ let chaos_seed_arg =
   let doc = "Seed for the chaos schedule layout (burst positions, corrupted bit choices)." in
   Arg.(value & opt int64 1L & info [ "chaos-seed" ] ~docv:"N" ~doc)
 
+let deadline_arg =
+  let doc =
+    "Wall-clock budget for the whole query, in seconds. An expired deadline cancels \
+     (never kills) the run cooperatively — at the next phase boundary, batch-item \
+     claim, or transport wait — and exits 5 with a typed error; with \
+     $(b,--checkpoint-dir) the cancelled run leaves a resumable checkpoint. Transport \
+     retries and backoffs cap their own waits by the remaining budget."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+
+let memory_budget_arg =
+  let doc =
+    "Memory budget for the query, in MiB of major heap (sampled from GC statistics at \
+     every cancellation check). An over-budget query is cancelled exactly like an \
+     expired deadline (exit 5)."
+  in
+  Arg.(value & opt (some float) None & info [ "memory-budget" ] ~docv:"MIB" ~doc)
+
+let fault_arg =
+  let doc =
+    "Deterministic in-process fault injection in the batch engine (the compute-side \
+     sibling of --chaos). $(docv) is comma-separated $(b,raise:ITEM), \
+     $(b,hang:ITEM:SECS), or $(b,alloc:ITEM:MIB), with ITEM a global batch-item index \
+     — e.g. $(b,raise:12) makes item 12 raise (exit 6, supervision error), \
+     $(b,hang:12:30) hangs it (the heartbeat supervisor detects it after \
+     --hang-timeout), $(b,alloc:12:256) allocates 256 MiB against --memory-budget. \
+     Implies supervised execution."
+  in
+  Arg.(value & opt (some string) None & info [ "fault" ] ~docv:"SPEC" ~doc)
+
+let hang_timeout_arg =
+  let doc =
+    "Supervision hang timeout, seconds: a pool worker silent this long while holding a \
+     batch item is declared hung, the batch fails typed (exit 6), and the engine falls \
+     back to sequential execution for the rest of the process."
+  in
+  Arg.(value & opt float 10. & info [ "hang-timeout" ] ~docv:"SECONDS" ~doc)
+
 let checkpoint_dir_arg =
   let doc =
     "Write a durable protocol-state checkpoint into $(docv) at every phase/operator \
@@ -254,7 +292,8 @@ let make_checkpoint query checkpoint_dir resume =
   | dir, _ -> Ok (Option.map (fun dir -> Checkpoint.sink ~dir ()) dir)
 
 let run_cmd query scale sf seed backend domains transport chaos chaos_seed checkpoint_dir
-    resume verify trace trace_out metrics metrics_out progress progress_out =
+    resume deadline memory_budget fault hang_timeout verify trace trace_out metrics
+    metrics_out progress progress_out =
   match make_transport transport chaos chaos_seed with
   | Error msg ->
       Fmt.epr "transport error: %s@." msg;
@@ -265,12 +304,36 @@ let run_cmd query scale sf seed backend domains transport chaos chaos_seed check
       Fmt.epr "checkpoint error: %s@." msg;
       2
   | Ok ck ->
+  match
+    (match fault with
+    | None -> Ok None
+    | Some s -> Result.map Option.some (Fault_inject.parse_spec s))
+  with
+  | Error msg ->
+      Fmt.epr "fault error: %s@." msg;
+      2
+  | Ok fault_spec ->
   let sf = resolve_sf scale sf in
   let d = Secyan_tpch.Datagen.generate ~sf ~seed in
   Fmt.pr "dataset: sf=%g (%d total rows)@." sf (Secyan_tpch.Datagen.total_rows d);
+  (* The robustness layer: a cancel token carrying the deadline/memory
+     budget, and pool supervision whenever any of the fault-tolerance
+     flags is in play (supervision changes no result, only how failures
+     surface). *)
+  let cancel =
+    match (deadline, memory_budget) with
+    | None, None -> Deadline.never ()
+    | timeout_s, memory_budget_mb -> Deadline.create ?timeout_s ?memory_budget_mb ()
+  in
+  let supervisor =
+    if fault_spec <> None || deadline <> None || memory_budget <> None then
+      Some { Domain_pool.default_supervisor with hang_timeout_s = hang_timeout }
+    else None
+  in
+  Option.iter Fault_inject.arm fault_spec;
   let ctx =
     Secyan_tpch.Queries.context ~gc_backend:backend ~domains ?transport:tr ?checkpoint:ck
-      ~seed ()
+      ~cancel ?supervisor ~seed ()
   in
   if metrics <> None then Secyan_obs.Metrics.set_enabled true;
   (* Attach the per-phase GC sampler and the live progress reporter
@@ -335,12 +398,25 @@ let run_cmd query scale sf seed backend domains transport chaos chaos_seed check
     end
   in
   let finish code =
+    (match fault_spec with
+    | None -> ()
+    | Some _ ->
+        List.iter
+          (fun (item, f) ->
+            Fmt.pr "fault fired: %s at item %d@." (Fault_inject.fault_to_string f) item)
+          (Fault_inject.fired ());
+        Fault_inject.disarm ());
     print_transport_stats tr;
     print_checkpoint_stats ck;
     export_metrics ();
     Context.close_transport ctx;
     Context.shutdown_pool ctx;
     code
+  in
+  let checkpoint_hint () =
+    match checkpoint_dir with
+    | Some dir -> Fmt.epr "resumable checkpoint in %s (rerun with --resume)@." dir
+    | None -> ()
   in
   (try
   (match query with
@@ -398,7 +474,26 @@ let run_cmd query scale sf seed backend domains transport chaos chaos_seed check
       "checkpoint failure: session-resume handshake mismatch (alice %s epoch %d, bob %s \
        epoch %d)@."
       alice_session alice_epoch bob_session bob_epoch;
-    finish 4)
+    finish 4
+  | Deadline.Cancelled { reason; where } ->
+    (* The query was cancelled cooperatively — deadline, memory budget,
+       or explicit — with state intact and, when checkpointing, a
+       resumable snapshot of everything completed. *)
+    Fmt.epr "query cancelled at %s: %s@." where (Deadline.reason_to_string reason);
+    checkpoint_hint ();
+    finish 5
+  | Gc_protocol.Supervision_error { phase; item; cause } ->
+    (* A supervised batch failed typed: the batch is quiescent, arenas
+       were reset, and the engine degrades to sequential execution if
+       the pool was poisoned — never a hang, never corrupted state. *)
+    Fmt.epr "supervision failure in %s (item %d): %s@." phase item
+      (Gc_protocol.supervision_cause_to_string cause);
+    checkpoint_hint ();
+    finish 6
+  | Domain_pool.Pool_shutdown { unclaimed } ->
+    Fmt.epr "supervision failure: pool shut down mid-batch (%d items unclaimed)@."
+      unclaimed;
+    finish 6)
 
 (* --- plan ---------------------------------------------------------- *)
 
@@ -629,7 +724,8 @@ let run_t =
   Cmd.v (Cmd.info "run" ~doc:"Run a query through the secure Yannakakis protocol")
     Term.(const run_cmd $ query_arg $ scale_arg $ sf_arg $ seed_arg $ backend_arg
           $ domains_arg $ transport_arg $ chaos_arg $ chaos_seed_arg $ checkpoint_dir_arg
-          $ resume_arg $ verify_arg $ trace_arg $ trace_out_arg $ metrics_arg
+          $ resume_arg $ deadline_arg $ memory_budget_arg $ fault_arg $ hang_timeout_arg
+          $ verify_arg $ trace_arg $ trace_out_arg $ metrics_arg
           $ metrics_out_arg $ progress_arg $ progress_out_arg)
 
 let plan_t =

@@ -53,6 +53,7 @@ let run_shared ?(resume = false) ctx (q : Query.t) : result =
   if resume && Option.is_none ctx.Context.checkpoint then
     invalid_arg
       "Secure_yannakakis.run_shared: ~resume:true without a checkpoint sink on the context";
+  Context.check_cancel ctx;
   let join, seconds, tally =
     Trace.measure ctx @@ fun () ->
     let semiring = q.Query.semiring in
@@ -156,12 +157,16 @@ let run_shared ?(resume = false) ctx (q : Query.t) : result =
         (* [idx] numbers operators across both phases, so a snapshot's
            [done_ops] names one point in the phase-ordered plan. *)
         let idx = ref 0 in
+        (* Operator-boundary cancellation: the check runs after the
+           previous operator's [save], so a query cancelled here always
+           leaves a resumable checkpoint of everything it completed. *)
         let exec_from phase_ops =
           List.iter
             (fun op ->
               let i = !idx in
               incr idx;
               if i >= skip_ops then begin
+                Context.check_cancel ctx;
                 exec op;
                 save ~label:(op_label op) ~done_ops:(i + 1)
               end)
@@ -169,6 +174,7 @@ let run_shared ?(resume = false) ctx (q : Query.t) : result =
         in
         Trace.with_span ctx "phase:reduce" (fun () -> exec_from reduce_ops);
         Trace.with_span ctx "phase:semijoin" (fun () -> exec_from semijoin_ops);
+        Context.check_cancel ctx;
         let final_rels = List.map get !remaining in
         let join =
           Trace.with_span ctx "phase:join" (fun () ->
@@ -191,6 +197,9 @@ let run_shared ?(resume = false) ctx (q : Query.t) : result =
     designated receiver): the standard top-level entry point. *)
 let run ?resume ctx (q : Query.t) : Relation.t * result =
   let r = run_shared ?resume ctx q in
+  (* Phase boundary: the shared result's checkpoint is saved, so a
+     cancellation here resumes directly into the reveal. *)
+  Context.check_cancel ctx;
   let revealed, seconds, tally =
     Trace.measure ctx @@ fun () ->
     Trace.with_span ctx "reveal" @@ fun () ->

@@ -44,6 +44,18 @@ type t = {
           context state. Owned by {!Gc_protocol.map_batch}; reseeded and
           reset per batch, so nothing here carries state between
           batches. *)
+  mutable cancel : Deadline.t;
+      (** the query's cancel token (deadline / memory budget / explicit),
+          checked at phase boundaries, batch-item claims, and transport
+          waits; defaults to an unconstrained {!Deadline.never} *)
+  mutable supervisor : Domain_pool.supervisor option;
+      (** when set, batch entry points run under pool supervision
+          (heartbeats, fail-fast, hang detection) instead of plain
+          barriers *)
+  mutable current_label : string;
+      (** the innermost span name ([with_span] maintains it even when no
+          tracer is attached) — names the protocol phase in [Cancelled]
+          and [Supervision_error] *)
 }
 
 (** Bump a typed primitive counter: always added to the context's running
@@ -79,9 +91,11 @@ let wire_of transport =
     ignore (Secyan_net.Resilient.transfer transport ~dir payload : Bytes.t)
 
 let create ?(bits = 32) ?(kappa = 128) ?(sigma = 40) ?(gc_backend = Sim)
-    ?(gc_kdf = Garbling.Aes128_kdf) ?(domains = 1) ?transport ?checkpoint ~seed () =
+    ?(gc_kdf = Garbling.Aes128_kdf) ?(domains = 1) ?transport ?checkpoint
+    ?cancel ?supervisor ~seed () =
   let domains = max 1 domains in
   let master = Prg.create seed in
+  let cancel = match cancel with Some c -> c | None -> Deadline.never () in
   let t =
     {
       comm = Comm.create ();
@@ -100,11 +114,15 @@ let create ?(bits = 32) ?(kappa = 128) ?(sigma = 40) ?(gc_backend = Sim)
       transport;
       checkpoint;
       batch_ctxs = [||];
+      cancel;
+      supervisor;
+      current_label = "init";
     }
   in
   (match transport with
   | None -> ()
   | Some tr ->
+      Secyan_net.Resilient.set_cancel tr (Some cancel);
       Comm.set_wire t.comm (Some (wire_of tr));
       (* Resilience events surface as typed counters of whatever sink is
          attached when they fire (the closure reads [t.sink] per event,
@@ -140,21 +158,46 @@ let set_sink t sink = t.sink <- sink
 
 let traced t = t.sink != Trace_sink.noop
 
+(** Replace the context's cancel token (e.g. per query on a long-lived
+    context) and re-point the attached transport at it. *)
+let set_cancel t cancel =
+  t.cancel <- cancel;
+  match t.transport with
+  | None -> ()
+  | Some tr -> Secyan_net.Resilient.set_cancel tr (Some cancel)
+
+(** Poll the cancel token and raise [Deadline.Cancelled] naming the
+    current protocol phase if it has fired. The phase-boundary check. *)
+let check_cancel t = Deadline.check ~where:t.current_label t.cancel
+
 (** Run [f] inside a span named [name] of the attached tracer; when no
-    tracer is attached this is just [f ()]. The span is closed even when
-    [f] raises. The sink never draws randomness, so tracing cannot perturb
-    the protocol transcript. *)
+    tracer is attached this is just [f ()] plus phase-label maintenance
+    (so cancellation errors can always name their phase). The span is
+    closed, and the label restored, even when [f] raises. The sink never
+    draws randomness, so tracing cannot perturb the protocol
+    transcript. *)
 let with_span t name f =
+  let prev = t.current_label in
+  t.current_label <- name;
   let sink = t.sink in
-  if sink == Trace_sink.noop then f ()
+  if sink == Trace_sink.noop then (
+    match f () with
+    | r ->
+        t.current_label <- prev;
+        r
+    | exception e ->
+        t.current_label <- prev;
+        raise e)
   else begin
     sink.Trace_sink.enter name;
     match f () with
     | r ->
         sink.Trace_sink.exit ();
+        t.current_label <- prev;
         r
     | exception e ->
         sink.Trace_sink.exit ();
+        t.current_label <- prev;
         raise e
   end
 

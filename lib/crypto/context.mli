@@ -35,6 +35,17 @@ type t = {
   mutable batch_ctxs : t array;
       (** the batch engine's per-item context cache ([[||]] until the
           first batch); owned and recycled by [Gc_protocol.map_batch] *)
+  mutable cancel : Deadline.t;
+      (** the query's cancel token; checked at phase boundaries,
+          batch-item claims, and transport waits. Prefer {!set_cancel}
+          over assigning — it also re-points the transport. *)
+  mutable supervisor : Domain_pool.supervisor option;
+      (** when set, batch entry points run pool-supervised (heartbeats,
+          fail-fast, hang detection) and fail as
+          [Gc_protocol.Supervision_error] *)
+  mutable current_label : string;
+      (** innermost span name, maintained by {!with_span} even untraced;
+          names the phase in cancellation/supervision errors *)
 }
 
 (** Defaults match the paper's evaluation: bits = 32 annotation ring,
@@ -50,11 +61,19 @@ type t = {
     Tallies are bit-identical with and without a transport. [checkpoint]
     attaches a durable snapshot stream (see DESIGN.md §11): the query
     runtime emits a protocol-state checkpoint at every phase/operator
-    boundary through it. *)
+    boundary through it. [cancel] (default [Deadline.never ()]) is the
+    query's cancel token — a deadline or memory budget cancels, never
+    kills, and surfaces as [Deadline.Cancelled] at the next check;
+    attached transports cap their waits by its remaining budget.
+    [supervisor] turns on pool supervision for the batch entry points
+    (DESIGN.md §15). Neither affects results, communication, or rounds:
+    an unfired token and a supervised pool are observationally identical
+    to the defaults. *)
 val create :
   ?bits:int -> ?kappa:int -> ?sigma:int -> ?gc_backend:gc_backend ->
   ?gc_kdf:Garbling.kdf -> ?domains:int -> ?transport:Secyan_net.Resilient.t ->
-  ?checkpoint:Checkpoint.sink -> seed:int64 -> unit -> t
+  ?checkpoint:Checkpoint.sink -> ?cancel:Deadline.t ->
+  ?supervisor:Domain_pool.supervisor -> seed:int64 -> unit -> t
 
 (** The context's work pool (spawned on first use). *)
 val pool : t -> Domain_pool.t
@@ -80,6 +99,15 @@ val set_sink : t -> Trace_sink.t -> unit
 
 (** Whether a non-noop sink is attached. *)
 val traced : t -> bool
+
+(** Replace the cancel token (e.g. per query on a long-lived context)
+    and re-point the attached transport at it. *)
+val set_cancel : t -> Deadline.t -> unit
+
+(** Poll the cancel token; raise [Deadline.Cancelled] naming the current
+    protocol phase if it has fired. The phase-boundary check — cheap
+    enough to call per operator. *)
+val check_cancel : t -> unit
 
 (** Run [f] inside a span named [name] of the attached tracer; just
     [f ()] when untraced. The span closes even if [f] raises. *)

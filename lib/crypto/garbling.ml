@@ -151,6 +151,27 @@ module Arena = struct
   let prepare_eval a ~n_wires ~n_outputs =
     a.wires_e <- grown a.wires_e (16 * n_wires);
     a.colors <- grown a.colors (max 1 n_outputs)
+
+  let m_resets =
+    lazy
+      (Secyan_metrics.counter
+         ~help:"arena planes dropped after a faulted batch item"
+         "secyan_arena_resets_total")
+
+  (* Drop every plane back to empty. After an item raises mid-garble the
+     planes hold a half-written circuit; any [garbled] value aliasing
+     them is poison. Resetting forces the next item on this domain to
+     regrow fresh planes — dirty label material is never reused
+     (DESIGN.md §15 arena-reset rule). Costs one regrowth cycle, only
+     ever paid after a fault. *)
+  let reset a =
+    Secyan_metrics.add (Lazy.force m_resets) 1;
+    a.wires_g <- Bytes.create 0;
+    a.wires_e <- Bytes.create 0;
+    a.tables <- Bytes.create 0;
+    a.decode <- Bytes.create 0;
+    a.colors <- Bytes.create 0;
+    Bytes.fill a.scratch 0 (Bytes.length a.scratch) '\000'
 end
 
 type garbled = {

@@ -59,6 +59,13 @@ module Arena : sig
 
   (** The calling domain's arena, created on first use. *)
   val current : unit -> t
+
+  (** Drop all planes back to empty (they regrow on next use) and zero
+      the scratch. Called on the claiming domain after a batch item
+      raises: the planes may hold a half-written circuit and any value
+      aliasing them is poison — dirty label material is never reused
+      (DESIGN.md §15). *)
+  val reset : t -> unit
 end
 
 type garbled = {

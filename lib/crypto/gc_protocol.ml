@@ -222,6 +222,38 @@ let m_item_major_words =
        ~help:"major-heap words allocated per GC batch item, promotions included"
        "secyan_gc_item_major_words")
 
+(* --- batch supervision ------------------------------------------------ *)
+
+type supervision_cause =
+  | Batch_item_raised of { message : string }
+  | Batch_worker_hung of { slot : int; silent_s : float }
+  | Batch_shutdown of { unclaimed : int }
+
+let supervision_cause_to_string = function
+  | Batch_item_raised { message } -> Printf.sprintf "item raised: %s" message
+  | Batch_worker_hung { slot; silent_s } ->
+      Printf.sprintf "worker %d hung (silent %.1fs); pool poisoned, domain abandoned"
+        slot silent_s
+  | Batch_shutdown { unclaimed } ->
+      Printf.sprintf "pool shut down mid-batch (%d items unclaimed)" unclaimed
+
+exception
+  Supervision_error of { phase : string; item : int; cause : supervision_cause }
+
+let () =
+  Printexc.register_printer (function
+    | Supervision_error { phase; item; cause } ->
+        Some
+          (Printf.sprintf "Supervision_error { phase = %S; item = %d; %s }" phase
+             item (supervision_cause_to_string cause))
+    | _ -> None)
+
+let m_supervision_failures =
+  lazy
+    (Secyan_metrics.counter
+       ~help:"supervised GC batches failed (item fault, hang, or shutdown)"
+       "secyan_supervision_failures_total")
+
 (* The per-item contexts of a batch over [ctx]: the expensive allocated
    state of each slot — the private channel, the three PRGs, the counter
    array, any nested batch cache — is recycled across batches through
@@ -282,26 +314,97 @@ let prepare_item_ctxs ctx n : Context.t array =
 let map_batch ctx ~n (f : Context.t -> int -> 'a) : 'a array =
   if n = 0 then [||]
   else begin
+    (* Phase-boundary check: a batch never starts under a fired token. *)
+    Context.check_cancel ctx;
     let metrics_on = Secyan_metrics.enabled () in
     let t_start = if metrics_on then Unix.gettimeofday () else 0. in
     let item_ctxs = prepare_item_ctxs ctx n in
+    (* Global item ids for deterministic fault injection: batches are
+       submitted sequentially, so [base + i] identifies this item across
+       runs of the same query. Constant 0 while disarmed. *)
+    let fault_base = Fault_inject.batch_base n in
     let run_item i =
-      if metrics_on then begin
-        let minor0 = Gc.minor_words () in
-        let major0 = (Gc.quick_stat ()).Gc.major_words in
-        let r = f item_ctxs.(i) i in
-        let minor1 = Gc.minor_words () in
-        Secyan_metrics.observe (Lazy.force m_item_minor_words) (minor1 -. minor0);
-        Secyan_metrics.observe (Lazy.force m_item_major_words)
-          ((Gc.quick_stat ()).Gc.major_words -. major0);
-        r
-      end
-      else f item_ctxs.(i) i
+      try
+        Fault_inject.fire (fault_base + i);
+        if metrics_on then begin
+          let minor0 = Gc.minor_words () in
+          let major0 = (Gc.quick_stat ()).Gc.major_words in
+          let r = f item_ctxs.(i) i in
+          let minor1 = Gc.minor_words () in
+          Secyan_metrics.observe (Lazy.force m_item_minor_words) (minor1 -. minor0);
+          Secyan_metrics.observe (Lazy.force m_item_major_words)
+            ((Gc.quick_stat ()).Gc.major_words -. major0);
+          r
+        end
+        else f item_ctxs.(i) i
+      with e ->
+        (* The claiming domain's arena may hold a half-written circuit;
+           reset it so no later item garbles over dirty label material
+           (DESIGN.md §15). *)
+        Garbling.Arena.reset (Garbling.Arena.current ());
+        raise e
     in
-    let results = Array.make n (run_item 0) in
-    if n > 1 then
-      Domain_pool.run (Context.pool ctx) ~n:(n - 1)
-        ~f:(fun i -> results.(i + 1) <- run_item (i + 1));
+    let results =
+      match ctx.Context.supervisor with
+      | None ->
+          (* Plain path: item 0 runs on the caller — its result seeds the
+             array, so no per-item [Option] box — and the rest fan out
+             over the pool, which polls the cancel token per claim. *)
+          let results = Array.make n (run_item 0) in
+          if n > 1 then
+            Domain_pool.run ~cancel:ctx.Context.cancel (Context.pool ctx)
+              ~n:(n - 1)
+              ~f:(fun i -> results.(i + 1) <- run_item (i + 1));
+          results
+      | Some supervisor ->
+          (* Supervised path: the caller watches heartbeats instead of
+             claiming items, the first fault abort-fails the batch, and
+             every fault surfaces as the typed {!Supervision_error}
+             naming the protocol phase. Results live in a fresh [Option]
+             array (not the recycled cache), so a straggler's late write
+             after an abort can never corrupt a later batch's results. *)
+          let slots = Array.make n None in
+          (try
+             Domain_pool.run_supervised ~cancel:ctx.Context.cancel ~supervisor
+               (Context.pool ctx) ~n
+               ~f:(fun i -> slots.(i) <- Some (run_item i))
+           with
+          | Domain_pool.Pool_failure fault -> (
+              Secyan_metrics.add (Lazy.force m_supervision_failures) 1;
+              let phase = ctx.Context.current_label in
+              match fault with
+              | Domain_pool.Item_raised { item; exn } -> (
+                  match exn with
+                  | Deadline.Cancelled _ ->
+                      (* cancellation is not a supervision failure *)
+                      raise exn
+                  | _ ->
+                      raise
+                        (Supervision_error
+                           { phase; item = fault_base + item;
+                             cause = Batch_item_raised
+                                 { message = Printexc.to_string exn } }))
+              | Domain_pool.Worker_hung { slot; item; silent_s } ->
+                  (* The hung worker may eventually resume and write into
+                     its recycled per-item context; drop the whole cache
+                     so no later batch can reuse state it might touch.
+                     The pool itself is already poisoned (sequential from
+                     here on). *)
+                  ctx.Context.batch_ctxs <- [||];
+                  raise
+                    (Supervision_error
+                       { phase; item = fault_base + item;
+                         cause = Batch_worker_hung { slot; silent_s } }))
+          | Domain_pool.Pool_shutdown { unclaimed } ->
+              Secyan_metrics.add (Lazy.force m_supervision_failures) 1;
+              raise
+                (Supervision_error
+                   { phase = ctx.Context.current_label; item = -1;
+                     cause = Batch_shutdown { unclaimed } }));
+          Array.map
+            (function Some r -> r | None -> assert false (* barrier: all ran *))
+            slots
+    in
     let a_bits = ref 0 and b_bits = ref 0 and rounds = ref 0 in
     for i = 0 to n - 1 do
       let ictx = item_ctxs.(i) in

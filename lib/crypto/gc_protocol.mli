@@ -16,6 +16,29 @@ type input =
       (** an arithmetically shared ring element; the circuit sees its
           reconstruction (an adder front-end is prepended) *)
 
+(** Why a supervised batch failed (DESIGN.md §15). *)
+type supervision_cause =
+  | Batch_item_raised of { message : string }
+      (** an item raised; the batch was abort-failed fail-fast *)
+  | Batch_worker_hung of { slot : int; silent_s : float }
+      (** a pool worker went silent mid-item; the pool is poisoned (later
+          batches run sequentially) and the recycled per-item context
+          cache was dropped so the abandoned worker can corrupt nothing *)
+  | Batch_shutdown of { unclaimed : int }
+      (** the pool was shut down mid-batch *)
+
+val supervision_cause_to_string : supervision_cause -> string
+
+(** A supervised batch failed. [phase] is the protocol span the batch ran
+    under (e.g. ["gc:shares"]); [item] the faulting global batch item
+    ([-1] when no single item is at fault). Raised only when the owning
+    context has a supervisor attached; cancellation raises
+    [Deadline.Cancelled] instead, never this. The context stays usable:
+    a subsequent query on it runs correctly (sequentially, if the pool
+    was poisoned). *)
+exception
+  Supervision_error of { phase : string; item : int; cause : supervision_cause }
+
 (** Evaluate the same circuit over a batch of same-shaped input lists;
     every output word of every item becomes a fresh arithmetic share. *)
 val eval_to_shares_batch :

@@ -93,7 +93,10 @@ type stats = {
 type t = {
   raw : Transport.raw;
   config : config;
-  prg : Rng.t;  (* jitter only; never touches protocol randomness *)
+  jitter_seed : int64;  (* jitter only; never touches protocol randomness *)
+  mutable cancel : Secyan_deadline.t option;
+      (* the owning query's cancel token: transfers poll it per attempt
+         and cap their waits by its remaining budget *)
   send_seq : int64 array;  (* next seq per direction, index 0 = a->b *)
   expect_seq : int64 array;  (* next undelivered seq per direction *)
   mutable listener : (event -> unit) option;
@@ -113,7 +116,8 @@ let create ?(config = default_config) ?(seed = 1L) raw =
   {
     raw;
     config;
-    prg = Rng.create seed;
+    jitter_seed = seed;
+    cancel = None;
     send_seq = [| 0L; 0L |];
     expect_seq = [| 0L; 0L |];
     listener = None;
@@ -125,6 +129,7 @@ let create ?(config = default_config) ?(seed = 1L) raw =
   }
 
 let set_listener t l = t.listener <- l
+let set_cancel t c = t.cancel <- c
 
 let event t ev =
   (match ev with
@@ -147,11 +152,41 @@ let kind t = t.raw.Transport.kind
 
 let close t = t.raw.Transport.close ()
 
-let backoff t attempt =
+(* Stateless per-attempt jitter. Early versions drew jitter from a
+   shared stream, which re-seeded identically on every attempt within a
+   send — retry storms across transfers stayed in lockstep. Hashing
+   (seed, seq, attempt) instead gives every attempt of every transfer
+   its own fraction, reproducible from the seed alone (the determinism
+   test pins this) while desynchronizing concurrent retriers. *)
+let splitmix64 x =
+  let x = Int64.add x 0x9E3779B97F4A7C15L in
+  let x = Int64.mul (Int64.logxor x (Int64.shift_right_logical x 30)) 0xBF58476D1CE4E5B9L in
+  let x = Int64.mul (Int64.logxor x (Int64.shift_right_logical x 27)) 0x94D049BB133111EBL in
+  Int64.logxor x (Int64.shift_right_logical x 31)
+
+let jitter_frac ~seed ~seq ~attempt =
+  let h =
+    splitmix64
+      (Int64.logxor seed
+         (splitmix64 (Int64.logxor seq (splitmix64 (Int64.of_int attempt)))))
+  in
+  (* top 53 bits -> [0, 1) exactly representable in a float *)
+  Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.
+
+(* Remaining wall-clock budget of the owning query, [infinity] when the
+   transfer is not under a constrained token. *)
+let remaining_budget_s t =
+  match t.cancel with
+  | Some c when Secyan_deadline.constrained c -> Secyan_deadline.remaining_s c
+  | _ -> infinity
+
+let backoff t ~seq attempt =
   let b = t.config.backoff_base *. (2. ** float_of_int (attempt - 1)) in
   let b = Float.min b t.config.backoff_max in
-  let j = t.config.jitter *. b *. (float_of_int (Rng.below t.prg 1024) /. 1024.) in
-  t.config.sleep (b +. j)
+  let j = t.config.jitter *. b *. jitter_frac ~seed:t.jitter_seed ~seq ~attempt in
+  (* Never sleep past the query deadline: a backoff that outlives the
+     budget only delays the typed cancellation. *)
+  t.config.sleep (Float.min (b +. j) (Float.max 0. (remaining_budget_s t)))
 
 (* One receive attempt: pop frames until the expected sequence number
    arrives or [deadline] passes. Stale sequence numbers are duplicates of
@@ -224,13 +259,26 @@ let transfer t ~dir payload =
            (Transport.direction_name dir) t.raw.Transport.kind)
         (n - 1)
     else begin
+      (* Cooperative cancellation: poll the owning query's token before
+         every attempt, so a transfer under an expired deadline (or an
+         over-budget query) unwinds as [Cancelled] instead of burning the
+         rest of its retry budget against a peer that may be fine. *)
+      (match t.cancel with
+      | Some c -> Secyan_deadline.check ~where:"net:transfer" c
+      | None -> ());
       if n > 1 then begin
         event t Retry;
-        backoff t (n - 1)
+        backoff t ~seq (n - 1)
       end;
       match
         t.raw.Transport.send_frame dir frame;
-        recv_attempt t dir ~deadline:(Unix.gettimeofday () +. t.config.timeout)
+        (* The attempt's receive wait respects the query's remaining
+           budget, not just its own clock: with 10 s left, a 30 s
+           [config.timeout] waits at most 10 s. *)
+        recv_attempt t dir
+          ~deadline:
+            (Unix.gettimeofday ()
+            +. Float.min t.config.timeout (remaining_budget_s t))
       with
       | `Delivered payload ->
           if Secyan_metrics.enabled () then begin

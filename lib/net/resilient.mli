@@ -65,6 +65,20 @@ val create : ?config:config -> ?seed:int64 -> Transport.raw -> t
     (the tracing layer maps them onto typed counters). *)
 val set_listener : t -> (event -> unit) option -> unit
 
+(** Attach (or detach) the owning query's cancel token. With a token
+    attached, every {!transfer} polls it before each attempt (raising
+    [Secyan_deadline.Cancelled] when fired) and caps its per-attempt
+    receive waits and backoff sleeps by the token's remaining wall-clock
+    budget — a retry loop never outlives the query deadline. *)
+val set_cancel : t -> Secyan_deadline.t option -> unit
+
+(** The deterministic per-attempt jitter fraction in [0, 1), a pure hash
+    of (seed, sequence number, attempt). Exposed so tests can pin that
+    backoff jitter is reproducible from the transport seed alone yet
+    distinct across attempts and transfers (desynchronized retry
+    storms). *)
+val jitter_frac : seed:int64 -> seq:int64 -> attempt:int -> float
+
 (** Move one logical message in [dir] and return the received payload.
     @raise Transport_error after the retry budget is exhausted or on
     disconnect. *)

@@ -77,6 +77,19 @@ type rule =
 
 let int_identity_fields = [ "domains"; "items"; "reps"; "cores"; "pool" ]
 
+(* Supervision/cancellation counters (DESIGN.md §15): how often the
+   robustness layer fired — retry storms hitting a deadline, hang
+   detections, sequential fallbacks, arena resets. Timing-dependent by
+   nature (a loaded runner cancels more), so machine-absolute: gated
+   only under [~strict:true], like wall-clock. *)
+let supervision_counter name =
+  contains_sub name "supervision" || contains_sub name "cancellation"
+  || contains_sub name "hangs" || contains_sub name "poisoned"
+  || contains_sub name "sequential_fallback"
+  || contains_sub name "arena_reset"
+  || contains_sub name "deadline_expired"
+  || contains_sub name "over_budget"
+
 let classify name (v : Json.t) =
   match v with
   | Json.Str _ -> Skip
@@ -84,7 +97,8 @@ let classify name (v : Json.t) =
   | Json.Null | Json.List _ | Json.Obj _ -> Skip
   | Json.Int _ ->
       if List.mem name int_identity_fields then Skip
-      else if name = "wakeups" || name = "batches" then Machine Two_sided
+      else if name = "wakeups" || name = "batches" || supervision_counter name then
+        Machine Two_sided
       else Exact
   | Json.Float _ ->
       if
@@ -92,6 +106,7 @@ let classify name (v : Json.t) =
         || ends_with ~suffix:"_ns" name || name = "seconds"
         || starts_with ~prefix:"ns_per_" name
       then Machine Lower_better
+      else if supervision_counter name then Machine Two_sided
       else if ends_with ~suffix:"_per_s" name then Machine Higher_better
       else if contains_sub name "_words" then Machine Lower_better
       else if contains_sub name "alloc_reduction" then Machine Higher_better

@@ -21,8 +21,10 @@ let ring_bits = 52
 
 let semiring = Semiring.ring ~bits:ring_bits
 
-let context ?(gc_backend = Context.Sim) ?(domains = 1) ?transport ?checkpoint ~seed () =
-  Context.create ~bits:ring_bits ~gc_backend ~domains ?transport ?checkpoint ~seed ()
+let context ?(gc_backend = Context.Sim) ?(domains = 1) ?transport ?checkpoint ?cancel
+    ?supervisor ~seed () =
+  Context.create ~bits:ring_bits ~gc_backend ~domains ?transport ?checkpoint ?cancel
+    ?supervisor ~seed ()
 
 (* --- relation shaping helpers ------------------------------------- *)
 

@@ -162,16 +162,30 @@ let project_content output (r : Secyan_relational.Relation.t) =
   |> List.sort compare
 
 (* protocol counters with the per-process checkpoint accounting masked
-   out: those legitimately differ between a plain and a resumed run *)
-let protocol_counters ctx =
+   out: those legitimately differ between a plain and a resumed run.
+   [mask_transport] additionally masks the transport-chatter counters
+   (retries, timeouts, corrupt frames) for runs resumed over a faulty
+   channel — retransmissions are below the protocol's accounting, so
+   everything else must still match exactly. *)
+let protocol_counters ?(mask_transport = false) ctx =
   let c = Secyan_crypto.Context.counter_totals ctx in
   c.(Trace_sink.counter_index Trace_sink.Checkpoints_written) <- 0;
   c.(Trace_sink.counter_index Trace_sink.Checkpoint_bytes) <- 0;
+  if mask_transport then begin
+    c.(Trace_sink.counter_index Trace_sink.Retries) <- 0;
+    c.(Trace_sink.counter_index Trace_sink.Timeouts) <- 0;
+    c.(Trace_sink.counter_index Trace_sink.Frames_corrupted) <- 0
+  end;
   Array.to_list c
 
-let kill_and_resume make () =
+(* [resume_chaos] (a Chaos spec string) wraps the RESUME leg's channel in
+   recoverable faults: a run killed by a disconnect must resume correctly
+   even when the replacement channel is itself unreliable (PR 3 chaos
+   composed with PR 4 resume). *)
+let kill_and_resume ?(resume_chaos = "") make () =
   let d = xs () in
   let q = make d in
+  let mask_transport = resume_chaos <> "" in
   (* 1. uninterrupted reference over a plain channel; its transfer count
      tells us where a late crash lands *)
   let clean_tr = Resilient.create (Transport.inproc ()) in
@@ -179,7 +193,7 @@ let kill_and_resume make () =
   let (clean_rel, clean_stats), clean_counters =
     Fun.protect ~finally:(fun () -> close clean_ctx) @@ fun () ->
     let r = Secyan.Secure_yannakakis.run clean_ctx q in
-    (r, protocol_counters clean_ctx)
+    (r, protocol_counters ~mask_transport clean_ctx)
   in
   let transfers = (Resilient.stats clean_tr).Resilient.transfers in
   let dir = tmpdir () in
@@ -198,7 +212,17 @@ let kill_and_resume make () =
        Alcotest.(check string) "killed typed" "closed" (Resilient.error_kind_name kind));
   Alcotest.(check bool) "crash left snapshots behind" true (crash_sink.Checkpoint.written > 0);
   (* 3. resume on a fresh channel and compare every observable *)
-  let resume_tr = Resilient.create (Transport.inproc ()) in
+  let resume_raw =
+    if resume_chaos = "" then Transport.inproc ()
+    else
+      let spec =
+        match Chaos.parse_spec resume_chaos with
+        | Ok s -> s
+        | Error e -> Alcotest.failf "bad resume chaos spec %S: %s" resume_chaos e
+      in
+      fst (Chaos.wrap ~seed:11L ~spec (Transport.inproc ()))
+  in
+  let resume_tr = Resilient.create ~seed:11L resume_raw in
   let resume_sink = Checkpoint.sink ~dir () in
   let resume_ctx =
     Queries.context ~transport:resume_tr ~checkpoint:resume_sink ~seed:99L ()
@@ -217,6 +241,67 @@ let kill_and_resume make () =
   Alcotest.(check int) "rounds identical"
     clean_stats.Secyan.Secure_yannakakis.tally.Comm.rounds
     resumed_stats.Secyan.Secure_yannakakis.tally.Comm.rounds;
+  Alcotest.(check (list int)) "protocol counters identical" clean_counters
+    (protocol_counters ~mask_transport resume_ctx);
+  if mask_transport then
+    (* the chaotic channel must actually have been exercised *)
+    Alcotest.(check bool) "resume leg really retried" true
+      ((Resilient.stats resume_tr).Resilient.retries >= 1)
+
+(* Cancellation always leaves a resumable checkpoint (DESIGN.md §15):
+   phase-boundary cancel checks run after the previous operator's save,
+   so a run cancelled mid-protocol — here by a watcher domain firing the
+   token once snapshots exist — resumes into a run whose result, tally,
+   rounds, and protocol counters are bit-identical to an uninterrupted
+   one. *)
+let cancel_and_resume make () =
+  let d = xs () in
+  let q = make d in
+  let clean_ctx = Queries.context ~seed:99L () in
+  let (clean_rel, clean_stats), clean_counters =
+    Fun.protect ~finally:(fun () -> close clean_ctx) @@ fun () ->
+    let r = Secyan.Secure_yannakakis.run clean_ctx q in
+    (r, protocol_counters clean_ctx)
+  in
+  let dir = tmpdir () in
+  Fun.protect ~finally:(fun () -> rm_rf_flat dir) @@ fun () ->
+  let tok = Secyan_crypto.Deadline.never () in
+  let sink = Checkpoint.sink ~dir () in
+  let watcher =
+    Domain.spawn (fun () ->
+        let t0 = Unix.gettimeofday () in
+        while
+          sink.Checkpoint.written < 2
+          && Secyan_crypto.Deadline.cancelled tok = None
+          && Unix.gettimeofday () -. t0 < 60.0
+        do
+          Unix.sleepf 0.0002
+        done;
+        ignore (Secyan_crypto.Deadline.cancel tok (Secyan_crypto.Deadline.User "test")))
+  in
+  let cancel_ctx = Queries.context ~checkpoint:sink ~cancel:tok ~seed:99L () in
+  (Fun.protect ~finally:(fun () -> close cancel_ctx) @@ fun () ->
+   match Secyan.Secure_yannakakis.run cancel_ctx q with
+   | _ -> Alcotest.fail "the fired token must interrupt the run"
+   | exception
+       Secyan_crypto.Deadline.Cancelled
+         { reason = Secyan_crypto.Deadline.User _; where } ->
+       Alcotest.(check bool) "cancellation names its site" true (where <> ""));
+  Domain.join watcher;
+  Alcotest.(check bool) "cancel left snapshots behind" true (sink.Checkpoint.written >= 2);
+  let resume_sink = Checkpoint.sink ~dir () in
+  let resume_ctx = Queries.context ~checkpoint:resume_sink ~seed:99L () in
+  Fun.protect ~finally:(fun () -> close resume_ctx) @@ fun () ->
+  let resumed_rel, resumed_stats = Secyan.Secure_yannakakis.run ~resume:true resume_ctx q in
+  Alcotest.(check bool) "really resumed mid-stream" true
+    (Option.is_some resume_sink.Checkpoint.resumed_from);
+  Alcotest.(check (list (pair string int64)))
+    "revealed result identical"
+    (project_content q.Secyan.Query.output clean_rel)
+    (project_content q.Secyan.Query.output resumed_rel);
+  Alcotest.(check bool) "comm tally bit-identical" true
+    (Comm.equal clean_stats.Secyan.Secure_yannakakis.tally
+       resumed_stats.Secyan.Secure_yannakakis.tally);
   Alcotest.(check (list int)) "protocol counters identical" clean_counters
     (protocol_counters resume_ctx)
 
@@ -282,5 +367,17 @@ let () =
             (kill_and_resume (Queries.q18 ?threshold:None));
           Alcotest.test_case "wrong query rejected" `Slow test_resume_wrong_query_rejected;
           Alcotest.test_case "corrupted rejected" `Slow test_resume_corrupted_rejected;
+        ] );
+      ( "resume-under-chaos",
+        [
+          Alcotest.test_case "q3 resumed over drop chaos" `Slow
+            (kill_and_resume ~resume_chaos:"drop:3" Queries.q3);
+          Alcotest.test_case "q10 resumed over delay+dup chaos" `Slow
+            (kill_and_resume ~resume_chaos:"delay:2,duplicate:2" Queries.q10);
+          Alcotest.test_case "q18 resumed over drop chaos" `Slow
+            (kill_and_resume ~resume_chaos:"drop:3" (Queries.q18 ?threshold:None));
+          Alcotest.test_case "q3 cancel-then-resume" `Slow (cancel_and_resume Queries.q3);
+          Alcotest.test_case "q18 cancel-then-resume" `Slow
+            (cancel_and_resume (Queries.q18 ?threshold:None));
         ] );
     ]

@@ -230,6 +230,37 @@ let test_events_reach_listener () =
   Alcotest.(check int) "timeout events" s.Resilient.timeouts !timeouts;
   Alcotest.(check int) "dedup events" s.Resilient.duplicates_dropped !dups
 
+(* ------------------------------------------------------------------ *)
+(* Retry jitter determinism (DESIGN.md §15)                           *)
+
+(* Replay the exact same fault schedule twice and record every backoff
+   sleep: the jitter is a pure hash of (seed, seq, attempt), so the two
+   sleep sequences must be bit-identical — and a different transport
+   seed must desynchronize them (no lock-step retry storms). *)
+let record_backoffs ~seed =
+  let sleeps = ref [] in
+  let config =
+    { Resilient.default_config with Resilient.sleep = (fun s -> sleeps := s :: !sleeps) }
+  in
+  let spec =
+    match Chaos.parse_spec "drop:3" with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "bad spec: %s" e
+  in
+  let faulty, _ = Chaos.wrap ~seed:5L ~spec (Transport.inproc ()) in
+  let t = Resilient.create ~config ~seed faulty in
+  Fun.protect ~finally:(fun () -> Resilient.close t) @@ fun () ->
+  pump t 20;
+  List.rev !sleeps
+
+let test_backoff_jitter_reproducible () =
+  let a = record_backoffs ~seed:7L in
+  Alcotest.(check bool) "retries actually backed off" true (a <> []);
+  Alcotest.(check (list (float 0.))) "same seed: sleeps bit-identical" a
+    (record_backoffs ~seed:7L);
+  Alcotest.(check bool) "different seed: sleeps desynchronized" true
+    (a <> record_backoffs ~seed:8L)
+
 let test_bad_config_rejected () =
   Alcotest.(check bool) "max_attempts 0 rejected" true
     (match
@@ -298,6 +329,19 @@ let prop_chaos_deterministic =
     (fun (seed, raw_spec) ->
       let spec = List.map (fun (f, n) -> (fault_of_int f, n)) raw_spec in
       chaos_trace ~seed ~spec = chaos_trace ~seed ~spec)
+
+(* The per-attempt jitter fraction is a pure function of the transport
+   seed, the transfer's sequence number, and the attempt index — and it
+   varies across attempts, so concurrent retry loops don't resonate. *)
+let prop_jitter_pure_and_bounded =
+  QCheck.Test.make ~count:300 ~name:"retry jitter: pure in (seed, seq, attempt), in [0,1)"
+    QCheck.(triple int64 int64 (int_range 1 8))
+    (fun (seed, seq, attempt) ->
+      let j = Resilient.jitter_frac ~seed ~seq ~attempt in
+      j = Resilient.jitter_frac ~seed ~seq ~attempt
+      && j >= 0. && j < 1.
+      && Resilient.jitter_frac ~seed ~seq ~attempt:(attempt + 1) <> j
+      && Resilient.jitter_frac ~seed ~seq:(Int64.add seq 1L) ~attempt <> j)
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
@@ -380,6 +424,40 @@ let with_watchdog ~seconds name f =
   ignore
     (Unix.setitimer Unix.ITIMER_REAL { Unix.it_interval = 0.0; Unix.it_value = seconds });
   Fun.protect ~finally:disarm f
+
+(* A peer that stalls forever: sends vanish, receives block until the
+   per-attempt deadline. With a cancel token attached, the retry loop
+   must be bounded by the token's remaining budget — not by the (here
+   deliberately huge) retry budget. *)
+let test_stall_bounded_by_deadline () =
+  with_watchdog ~seconds:30.0 "stall-vs-deadline" @@ fun () ->
+  let module Deadline = Secyan_crypto.Deadline in
+  let raw = Transport.inproc () in
+  let stalled =
+    {
+      raw with
+      Transport.send_frame = (fun _ _ -> ());
+      Transport.recv_frame =
+        (fun _ ~deadline ->
+          let now = Unix.gettimeofday () in
+          if deadline > now then Unix.sleepf (deadline -. now);
+          None);
+      Transport.kind = "stalled";
+    }
+  in
+  let config =
+    { Resilient.default_config with Resilient.max_attempts = 1000; Resilient.sleep = Unix.sleepf }
+  in
+  let t = Resilient.create ~config ~seed:7L stalled in
+  Fun.protect ~finally:(fun () -> Resilient.close t) @@ fun () ->
+  Resilient.set_cancel t (Some (Deadline.create ~timeout_s:0.3 ()));
+  let t0 = Unix.gettimeofday () in
+  (match Resilient.transfer t ~dir:Transport.Alice_to_bob (Bytes.of_string "x") with
+  | _ -> Alcotest.fail "a stalled peer cannot deliver"
+  | exception Deadline.Cancelled { where; _ } ->
+      Alcotest.(check string) "cancelled at the transfer site" "net:transfer" where);
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "bounded by the deadline, not the retry budget" true (elapsed < 5.0)
 
 type outcome = Correct | Failed of Resilient.error_kind
 
@@ -503,11 +581,20 @@ let () =
             test_corrupt_burst_exhausts_budget;
           Alcotest.test_case "disconnect fails closed" `Quick test_disconnect_fails_closed;
           Alcotest.test_case "events reach listener" `Quick test_events_reach_listener;
+          Alcotest.test_case "backoff jitter reproducible" `Quick
+            test_backoff_jitter_reproducible;
           Alcotest.test_case "bad config rejected" `Quick test_bad_config_rejected;
+          Alcotest.test_case "peer stall bounded by deadline" `Quick
+            test_stall_bounded_by_deadline;
         ] );
       ( "properties",
         qsuite
-          [ prop_frame_roundtrip; prop_frame_bitflip_detected; prop_chaos_deterministic ] );
+          [
+            prop_frame_roundtrip;
+            prop_frame_bitflip_detected;
+            prop_chaos_deterministic;
+            prop_jitter_pure_and_bounded;
+          ] );
       ( "accounting",
         [
           Alcotest.test_case "tally sim = transport" `Slow
