@@ -119,6 +119,18 @@ let chaos_seed_arg =
   let doc = "Seed for the chaos schedule layout (burst positions, corrupted bit choices)." in
   Arg.(value & opt int64 1L & info [ "chaos-seed" ] ~docv:"N" ~doc)
 
+let malicious_arg =
+  let doc =
+    "Deterministic Byzantine-peer simulation on the transport (requires --transport \
+     pipe or tcp). $(docv) is a comma-separated schedule of $(b,kind:i) mutations with \
+     kind one of truncate, extend, retag, replay, reorder, splice, length-lie, applied \
+     at global message index i — e.g. $(b,retag:3,length-lie:12). Unlike --chaos, each \
+     mutation is re-encoded with a valid CRC, so it reaches the typed envelope and the \
+     protocol state machine; a rejected run exits 7 with a typed protocol violation. \
+     Mutation randomness is derived from --chaos-seed."
+  in
+  Arg.(value & opt (some string) None & info [ "malicious" ] ~docv:"SPEC" ~doc)
+
 let deadline_arg =
   let doc =
     "Wall-clock budget for the whole query, in seconds. An expired deadline cancels \
@@ -177,11 +189,12 @@ let resume_arg =
 (* Build the resilient channel requested on the command line ([None] for
    the pure simulation). Distinct from the protocol seed on purpose:
    faults must be reproducible independently of the data. *)
-let make_transport transport chaos chaos_seed =
-  match (transport, chaos) with
-  | `Sim, None -> Ok None
-  | `Sim, Some _ -> Error "--chaos requires --transport pipe or tcp"
-  | (`Pipe | `Tcp), _ -> (
+let make_transport transport chaos chaos_seed malicious =
+  match (transport, chaos, malicious) with
+  | `Sim, None, None -> Ok None
+  | `Sim, Some _, _ -> Error "--chaos requires --transport pipe or tcp"
+  | `Sim, None, Some _ -> Error "--malicious requires --transport pipe or tcp"
+  | (`Pipe | `Tcp), _, _ -> (
       let raw =
         match transport with
         | `Pipe -> Secyan_net.Transport.inproc ()
@@ -193,14 +206,32 @@ let make_transport transport chaos chaos_seed =
         | `Tcp -> { Secyan_net.Resilient.default_config with sleep = Unix.sleepf }
         | _ -> Secyan_net.Resilient.default_config
       in
-      match chaos with
-      | None -> Ok (Some (Secyan_net.Resilient.create ~config ~seed:chaos_seed raw))
-      | Some spec_string -> (
-          match Secyan_net.Chaos.parse_spec spec_string with
-          | Error e -> Error e
-          | Ok spec ->
-              let raw, _injected = Secyan_net.Chaos.wrap ~seed:chaos_seed ~spec raw in
-              Ok (Some (Secyan_net.Resilient.create ~config ~seed:chaos_seed raw))))
+      (* The malicious wrapper sits closest to the raw channel (its
+         mutations are semantically-wrong-but-CRC-valid frames); the
+         chaos wrapper's line faults layer above it. *)
+      let with_malicious raw =
+        match malicious with
+        | None -> Ok raw
+        | Some spec_string -> (
+            match Secyan_fuzz.Wire_mutator.parse_spec spec_string with
+            | Error e -> Error e
+            | Ok spec ->
+                let raw, _injected =
+                  Secyan_fuzz.Wire_mutator.wrap ~seed:chaos_seed ~spec raw
+                in
+                Ok raw)
+      in
+      match with_malicious raw with
+      | Error e -> Error e
+      | Ok raw -> (
+          match chaos with
+          | None -> Ok (Some (Secyan_net.Resilient.create ~config ~seed:chaos_seed raw))
+          | Some spec_string -> (
+              match Secyan_net.Chaos.parse_spec spec_string with
+              | Error e -> Error e
+              | Ok spec ->
+                  let raw, _injected = Secyan_net.Chaos.wrap ~seed:chaos_seed ~spec raw in
+                  Ok (Some (Secyan_net.Resilient.create ~config ~seed:chaos_seed raw)))))
 
 let print_checkpoint_stats = function
   | None -> ()
@@ -291,10 +322,10 @@ let make_checkpoint query checkpoint_dir resume =
          are compositions of several protocol runs"
   | dir, _ -> Ok (Option.map (fun dir -> Checkpoint.sink ~dir ()) dir)
 
-let run_cmd query scale sf seed backend domains transport chaos chaos_seed checkpoint_dir
-    resume deadline memory_budget fault hang_timeout verify trace trace_out metrics
-    metrics_out progress progress_out =
-  match make_transport transport chaos chaos_seed with
+let run_cmd query scale sf seed backend domains transport chaos chaos_seed malicious
+    checkpoint_dir resume deadline memory_budget fault hang_timeout verify trace trace_out
+    metrics metrics_out progress progress_out =
+  match make_transport transport chaos chaos_seed malicious with
   | Error msg ->
       Fmt.epr "transport error: %s@." msg;
       2
@@ -468,13 +499,23 @@ let run_cmd query scale sf seed backend domains transport chaos chaos_seed check
     Fmt.epr "checkpoint failure: %s in %s (%s)@." (Checkpoint.error_kind_name kind) path
       detail;
     finish 4
-  | Secyan_net.Resilient.Resume_mismatch { alice_session; alice_epoch; bob_session; bob_epoch }
-    ->
+  | Secyan_net.Resilient.Resume_mismatch
+      { alice_session; alice_epoch; alice_version; bob_session; bob_epoch; bob_version } ->
     Fmt.epr
-      "checkpoint failure: session-resume handshake mismatch (alice %s epoch %d, bob %s \
-       epoch %d)@."
-      alice_session alice_epoch bob_session bob_epoch;
+      "checkpoint failure: session-resume handshake mismatch (alice %s epoch %d v%d, bob %s \
+       epoch %d v%d)@."
+      alice_session alice_epoch alice_version bob_session bob_epoch bob_version;
     finish 4
+  | Protocol_schema.Protocol_violation { phase; expected; got; offset } ->
+    (* The peer sent traffic the protocol state machine forbids in the
+       current phase. The run stops typed — never a hang, never a wrong
+       answer accepted — with a resumable checkpoint behind it. *)
+    Fmt.epr
+      "protocol violation: in phase %s expected %s but got %s (offset %d); peer is \
+       misbehaving or incompatible@."
+      phase expected got offset;
+    checkpoint_hint ();
+    finish 7
   | Deadline.Cancelled { reason; where } ->
     (* The query was cancelled cooperatively — deadline, memory budget,
        or explicit — with state intact and, when checkpointing, a
@@ -718,15 +759,90 @@ let fuzz_cmd seed cases audit out replay =
             1
       end
 
+(* --- peer-fuzz ------------------------------------------------------ *)
+
+let peer_fuzz_cases_arg =
+  let doc = "Number of adversarial peer cases to run." in
+  Arg.(value & opt int 200 & info [ "cases" ] ~docv:"N" ~doc)
+
+let peer_fuzz_deadline_arg =
+  let doc =
+    "Per-case deadline in seconds; a mutated run still alive past it counts as a hang \
+     and fails the campaign."
+  in
+  Arg.(value & opt float 10. & info [ "case-deadline" ] ~docv:"SECONDS" ~doc)
+
+let peer_fuzz_resume_arg =
+  let doc =
+    "Verify checkpoint-resume bit-identity on every $(docv)-th violation-producing case \
+     (0 disables)."
+  in
+  Arg.(value & opt int 25 & info [ "resume-every" ] ~docv:"N" ~doc)
+
+let peer_fuzz_out_arg =
+  let doc =
+    "Write failing cases (seed, case, mutation spec) to $(docv), replayable with \
+     $(b,run --malicious)."
+  in
+  Arg.(value & opt string "peer-fuzz-failures.txt" & info [ "out" ] ~docv:"FILE" ~doc)
+
+let print_peer_failure (f : Secyan_fuzz.Peer_oracle.case_report) =
+  Fmt.epr "case %d: %s (spec %s, injected %s)@.  %s@." f.Secyan_fuzz.Peer_oracle.case
+    (Secyan_fuzz.Peer_oracle.outcome_name f.Secyan_fuzz.Peer_oracle.outcome)
+    (if f.Secyan_fuzz.Peer_oracle.spec = "" then "-" else f.Secyan_fuzz.Peer_oracle.spec)
+    (if f.Secyan_fuzz.Peer_oracle.injected = "" then "-"
+     else f.Secyan_fuzz.Peer_oracle.injected)
+    f.Secyan_fuzz.Peer_oracle.detail
+
+let save_peer_failures out seed (failures : Secyan_fuzz.Peer_oracle.case_report list) =
+  let oc = open_out out in
+  output_string oc "# secyan peer-fuzz failing cases: seed case spec outcome detail\n";
+  List.iter
+    (fun (f : Secyan_fuzz.Peer_oracle.case_report) ->
+      Printf.fprintf oc "%Ld %d %s %s %s\n" seed f.Secyan_fuzz.Peer_oracle.case
+        (if f.Secyan_fuzz.Peer_oracle.spec = "" then "-" else f.Secyan_fuzz.Peer_oracle.spec)
+        (Secyan_fuzz.Peer_oracle.outcome_name f.Secyan_fuzz.Peer_oracle.outcome)
+        f.Secyan_fuzz.Peer_oracle.detail)
+    failures;
+  close_out oc
+
+let peer_fuzz_cmd seed cases deadline_s resume_every out =
+  if cases <= 0 then begin
+    Fmt.epr "--cases must be positive@.";
+    2
+  end
+  else begin
+    let stats =
+      Secyan_fuzz.Peer_oracle.campaign ~deadline_s ~resume_every ~seed ~cases ()
+    in
+    Fmt.pr
+      "peer-fuzz: %d cases in %.1f s (%.1f cases/s): %d correct, %d protocol \
+       violations, %d transport faults, %d resume bit-identity checks, %d failures@."
+      stats.Secyan_fuzz.Peer_oracle.cases stats.Secyan_fuzz.Peer_oracle.seconds
+      (float_of_int stats.Secyan_fuzz.Peer_oracle.cases
+      /. Float.max 1e-9 stats.Secyan_fuzz.Peer_oracle.seconds)
+      stats.Secyan_fuzz.Peer_oracle.correct stats.Secyan_fuzz.Peer_oracle.violations
+      stats.Secyan_fuzz.Peer_oracle.transport_faults
+      stats.Secyan_fuzz.Peer_oracle.resumes_checked
+      (List.length stats.Secyan_fuzz.Peer_oracle.failures);
+    match stats.Secyan_fuzz.Peer_oracle.failures with
+    | [] -> 0
+    | failures ->
+        List.iter print_peer_failure failures;
+        save_peer_failures out seed failures;
+        Fmt.epr "failing cases written to %s@." out;
+        1
+  end
+
 (* --- command wiring ------------------------------------------------- *)
 
 let run_t =
   Cmd.v (Cmd.info "run" ~doc:"Run a query through the secure Yannakakis protocol")
     Term.(const run_cmd $ query_arg $ scale_arg $ sf_arg $ seed_arg $ backend_arg
-          $ domains_arg $ transport_arg $ chaos_arg $ chaos_seed_arg $ checkpoint_dir_arg
-          $ resume_arg $ deadline_arg $ memory_budget_arg $ fault_arg $ hang_timeout_arg
-          $ verify_arg $ trace_arg $ trace_out_arg $ metrics_arg
-          $ metrics_out_arg $ progress_arg $ progress_out_arg)
+          $ domains_arg $ transport_arg $ chaos_arg $ chaos_seed_arg $ malicious_arg
+          $ checkpoint_dir_arg $ resume_arg $ deadline_arg $ memory_budget_arg
+          $ fault_arg $ hang_timeout_arg $ verify_arg $ trace_arg $ trace_out_arg
+          $ metrics_arg $ metrics_out_arg $ progress_arg $ progress_out_arg)
 
 let plan_t =
   Cmd.v (Cmd.info "plan" ~doc:"Show a query's join tree and protocol plan")
@@ -755,7 +871,24 @@ let fuzz_t =
     Term.(const fuzz_cmd $ seed_arg $ fuzz_cases_arg $ fuzz_audit_arg $ fuzz_out_arg
           $ fuzz_replay_arg)
 
+let peer_fuzz_t =
+  Cmd.v
+    (Cmd.info "peer-fuzz"
+       ~doc:
+         "Adversarial peer fuzzing: replay honest transcripts under seeded Byzantine \
+          wire mutations (truncations, retags, replays, cross-phase splices, length \
+          lies) and hold the honest party to the hardening invariant — terminate within \
+          its deadline and memory budget with either the correct output or a typed \
+          protocol violation, never a crash, hang, or silently accepted wrong answer; \
+          a sampled subset of violations additionally verifies checkpoint-resume \
+          bit-identity")
+    Term.(const peer_fuzz_cmd $ seed_arg $ peer_fuzz_cases_arg $ peer_fuzz_deadline_arg
+          $ peer_fuzz_resume_arg $ peer_fuzz_out_arg)
+
 let () =
   let doc = "secure Yannakakis: join-aggregate queries over private data" in
   let info = Cmd.info "secyan_cli" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ run_t; plan_t; estimate_t; generate_t; sql_t; fuzz_t ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ run_t; plan_t; estimate_t; generate_t; sql_t; fuzz_t; peer_fuzz_t ]))

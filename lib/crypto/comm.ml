@@ -31,11 +31,16 @@ type t = {
      first and from the declared bit count alone, so accounting stays
      bit-identical whether or not bytes actually cross a wire. *)
   mutable wire : (from:Party.t -> bits:int -> unit) option;
+  (* The protocol state machine guarding the wire, attached alongside it:
+     every [send] consults it before the wire fires, so traffic the
+     receive path would reject as out-of-phase is caught at the source as
+     a typed [Protocol_schema.Protocol_violation]. *)
+  mutable schema : Protocol_schema.t option;
 }
 
 let create () =
   { alice_to_bob = 0; bob_to_alice = 0; rounds = 0;
-    send_listener = None; rounds_listener = None; wire = None }
+    send_listener = None; rounds_listener = None; wire = None; schema = None }
 
 (** Subscribe to (with [Some f]) or unsubscribe from (with [None]) every
     subsequent [send] event. At most one listener at a time — subscribing
@@ -71,6 +76,13 @@ let set_wire t wire =
   | _ -> ());
   t.wire <- wire
 
+(** Attach (or with [None] detach) the protocol state machine consulted
+    before each wired send; attached together with the wire by
+    [Context.create]. *)
+let set_schema t schema = t.schema <- schema
+
+let schema t = t.schema
+
 let send t ~from ~bits =
   if bits < 0 then
     invalid_arg (Printf.sprintf "Comm.send: bit count %d is negative (expected >= 0)" bits);
@@ -78,7 +90,15 @@ let send t ~from ~bits =
   | Alice -> t.alice_to_bob <- t.alice_to_bob + bits
   | Bob -> t.bob_to_alice <- t.bob_to_alice + bits);
   (match t.send_listener with None -> () | Some f -> f ~from ~bits);
-  match t.wire with None -> () | Some f -> f ~from ~bits
+  match t.wire with
+  | None -> ()
+  | Some f ->
+      (* Consult the state machine before any payload crosses the wire:
+         what is this message, and may it be sent in the current phase? *)
+      (match t.schema with
+      | None -> ()
+      | Some s -> ignore (Protocol_schema.check_send s ~bits : Secyan_net.Envelope.kind));
+      f ~from ~bits
 
 (** Declare [n] additional communication rounds. Primitive protocols bump
     this by their (constant) round count. *)

@@ -50,6 +50,18 @@ val on_rounds : t -> (int -> unit) option -> unit
     @raise Invalid_argument if a wire is already attached. *)
 val set_wire : t -> (from:Party.t -> bits:int -> unit) option -> unit
 
+(** Attach (or with [None] detach) the protocol state machine consulted
+    by {!send} before each wired send: the outgoing message's kind is
+    derived from the current protocol span and checked against the
+    machine's legality table, so out-of-phase traffic is caught at the
+    source as a typed [Protocol_schema.Protocol_violation]. No-op for
+    unwired (pure accounting) channels. Attached together with the wire
+    by [Context.create]. *)
+val set_schema : t -> Protocol_schema.t option -> unit
+
+(** The attached state machine, if any. *)
+val schema : t -> Protocol_schema.t option
+
 val tally : t -> tally
 
 (** Zero the counters in place (listeners and wire stay attached and do

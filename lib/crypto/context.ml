@@ -56,6 +56,11 @@ type t = {
       (** the innermost span name ([with_span] maintains it even when no
           tracer is attached) — names the protocol phase in [Cancelled]
           and [Supervision_error] *)
+  schema : Protocol_schema.t option;
+      (** the protocol state machine guarding the attached transport
+          ([None] without one): [with_span] drives its phase tracking,
+          [Comm.send] consults it pre-send, and the wire validates every
+          received payload against it *)
 }
 
 (** Bump a typed primitive counter: always added to the context's running
@@ -79,16 +84,38 @@ let bump_merged t counter n =
    filler — the protocol itself is simulated in-process, so only the
    transfer's size, framing, and fate (delivered / retried / failed) are
    meaningful — and the tally never depends on it, so accounted
-   communication stays bit-identical to the simulated path. *)
-let wire_of transport =
+   communication stays bit-identical to the simulated path.
+
+   Each payload travels inside a typed [Envelope] tagged with the message
+   kind the current protocol span implies, chunked at [Envelope.max_body]
+   so no single frame exceeds the receive-side acceptance cap. The
+   delivered payload is validated against the schema — version, kind,
+   declared and actual lengths, phase legality — so a Byzantine peer
+   mutating bitwise-intact frames surfaces as a typed
+   [Protocol_schema.Protocol_violation], not as silent acceptance. *)
+let wire_of ~schema transport =
   fun ~from ~bits ->
     let dir =
       match (from : Party.t) with
       | Alice -> Secyan_net.Transport.Alice_to_bob
       | Bob -> Secyan_net.Transport.Bob_to_alice
     in
-    let payload = Bytes.make ((bits + 7) / 8) '\xa5' in
-    ignore (Secyan_net.Resilient.transfer transport ~dir payload : Bytes.t)
+    match schema with
+    | None ->
+        let payload = Bytes.make ((bits + 7) / 8) '\xa5' in
+        ignore (Secyan_net.Resilient.transfer transport ~dir payload : Bytes.t)
+    | Some s ->
+        let kind = Protocol_schema.outgoing_kind s in
+        let total = (bits + 7) / 8 in
+        let max_body = Secyan_net.Envelope.max_body in
+        let chunks = max 1 ((total + max_body - 1) / max_body) in
+        for c = 0 to chunks - 1 do
+          let body_len = min max_body (total - (c * max_body)) in
+          let body = Bytes.make (max body_len 0) '\xa5' in
+          let msg = Secyan_net.Envelope.encode ~kind body in
+          let echoed = Secyan_net.Resilient.transfer transport ~dir msg in
+          Protocol_schema.validate s ~kind ~expect_body:(Bytes.length body) echoed
+        done
 
 let create ?(bits = 32) ?(kappa = 128) ?(sigma = 40) ?(gc_backend = Sim)
     ?(gc_kdf = Garbling.Aes128_kdf) ?(domains = 1) ?transport ?checkpoint
@@ -96,6 +123,9 @@ let create ?(bits = 32) ?(kappa = 128) ?(sigma = 40) ?(gc_backend = Sim)
   let domains = max 1 domains in
   let master = Prg.create seed in
   let cancel = match cancel with Some c -> c | None -> Deadline.never () in
+  let schema =
+    match transport with None -> None | Some _ -> Some (Protocol_schema.create ())
+  in
   let t =
     {
       comm = Comm.create ();
@@ -117,13 +147,15 @@ let create ?(bits = 32) ?(kappa = 128) ?(sigma = 40) ?(gc_backend = Sim)
       cancel;
       supervisor;
       current_label = "init";
+      schema;
     }
   in
   (match transport with
   | None -> ()
   | Some tr ->
       Secyan_net.Resilient.set_cancel tr (Some cancel);
-      Comm.set_wire t.comm (Some (wire_of tr));
+      Comm.set_wire t.comm (Some (wire_of ~schema tr));
+      Comm.set_schema t.comm schema;
       (* Resilience events surface as typed counters of whatever sink is
          attached when they fire (the closure reads [t.sink] per event,
          so tracers attached later still see them). *)
@@ -179,13 +211,21 @@ let check_cancel t = Deadline.check ~where:t.current_label t.cancel
 let with_span t name f =
   let prev = t.current_label in
   t.current_label <- name;
+  (* The protocol state machine tracks phases by the same span discipline
+     the label does — entered here, restored on every exit path below. *)
+  (match t.schema with None -> () | Some s -> Protocol_schema.enter s name);
+  let leave_schema () =
+    match t.schema with None -> () | Some s -> Protocol_schema.leave s
+  in
   let sink = t.sink in
   if sink == Trace_sink.noop then (
     match f () with
     | r ->
+        leave_schema ();
         t.current_label <- prev;
         r
     | exception e ->
+        leave_schema ();
         t.current_label <- prev;
         raise e)
   else begin
@@ -193,10 +233,12 @@ let with_span t name f =
     match f () with
     | r ->
         sink.Trace_sink.exit ();
+        leave_schema ();
         t.current_label <- prev;
         r
     | exception e ->
         sink.Trace_sink.exit ();
+        leave_schema ();
         t.current_label <- prev;
         raise e
   end

@@ -46,6 +46,13 @@ type t = {
   mutable current_label : string;
       (** innermost span name, maintained by {!with_span} even untraced;
           names the phase in cancellation/supervision errors *)
+  schema : Protocol_schema.t option;
+      (** the protocol state machine guarding the attached transport
+          ([None] without one): {!with_span} drives its phase tracking,
+          [Comm.send] consults it pre-send, and the wire validates every
+          received payload against it, raising the typed
+          [Protocol_schema.Protocol_violation] on out-of-schema peer
+          traffic *)
 }
 
 (** Defaults match the paper's evaluation: bits = 32 annotation ring,

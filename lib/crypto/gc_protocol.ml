@@ -284,15 +284,18 @@ let prepare_item_ctxs ctx n : Context.t array =
           { ctx with Context.comm = c.Context.comm;
             prg_alice = c.Context.prg_alice; prg_bob = c.Context.prg_bob;
             dealer = c.Context.dealer; sink = Trace_sink.noop;
-            counters = c.Context.counters; batch_ctxs = c.Context.batch_ctxs }
+            counters = c.Context.counters; batch_ctxs = c.Context.batch_ctxs;
+            schema = None }
         end
         else begin
           let prg_alice = Prg.split ctx.Context.prg_alice in
           let prg_bob = Prg.split ctx.Context.prg_bob in
           let dealer = Prg.split ctx.Context.dealer in
+          (* [schema = None]: item channels have no wire, and workers must
+             not touch the shared state machine from their own domains. *)
           { ctx with Context.comm = Comm.create (); prg_alice; prg_bob; dealer;
             sink = Trace_sink.noop; counters = Array.make Trace_sink.n_counters 0;
-            batch_ctxs = [||] }
+            batch_ctxs = [||]; schema = None }
         end)
   in
   (* Never shrink the cache: a smaller batch recycles a prefix and leaves

@@ -1,0 +1,53 @@
+(** Malicious-peer oracle: replay honest transcript shapes under seeded
+    structured wire mutations and hold the honest party to the
+    Byzantine-hardening invariant — terminate within its deadline and
+    bounded memory with either the correct output or a typed
+    [Protocol_violation] / [Transport_error]; never a crash, a hang, or
+    a silently accepted wrong answer. A sampled subset of violation
+    cases additionally verifies that an honest resume from the
+    checkpoint the violation left behind reproduces the reference
+    results and tally exactly. *)
+
+type outcome =
+  | Correct  (** mutation was harmless or recovered; output matches *)
+  | Violation  (** typed [Protocol_violation] *)
+  | Transport_fault  (** typed [Transport_error] / [Resume_mismatch] *)
+  | Deadline_hit  (** ran past its deadline or memory budget — a failure *)
+  | Wrong_answer  (** terminated with output differing from the reference *)
+  | Crash  (** untyped exception escape — a failure *)
+
+val outcome_name : outcome -> string
+
+type case_report = {
+  case : int;
+  spec : string;  (** scheduled mutations, replayable via [--malicious] *)
+  injected : string;  (** mutations that actually fired *)
+  outcome : outcome;
+  detail : string;
+  resume_checked : bool;  (** checkpoint-resume bit-identity verified *)
+  ok : bool;
+}
+
+type stats = {
+  cases : int;
+  correct : int;
+  violations : int;
+  transport_faults : int;
+  resumes_checked : int;
+  failures : case_report list;
+  seconds : float;
+}
+
+(** One case: honest reference run (measuring the transcript length),
+    then a mutated run under a fresh deadline/memory token, classified
+    against the invariant. [check_resume] additionally runs the
+    checkpoint-resume bit-identity verification when the mutation ends
+    in a violation. *)
+val run_case :
+  ?deadline_s:float -> ?check_resume:bool -> seed:int64 -> case:int -> unit -> case_report
+
+(** Run [cases] seeded cases; every [resume_every]-th case (0 disables)
+    runs with [check_resume]. [progress] is called after each case. *)
+val campaign :
+  ?deadline_s:float -> ?resume_every:int -> ?progress:(int -> unit) -> seed:int64 ->
+  cases:int -> unit -> stats

@@ -1,0 +1,267 @@
+(** Byzantine peer simulator: seeded structured mutations of frames in
+    flight, below the resilience layer.
+
+    Where {!Secyan_net.Chaos} injects {e random} line faults that CRC-32
+    catches (bit rot, drops, reordering races), this wrapper plays a {e
+    malicious} peer: it decodes each outgoing frame, mutates the typed
+    envelope or its body, and re-encodes the result with a valid CRC and
+    the original sequence number — so the damage sails through every
+    checksum and arrives bitwise-intact but semantically wrong, exactly
+    the traffic only the protocol state machine can reject.
+
+    Mutations are assigned by message index (a global counter of frames
+    pushed through the wrapper, retransmissions included). A spec entry
+    [kind:i] schedules mutation [kind] at index [i]; honest frames are
+    recorded as they pass, giving replay/splice their material. The
+    wrapper never invents traffic on its own clock — every mutation rides
+    an honest send — which keeps campaigns deterministic per
+    [(spec, seed)]. *)
+
+open Secyan_net
+
+type mutation =
+  | Truncate  (** shorten the body (consistently re-declared) *)
+  | Extend  (** append junk to the body (consistently re-declared) *)
+  | Retag  (** rewrite the envelope kind tag *)
+  | Replay  (** substitute a previously recorded payload, same direction *)
+  | Reorder  (** hold the frame back until the next send in its direction *)
+  | Splice  (** substitute a recorded payload of a *different* kind *)
+  | Length_lie
+      (** leave the body alone but lie in a length field — the envelope's
+          declared length (small lie or above-cap allocation bait), or
+          the frame's own length field with the CRC refreshed *)
+
+let all_mutations = [ Truncate; Extend; Retag; Replay; Reorder; Splice; Length_lie ]
+
+let mutation_name = function
+  | Truncate -> "truncate"
+  | Extend -> "extend"
+  | Retag -> "retag"
+  | Replay -> "replay"
+  | Reorder -> "reorder"
+  | Splice -> "splice"
+  | Length_lie -> "length-lie"
+
+let mutation_of_name = function
+  | "truncate" -> Some Truncate
+  | "extend" -> Some Extend
+  | "retag" -> Some Retag
+  | "replay" -> Some Replay
+  | "reorder" -> Some Reorder
+  | "splice" -> Some Splice
+  | "length-lie" | "lie" -> Some Length_lie
+  | _ -> None
+
+type spec = (mutation * int) list
+
+let spec_to_string spec =
+  String.concat "," (List.map (fun (m, i) -> Printf.sprintf "%s:%d" (mutation_name m) i) spec)
+
+let parse_spec s =
+  let entry e =
+    match String.index_opt e ':' with
+    | None -> Error (Printf.sprintf "Wire_mutator.parse_spec: %S is not of the form kind:index" e)
+    | Some i -> (
+        let kind = String.sub e 0 i
+        and index = String.sub e (i + 1) (String.length e - i - 1) in
+        match mutation_of_name kind with
+        | None ->
+            Error
+              (Printf.sprintf
+                 "Wire_mutator.parse_spec: unknown mutation %S (expected truncate, extend, \
+                  retag, replay, reorder, splice or length-lie)"
+                 kind)
+        | Some m -> (
+            match int_of_string_opt index with
+            | Some n when n >= 0 -> Ok (m, n)
+            | _ ->
+                Error
+                  (Printf.sprintf "Wire_mutator.parse_spec: index %S is not a non-negative \
+                                   integer" index)))
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | "" :: _ ->
+        Error
+          (Printf.sprintf
+             "Wire_mutator.parse_spec: empty entry in %S (expected kind:i[,kind:i...])" s)
+    | e :: rest -> ( match entry e with Ok x -> go (x :: acc) rest | Error _ as e -> e)
+  in
+  match String.trim s with "" -> Ok [] | trimmed -> go [] (String.split_on_char ',' trimmed)
+
+type t = {
+  schedule : (int, mutation) Hashtbl.t;
+  prg : Rng.t;
+  mutable idx : int;
+  (* honest payloads (post-frame-decode, i.e. envelope bytes) recorded
+     per direction as they pass — replay and splice material *)
+  recorded : (Transport.direction * Bytes.t) list ref;
+  held : (Transport.direction * Bytes.t) Queue.t;
+  mutable injected : (mutation * int) list;  (* realized (mutation, index) log *)
+}
+
+let record_injected t m =
+  t.injected <- (m, t.idx - 1) :: t.injected
+
+(* Handcraft an envelope whose declared length need not match the body —
+   the one thing [Envelope.encode] refuses to build. *)
+let raw_envelope ~kind ~declared body =
+  let n = Bytes.length body in
+  let b = Bytes.create (Envelope.header_len + n) in
+  Bytes.set b 0 (Char.chr Envelope.version);
+  Bytes.set b 1 (Char.chr (Envelope.kind_tag kind));
+  Bytes.set b 2 (Char.chr (declared land 0xFF));
+  Bytes.set b 3 (Char.chr ((declared lsr 8) land 0xFF));
+  Bytes.set b 4 (Char.chr ((declared lsr 16) land 0xFF));
+  Bytes.set b 5 (Char.chr ((declared lsr 24) land 0xFF));
+  Bytes.blit body 0 b Envelope.header_len n;
+  b
+
+(* Patch a complete frame's own length field to [lie] and refresh the CRC
+   so the header survives checksum scrutiny: stream receivers then wait
+   for (or refuse to buffer) bytes that never come. *)
+let frame_length_lie frame ~lie =
+  let b = Bytes.copy frame in
+  Bytes.set b 10 (Char.chr (lie land 0xFF));
+  Bytes.set b 11 (Char.chr ((lie lsr 8) land 0xFF));
+  Bytes.set b 12 (Char.chr ((lie lsr 16) land 0xFF));
+  Bytes.set b 13 (Char.chr ((lie lsr 24) land 0xFF));
+  (* CRC covers [2, len-4); keep it consistent with the lied header so
+     the rejection happens at the semantic layer, not the checksum. *)
+  let len = Bytes.length b in
+  let crc = Crc32.digest b ~pos:2 ~len:(len - 4 - 2) in
+  Bytes.set b (len - 4) (Char.chr (crc land 0xFF));
+  Bytes.set b (len - 3) (Char.chr ((crc lsr 8) land 0xFF));
+  Bytes.set b (len - 2) (Char.chr ((crc lsr 16) land 0xFF));
+  Bytes.set b (len - 1) (Char.chr ((crc lsr 24) land 0xFF));
+  b
+
+let other_kind t kind =
+  let others = List.filter (fun k -> k <> kind) Envelope.all_kinds in
+  List.nth others (Rng.below t.prg (List.length others))
+
+(* Re-envelope [body] as [kind], lying raw when the body exceeds the new
+   kind's cap (a retag to [Hello] usually does) — the receiver must
+   reject that over-cap declaration before allocating, so it is exactly
+   the traffic we want on the wire, not an exception in the mutator. *)
+let encode_as kind body =
+  if Bytes.length body > Envelope.kind_cap kind then
+    raw_envelope ~kind ~declared:(Bytes.length body) body
+  else Envelope.encode ~kind body
+
+(* Mutate one envelope payload; [None] means "substitute nothing, handle
+   at the frame layer" (length lies against the frame header). *)
+let mutate_payload t mutation ~dir payload =
+  match Envelope.decode payload with
+  | Error _ ->
+      (* Not enveloped traffic (shouldn't happen under a transported
+         context); garble the kind byte if there is one. *)
+      if Bytes.length payload > 1 then begin
+        let b = Bytes.copy payload in
+        Bytes.set b 1 (Char.chr (0xEE land 0xFF));
+        Some b
+      end
+      else Some (Bytes.make 1 '\xEE')
+  | Ok (kind, body) -> (
+      let n = Bytes.length body in
+      match mutation with
+      | Truncate ->
+          if n = 0 then
+            (* nothing to shave from the body; truncate the header itself *)
+            Some (Bytes.sub payload 0 (Envelope.header_len - 1))
+          else
+            let n' = Rng.below t.prg n in
+            Some (Envelope.encode ~kind (Bytes.sub body 0 n'))
+      | Extend ->
+          let extra = 1 + Rng.below t.prg 16 in
+          let body' = Bytes.extend body 0 extra in
+          Bytes.fill body' n extra '\xEE';
+          (* an extension may push past the kind cap; lie raw if so *)
+          if Bytes.length body' > Envelope.kind_cap kind then
+            Some (raw_envelope ~kind ~declared:(Bytes.length body') body')
+          else Some (Envelope.encode ~kind body')
+      | Retag -> Some (encode_as (other_kind t kind) body)
+      | Replay -> (
+          match List.filter (fun (d, _) -> d = dir) !(t.recorded) with
+          | [] -> Some (encode_as (other_kind t kind) body)
+          | xs -> Some (Bytes.copy (snd (List.nth xs (Rng.below t.prg (List.length xs))))))
+      | Splice -> (
+          let cross =
+            List.filter
+              (fun (d, p) ->
+                d = dir
+                && match Envelope.decode p with Ok (k, _) -> k <> kind | Error _ -> false)
+              !(t.recorded)
+          in
+          match cross with
+          | [] -> Some (encode_as (other_kind t kind) body)
+          | xs -> Some (Bytes.copy (snd (List.nth xs (Rng.below t.prg (List.length xs))))))
+      | Length_lie ->
+          (match Rng.below t.prg 3 with
+          | 0 ->
+              (* small lie: declared != actual *)
+              let lie = if n = 0 then 1 + Rng.below t.prg 64 else Rng.below t.prg n in
+              Some (raw_envelope ~kind ~declared:lie body)
+          | 1 ->
+              (* allocation bait: declare above the kind's hard cap *)
+              Some
+                (raw_envelope ~kind
+                   ~declared:(Envelope.kind_cap kind + 1 + Rng.below t.prg 1024)
+                   body)
+          | _ -> None (* lie in the frame header instead *))
+      | Reorder -> Some payload (* handled by the caller *))
+
+let wrap ?(seed = 1L) ~spec raw =
+  let t =
+    {
+      schedule = Hashtbl.create 16;
+      prg = Rng.create seed;
+      idx = 0;
+      recorded = ref [];
+      held = Queue.create ();
+      injected = [];
+    }
+  in
+  List.iter
+    (fun (m, i) -> if not (Hashtbl.mem t.schedule i) then Hashtbl.add t.schedule i m)
+    spec;
+  let release_held dir =
+    let rest = Queue.create () in
+    Queue.iter
+      (fun (d, frame) ->
+        if d = dir then raw.Transport.send_frame dir frame else Queue.push (d, frame) rest)
+      t.held;
+    Queue.clear t.held;
+    Queue.transfer rest t.held
+  in
+  let send_frame dir frame =
+    let i = t.idx in
+    t.idx <- i + 1;
+    release_held dir;
+    match Hashtbl.find_opt t.schedule i with
+    | None -> (
+        (* honest pass-through; record the envelope for replay/splice *)
+        (match Frame.decode frame with
+        | Ok (_, payload) -> t.recorded := (dir, payload) :: !(t.recorded)
+        | Error _ -> ());
+        raw.Transport.send_frame dir frame)
+    | Some Reorder ->
+        record_injected t Reorder;
+        Queue.push (dir, Bytes.copy frame) t.held
+    | Some mutation -> (
+        match Frame.decode frame with
+        | Error _ -> raw.Transport.send_frame dir frame
+        | Ok (seq, payload) -> (
+            match mutate_payload t mutation ~dir payload with
+            | Some payload' ->
+                record_injected t mutation;
+                raw.Transport.send_frame dir (Frame.encode ~seq payload')
+            | None ->
+                record_injected t mutation;
+                let lie = Bytes.length payload + 1 + Rng.below t.prg 4096 in
+                raw.Transport.send_frame dir (frame_length_lie frame ~lie)))
+  in
+  let recv_frame dir ~deadline = raw.Transport.recv_frame dir ~deadline in
+  ( { Transport.send_frame; recv_frame; close = raw.Transport.close;
+      kind = raw.Transport.kind ^ "+byzantine" },
+    fun () -> List.rev t.injected )

@@ -1,0 +1,40 @@
+(** Byzantine peer simulator: seeded structured mutations of frames in
+    flight, below the resilience layer. Unlike the chaos wrapper's random
+    line faults (which CRC-32 catches), every mutation here is re-encoded
+    with a valid CRC and the original sequence number, so it arrives
+    bitwise-intact but semantically wrong — traffic only the typed
+    envelope and the protocol state machine can reject. *)
+
+type mutation =
+  | Truncate  (** shorten the body (consistently re-declared) *)
+  | Extend  (** append junk to the body (consistently re-declared) *)
+  | Retag  (** rewrite the envelope kind tag *)
+  | Replay  (** substitute a previously recorded payload, same direction *)
+  | Reorder  (** hold the frame back until the next send in its direction *)
+  | Splice  (** substitute a recorded payload of a different kind *)
+  | Length_lie
+      (** lie in a length field: the envelope's declared length (small
+          lie or above-cap allocation bait) or the frame header's own
+          length with the CRC refreshed *)
+
+val all_mutations : mutation list
+val mutation_name : mutation -> string
+val mutation_of_name : string -> mutation option
+
+(** Mutations by message index (global counter of frames pushed through
+    the wrapper, retransmissions included). *)
+type spec = (mutation * int) list
+
+(** Parse ["kind:i[,kind:i...]"] (e.g. ["retag:3,replay:12"]); [""] is
+    the empty spec. *)
+val parse_spec : string -> (spec, string) result
+
+val spec_to_string : spec -> string
+
+(** Wrap a raw transport; returns the Byzantine transport and a thunk for
+    the realized [(mutation, index)] log. Honest frames passing through
+    are recorded as replay/splice material. Deterministic per
+    [(spec, seed)]. *)
+val wrap :
+  ?seed:int64 -> spec:spec -> Secyan_net.Transport.raw ->
+  Secyan_net.Transport.raw * (unit -> (mutation * int) list)

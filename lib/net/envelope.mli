@@ -1,0 +1,53 @@
+(** Typed message envelope inside each {!Frame} payload:
+    [version(1) | kind(1) | body length(4 LE) | body]. The trust boundary
+    for peer data — version, kind, and declared length are validated
+    before any body bytes are copied, so a lying length field is a typed
+    rejection, never an allocation. *)
+
+(** Message kinds, one per class of secure-Yannakakis traffic: the resume
+    handshake hello, secret-share distribution, the OT / OPRF / PSI / OEP
+    primitives, garbled-circuit material, result reveals, and generic
+    operator traffic. *)
+type kind = Hello | Share | Ot | Oprf | Psi | Oep | Gc | Reveal | Op
+
+val all_kinds : kind list
+val kind_name : kind -> string
+val kind_tag : kind -> int
+val kind_of_tag : int -> kind option
+
+(** Envelope format version written by {!encode} and required by
+    {!decode}. *)
+val version : int
+
+val header_len : int
+
+(** Hard cap on one envelope body (4 MiB). Larger logical messages are
+    chunked by the sender; a declared length above the cap is rejected
+    before allocation. *)
+val max_body : int
+
+(** Tighter cap for handshake hellos. *)
+val max_hello : int
+
+(** Per-kind body cap: {!max_hello} for [Hello], {!max_body} otherwise. *)
+val kind_cap : kind -> int
+
+type error =
+  | Bad_version of { got : int }
+  | Unknown_kind of { tag : int }
+  | Truncated of { have : int }  (** payload shorter than the 6-byte header *)
+  | Length_mismatch of { declared : int; actual : int }
+  | Oversized of { kind : kind; declared : int; limit : int }
+
+val error_to_string : error -> string
+
+(** @raise Invalid_argument when [body] exceeds the kind's cap. *)
+val encode : kind:kind -> Bytes.t -> Bytes.t
+
+(** Validate version, kind tag, and declared length from the first
+    {!header_len} bytes alone — the pre-allocation gate. *)
+val check_header : Bytes.t -> (kind * int, error) result
+
+(** Full decode: {!check_header} plus an exact declared/actual length
+    match; only then is the body copied out. *)
+val decode : Bytes.t -> (kind * Bytes.t, error) result

@@ -28,6 +28,23 @@ let overhead = header_len + trailer_len
     this is treated as corruption, not as an allocation request. *)
 let max_payload = 1 lsl 30
 
+(* Acceptance cap on *received* frames, enforced by [required] and
+   [decode] before any reassembly buffer grows to hold the body. The
+   format allows payloads up to [max_payload], but honest senders chunk
+   protocol messages at [Envelope.max_body] (4 MiB), so anything larger
+   on the receive path is a peer lying about sizes to drive an
+   allocation — the grow-path OOM vector. The cap leaves slack above the
+   envelope chunk for the envelope header and raw (non-enveloped)
+   transfers such as handshake hellos. *)
+let default_accept_limit = (1 lsl 22) + 256
+let accept_limit = ref default_accept_limit
+
+let set_accept_limit n =
+  if n < 1 || n > max_payload then
+    invalid_arg
+      (Printf.sprintf "Frame.set_accept_limit: %d outside [1, %d]" n max_payload);
+  accept_limit := n
+
 let set_u32 b pos v =
   Bytes.unsafe_set b pos (Char.unsafe_chr (v land 0xFF));
   Bytes.unsafe_set b (pos + 1) (Char.unsafe_chr ((v lsr 8) land 0xFF));
@@ -54,12 +71,13 @@ let encode ~seq payload =
   set_u32 b (header_len + n) (Crc32.digest b ~pos:2 ~len:(header_len - 2 + n));
   b
 
-type error = Bad_magic | Bad_length | Bad_crc
+type error = Bad_magic | Bad_length | Bad_crc | Oversized
 
 let error_to_string = function
   | Bad_magic -> "bad magic"
   | Bad_length -> "bad length"
   | Bad_crc -> "CRC mismatch"
+  | Oversized -> "declared payload above the acceptance cap"
 
 (** Total size of the frame starting at the head of [b] (header + payload
     + trailer), or [None] when fewer than [header_len] bytes are in view.
@@ -71,7 +89,9 @@ let required b ~pos ~len =
   else if Bytes.get b pos <> magic0 || Bytes.get b (pos + 1) <> magic1 then Error Bad_magic
   else
     let n = get_u32 b (pos + 10) in
-    if n < 0 || n > max_payload then Error Bad_length else Ok (Some (overhead + n))
+    if n < 0 || n > max_payload then Error Bad_length
+    else if n > !accept_limit then Error Oversized
+    else Ok (Some (overhead + n))
 
 let decode b =
   let len = Bytes.length b in
@@ -80,6 +100,7 @@ let decode b =
   else
     let n = get_u32 b 10 in
     if n < 0 || n > max_payload || len <> overhead + n then Error Bad_length
+    else if n > !accept_limit then Error Oversized
     else if get_u32 b (header_len + n) <> Crc32.digest b ~pos:2 ~len:(header_len - 2 + n) then
       Error Bad_crc
     else Ok (Bytes.get_int64_le b 2, Bytes.sub b header_len n)

@@ -10,10 +10,22 @@ val overhead : int
     corruption. *)
 val max_payload : int
 
+(** Acceptance cap on received frames (default [Envelope.max_body] plus
+    slack, i.e. ~4 MiB): {!required} and {!decode} reject a declared
+    payload length above it as [Oversized] {e before} any reassembly
+    buffer grows to hold the body. Honest senders chunk protocol messages
+    below the cap, so only a peer lying about sizes trips it. *)
+val default_accept_limit : int
+
+(** Adjust the acceptance cap (tests lower it; deployments may raise it
+    up to {!max_payload}).
+    @raise Invalid_argument outside [[1, max_payload]]. *)
+val set_accept_limit : int -> unit
+
 (** @raise Invalid_argument if the payload exceeds {!max_payload}. *)
 val encode : seq:int64 -> Bytes.t -> Bytes.t
 
-type error = Bad_magic | Bad_length | Bad_crc
+type error = Bad_magic | Bad_length | Bad_crc | Oversized
 
 val error_to_string : error -> string
 

@@ -51,18 +51,33 @@ exception
   Resume_mismatch of {
     alice_session : string;
     alice_epoch : int;
+    alice_version : int;
     bob_session : string;
     bob_epoch : int;
+    bob_version : int;
   }
 
 let () =
   Printexc.register_printer (function
-    | Resume_mismatch { alice_session; alice_epoch; bob_session; bob_epoch } ->
+    | Resume_mismatch { alice_session; alice_epoch; alice_version; bob_session; bob_epoch;
+                        bob_version } ->
         Some
           (Printf.sprintf
-             "Resume_mismatch { alice = (%S, epoch %d); bob = (%S, epoch %d) }"
-             alice_session alice_epoch bob_session bob_epoch)
+             "Resume_mismatch { alice = (%S, epoch %d, v%d); bob = (%S, epoch %d, v%d) }"
+             alice_session alice_epoch alice_version bob_session bob_epoch bob_version)
     | _ -> None)
+
+(* Frames rejected at the trust boundary (CRC-damaged, misframed,
+   oversized, or undecodable hellos) and handshake disagreements, for the
+   operator-facing metrics surface. Registered eagerly so the names
+   appear in every metrics snapshot, violated or not. *)
+let m_rejected_frames =
+  Secyan_metrics.counter ~help:"frames rejected at the receive trust boundary"
+    "secyan_rejected_frames_total"
+
+let m_handshake_mismatches =
+  Secyan_metrics.counter ~help:"resume handshakes rejected for session/epoch/version disagreement"
+    "secyan_handshake_mismatches_total"
 
 type event = Retry | Timeout_hit | Corrupt_frame | Duplicate_dropped
 
@@ -202,6 +217,7 @@ let recv_attempt t dir ~deadline =
     | Some blob -> (
         match Frame.decode blob with
         | Error _ ->
+            Secyan_metrics.add m_rejected_frames 1;
             event t Corrupt_frame;
             saw_corrupt := true;
             go ()
@@ -217,6 +233,7 @@ let recv_attempt t dir ~deadline =
             else begin
               (* A sequence number from the future cannot occur in a
                  lock-step two-party run; treat it as line corruption. *)
+              Secyan_metrics.add m_rejected_frames 1;
               event t Corrupt_frame;
               saw_corrupt := true;
               go ()
@@ -293,6 +310,10 @@ let transfer t ~dir payload =
           attempt (n + 1) `Timeout
       | `Corrupt -> attempt (n + 1) `Corrupt
       | exception Transport.Closed msg -> fail Closed ("detail = " ^ msg) n
+      | exception Transport.Stalled msg ->
+          (* A stalled channel made no frame progress for a whole stall
+             window — no retry can help inside this transfer's budget. *)
+          fail Timeout ("detail = " ^ msg) n
     end
   in
   attempt 1 `Timeout
@@ -316,38 +337,68 @@ let restore_seq_state t a =
   t.expect_seq.(0) <- a.(2);
   t.expect_seq.(1) <- a.(3)
 
-let hello_payload (session, epoch) =
-  let b = Buffer.create (String.length session + 8) in
+(* Protocol compatibility version announced in every resume hello. Bump
+   when the wire protocol changes incompatibly; peers announcing a
+   different version are rejected before any state is exchanged. *)
+let protocol_version = 1
+
+(* Session ids are short fingerprint-derived strings; anything longer is
+   a peer abusing the identity field as an allocation vector. *)
+let max_identity = 1024
+
+let hello_payload ?(version = protocol_version) (session, epoch) =
+  if String.length session > max_identity then
+    invalid_arg
+      (Printf.sprintf "Resilient.hello_payload: session id of %d bytes exceeds cap %d"
+         (String.length session) max_identity);
+  let b = Buffer.create (String.length session + 10) in
+  Buffer.add_uint16_be b (version land 0xFFFF);
   Buffer.add_int32_be b (Int32.of_int (String.length session));
   Buffer.add_string b session;
   Buffer.add_int32_be b (Int32.of_int epoch);
-  Buffer.to_bytes b
+  Envelope.encode ~kind:Envelope.Hello (Buffer.to_bytes b)
 
+(* Strict parse of an enveloped hello: kind must be [Hello], the identity
+   length must respect [max_identity] *before* the substring is taken,
+   and the body must contain exactly the declared fields. *)
 let parse_hello payload =
-  try
-    let n = Int32.to_int (Bytes.get_int32_be payload 0) in
-    let session = Bytes.sub_string payload 4 n in
-    let epoch = Int32.to_int (Bytes.get_int32_be payload (4 + n)) in
-    if Bytes.length payload <> 8 + n then raise Exit;
-    Some (session, epoch)
-  with Invalid_argument _ | Exit -> None
+  match Envelope.decode payload with
+  | Error _ -> None
+  | Ok (kind, _) when kind <> Envelope.Hello -> None
+  | Ok (_, body) -> (
+      try
+        let version = Char.code (Bytes.get body 0) lsl 8 lor Char.code (Bytes.get body 1) in
+        let n = Int32.to_int (Bytes.get_int32_be body 2) in
+        if n < 0 || n > max_identity then raise Exit;
+        if Bytes.length body <> 10 + n then raise Exit;
+        let session = Bytes.sub_string body 6 n in
+        let epoch = Int32.to_int (Bytes.get_int32_be body (6 + n)) in
+        Some (version, session, epoch)
+      with Invalid_argument _ | Exit -> None)
 
 (* The session-resume handshake. Run it on a freshly (re)connected
    channel before any protocol traffic: each party transfers its
-   (session id, last-acked checkpoint epoch) hello to the other, and both
-   verify the pair agrees on where to restart. Disagreement — resuming
-   different sessions, or from different epochs — raises the typed
-   {!Resume_mismatch}; a damaged hello surfaces as {!Transport_error}
-   through the normal retry machinery. The handshake runs below the
-   protocol's cost accounting (its frames are transport chatter, like
-   retransmissions, not protocol communication), and its sequence numbers
-   are overwritten when the checkpointed {!seq_state} is restored
-   immediately afterwards. Both simulated parties live in this process,
-   so the exchange is two transfers over the real channel. *)
-let resume_handshake t ~alice ~bob =
-  let a_hello = transfer t ~dir:Transport.Alice_to_bob (hello_payload alice) in
-  let b_hello = transfer t ~dir:Transport.Bob_to_alice (hello_payload bob) in
+   (protocol version, session id, last-acked checkpoint epoch) hello to
+   the other, and both verify the pair agrees on where to restart.
+   Disagreement — incompatible protocol versions, different sessions, or
+   different epochs — raises the typed {!Resume_mismatch}; a damaged or
+   out-of-schema hello surfaces as {!Transport_error} through the normal
+   retry machinery. The handshake runs below the protocol's cost
+   accounting (its frames are transport chatter, like retransmissions,
+   not protocol communication), and its sequence numbers are overwritten
+   when the checkpointed {!seq_state} is restored immediately afterwards.
+   Both simulated parties live in this process, so the exchange is two
+   transfers over the real channel. [alice_version]/[bob_version] default
+   to {!protocol_version}; tests inject skew through them. *)
+let resume_handshake ?alice_version ?bob_version t ~alice ~bob =
+  let a_hello =
+    transfer t ~dir:Transport.Alice_to_bob (hello_payload ?version:alice_version alice)
+  in
+  let b_hello =
+    transfer t ~dir:Transport.Bob_to_alice (hello_payload ?version:bob_version bob)
+  in
   let corrupt detail =
+    Secyan_metrics.add m_rejected_frames 1;
     raise
       (Transport_error { kind = Corrupt; attempts = 1; elapsed = 0.; detail = "detail = " ^ detail })
   in
@@ -361,6 +412,16 @@ let resume_handshake t ~alice ~bob =
     | Some h -> h
     | None -> corrupt "undecodable resume hello (bob->alice)"
   in
-  let alice_session, alice_epoch = a_recv and bob_session, bob_epoch = b_recv in
-  if not (String.equal alice_session bob_session && alice_epoch = bob_epoch) then
-    raise (Resume_mismatch { alice_session; alice_epoch; bob_session; bob_epoch })
+  let alice_version, alice_session, alice_epoch = a_recv
+  and bob_version, bob_session, bob_epoch = b_recv in
+  if
+    not
+      (alice_version = bob_version
+      && String.equal alice_session bob_session
+      && alice_epoch = bob_epoch)
+  then begin
+    Secyan_metrics.add m_handshake_mismatches 1;
+    raise
+      (Resume_mismatch
+         { alice_session; alice_epoch; alice_version; bob_session; bob_epoch; bob_version })
+  end

@@ -21,15 +21,27 @@ exception
     detail : string;
   }
 
-(** The two parties disagree on what is being resumed: different session
-    ids, or different last-acked checkpoint epochs. *)
+(** The two parties disagree on what is being resumed: incompatible
+    protocol versions, different session ids, or different last-acked
+    checkpoint epochs. *)
 exception
   Resume_mismatch of {
     alice_session : string;
     alice_epoch : int;
+    alice_version : int;
     bob_session : string;
     bob_epoch : int;
+    bob_version : int;
   }
+
+(** Protocol compatibility version announced in every resume hello;
+    peers announcing a different one are rejected with
+    {!Resume_mismatch} before any state is exchanged. *)
+val protocol_version : int
+
+(** Cap on a resume-hello session identity string (bytes); longer
+    identities are rejected before any substring is allocated. *)
+val max_identity : int
 
 type event = Retry | Timeout_hit | Corrupt_frame | Duplicate_dropped
 
@@ -96,14 +108,21 @@ val seq_state : t -> int64 array
 val restore_seq_state : t -> int64 array -> unit
 
 (** Session-resume handshake over a freshly (re)connected channel, before
-    any protocol traffic: each party transfers its (session id, last-acked
-    checkpoint epoch) to the other and both verify agreement on where to
-    restart. The handshake's frames are transport chatter (below the
-    protocol's cost accounting) and its sequence numbers are overwritten
-    by the {!restore_seq_state} that follows.
-    @raise Resume_mismatch when the pairs disagree.
-    @raise Transport_error on an undeliverable or undecodable hello. *)
-val resume_handshake : t -> alice:string * int -> bob:string * int -> unit
+    any protocol traffic: each party transfers its (protocol version,
+    session id, last-acked checkpoint epoch) to the other — as a typed
+    [Hello] envelope with the identity capped at {!max_identity} — and
+    both verify agreement on where to restart.
+    [alice_version]/[bob_version] default to {!protocol_version} (tests
+    inject skew through them). The handshake's frames are transport
+    chatter (below the protocol's cost accounting) and its sequence
+    numbers are overwritten by the {!restore_seq_state} that follows.
+    @raise Resume_mismatch when the versions or pairs disagree.
+    @raise Transport_error on an undeliverable or undecodable hello.
+    @raise Invalid_argument when a local identity exceeds
+    {!max_identity}. *)
+val resume_handshake :
+  ?alice_version:int -> ?bob_version:int -> t -> alice:string * int -> bob:string * int ->
+  unit
 
 (** Backend name ("inproc", "tcp", "inproc+chaos", ...). *)
 val kind : t -> string

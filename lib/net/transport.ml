@@ -26,6 +26,13 @@ let direction_name = function Alice_to_bob -> "a->b" | Bob_to_alice -> "b->a"
     [Transport_error]. *)
 exception Closed of string
 
+(** Raised by the [tcp] backend when a peer keeps the channel alive but
+    stops making frame progress — a partially received frame older than
+    the stall window (slow-loris trickling), or a send loop that can
+    neither write nor drain for the same window. The resilience layer
+    maps it to [Transport_error {kind = Timeout}]. *)
+exception Stalled of string
+
 type raw = {
   send_frame : direction -> Bytes.t -> unit;
       (** push one encoded frame. @raise Closed on a dead channel. *)
@@ -114,7 +121,7 @@ end
 
 let chunk = 65536
 
-let tcp () =
+let tcp ?(stall_timeout_s = 30.) () =
   let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   let a =
     try
@@ -196,22 +203,46 @@ let tcp () =
     let wfd, rfd = fds dir in
     let len = Bytes.length frame in
     let pos = ref 0 in
+    let last_progress = ref (Unix.gettimeofday ()) in
     while !pos < len do
       (match Unix.write wfd frame !pos (min chunk (len - !pos)) with
-      | n -> pos := !pos + n
+      | n ->
+          pos := !pos + n;
+          last_progress := Unix.gettimeofday ()
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
           (* Kernel buffers are full; the only in-flight bytes are our own
              (lock-step protocol), so drain the receiving end to make
-             room. Select rather than spin when nothing is pending yet. *)
-          if drain dir rfd = 0 then ignore (Unix.select [ rfd ] [ wfd ] [] 1.0)
+             room. Select rather than spin when nothing is pending yet. A
+             peer that neither accepts our bytes nor sends any for a whole
+             stall window is wedged — fail typed instead of looping. *)
+          if drain dir rfd = 0 then begin
+            if Unix.gettimeofday () -. !last_progress > stall_timeout_s then begin
+              close ();
+              raise
+                (Stalled
+                   (Printf.sprintf "tcp send %s: no progress in %.1fs"
+                      (direction_name dir) stall_timeout_s))
+            end;
+            ignore (Unix.select [ rfd ] [ wfd ] [] (Float.min 1.0 stall_timeout_s))
+          end
+          else last_progress := Unix.gettimeofday ()
       | exception Unix.Unix_error (e, _, _) -> die dir "write" e);
       ignore (drain dir rfd)
     done
   in
+  (* Per-frame progress deadlines: absolute time the currently partial
+     frame (per direction) was first seen, [nan] when no frame is in
+     flight. A peer trickling bytes can stretch one frame forever against
+     per-attempt timeouts alone; the stall clock starts when a frame's
+     first bytes arrive and is *not* pushed forward by trickled progress,
+     so every frame must complete within one stall window. *)
+  let frame_started = [| Float.nan; Float.nan |] in
+  let started = function Alice_to_bob -> 0 | Bob_to_alice -> 1 in
   let recv_frame dir ~deadline =
     check dir "recv";
     let _, rfd = fds dir in
     let b = buf dir in
+    let i = started dir in
     let rec frame_ready () =
       match Frame.required b.Bytebuf.data ~pos:b.Bytebuf.start ~len:b.Bytebuf.len with
       | Error e ->
@@ -223,11 +254,28 @@ let tcp () =
       | Ok (Some total) when b.Bytebuf.len >= total ->
           let frame = Bytebuf.sub b total in
           Bytebuf.drop b total;
+          frame_started.(i) <- Float.nan;
           Some frame
       | Ok _ ->
-          let wait = deadline -. Unix.gettimeofday () in
+          let now = Unix.gettimeofday () in
+          if b.Bytebuf.len = 0 then frame_started.(i) <- Float.nan
+          else if Float.is_nan frame_started.(i) then frame_started.(i) <- now
+          else if now -. frame_started.(i) > stall_timeout_s then begin
+            close ();
+            raise
+              (Stalled
+                 (Printf.sprintf "tcp recv %s: partial frame made no progress in %.1fs"
+                    (direction_name dir) stall_timeout_s))
+          end;
+          let wait = deadline -. now in
           if wait <= 0. then None
           else begin
+            (* Wake up in time to enforce the stall window even when the
+               caller's receive deadline is far away. *)
+            let wait =
+              if Float.is_nan frame_started.(i) then wait
+              else Float.min wait (Float.max 0.01 (frame_started.(i) +. stall_timeout_s -. now))
+            in
             (match Unix.select [ rfd ] [] [] wait with
             | [], _, _ -> ()
             | _ -> ignore (drain dir rfd));

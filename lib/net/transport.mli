@@ -15,6 +15,13 @@ val direction_name : direction -> string
     [Transport_error] kind. *)
 exception Closed of string
 
+(** Raised by the [tcp] backend when the peer keeps the channel alive but
+    stops making frame progress: a partially received frame older than
+    the stall window (slow-loris trickling), or a send loop that can
+    neither write nor drain for the same window. The resilience layer
+    maps it to [Transport_error {kind = Timeout}]. *)
+exception Stalled of string
+
 type raw = {
   send_frame : direction -> Bytes.t -> unit;
       (** push one encoded frame. @raise Closed on a dead channel. *)
@@ -28,4 +35,9 @@ type raw = {
 }
 
 val inproc : unit -> raw
-val tcp : unit -> raw
+
+(** [stall_timeout_s] (default 30 s) is the per-frame progress window:
+    every frame must arrive completely, and every send must make write or
+    drain progress, within it — otherwise the backend raises {!Stalled}
+    rather than looping against a wedged or trickling peer. *)
+val tcp : ?stall_timeout_s:float -> unit -> raw

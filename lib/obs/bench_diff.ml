@@ -77,11 +77,14 @@ type rule =
 
 let int_identity_fields = [ "domains"; "items"; "reps"; "cores"; "pool" ]
 
-(* Supervision/cancellation counters (DESIGN.md §15): how often the
+(* Supervision/cancellation counters (DESIGN.md §15) and the
+   Byzantine-hardening counters (DESIGN.md §16): how often the
    robustness layer fired — retry storms hitting a deadline, hang
-   detections, sequential fallbacks, arena resets. Timing-dependent by
-   nature (a loaded runner cancels more), so machine-absolute: gated
-   only under [~strict:true], like wall-clock. *)
+   detections, sequential fallbacks, arena resets, rejected frames,
+   protocol violations. Timing- and adversary-dependent by nature (a
+   loaded runner cancels more; a retransmission changes how many frames
+   a rejection consumes), so machine-absolute: gated only under
+   [~strict:true], like wall-clock. *)
 let supervision_counter name =
   contains_sub name "supervision" || contains_sub name "cancellation"
   || contains_sub name "hangs" || contains_sub name "poisoned"
@@ -89,6 +92,9 @@ let supervision_counter name =
   || contains_sub name "arena_reset"
   || contains_sub name "deadline_expired"
   || contains_sub name "over_budget"
+  || contains_sub name "protocol_violations"
+  || contains_sub name "rejected_frames"
+  || contains_sub name "handshake_mismatch"
 
 let classify name (v : Json.t) =
   match v with

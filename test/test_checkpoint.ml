@@ -345,6 +345,50 @@ let test_resume_corrupted_rejected () =
       Secyan.Secure_yannakakis.run ~resume:true ctx2 q)
 
 (* ------------------------------------------------------------------ *)
+(* Resume disagreement: the three ways two parties can disagree on what
+   is being resumed — query fingerprint, last-acked checkpoint epoch,
+   protocol version — each rejected typed for every checkpointable
+   query, never silently resumed (DESIGN.md §16).                      *)
+
+let resume_disagreement make other () =
+  let d = xs () in
+  let q = make d in
+  let dir = tmpdir () in
+  Fun.protect ~finally:(fun () -> rm_rf_flat dir) @@ fun () ->
+  let ctx = Queries.context ~checkpoint:(Checkpoint.sink ~dir ()) ~seed:99L () in
+  (Fun.protect ~finally:(fun () -> close ctx) @@ fun () ->
+   ignore (Secyan.Secure_yannakakis.run ctx q));
+  (* (a) fingerprint: the stream under a different query refuses to load *)
+  let ctx2 = Queries.context ~checkpoint:(Checkpoint.sink ~dir ()) ~seed:99L () in
+  (Fun.protect ~finally:(fun () -> close ctx2) @@ fun () ->
+   expect_error Checkpoint.Fingerprint_mismatch (fun () ->
+       Secyan.Secure_yannakakis.run ~resume:true ctx2 (other d)));
+  let epoch =
+    match Checkpoint.latest_path dir with
+    | Some (epoch, _) -> epoch
+    | None -> Alcotest.fail "run left no checkpoint behind"
+  in
+  let t = Resilient.create (Transport.inproc ()) in
+  Fun.protect ~finally:(fun () -> Resilient.close t) @@ fun () ->
+  let session = Filename.basename dir in
+  (* (b) last-acked checkpoint epoch disagreement *)
+  (match Resilient.resume_handshake t ~alice:(session, epoch) ~bob:(session, epoch + 1) with
+  | () -> Alcotest.fail "epoch disagreement must raise"
+  | exception Resilient.Resume_mismatch m ->
+      Alcotest.(check int) "alice epoch" epoch m.alice_epoch;
+      Alcotest.(check int) "bob epoch" (epoch + 1) m.bob_epoch);
+  (* (c) protocol version skew, same session and epoch *)
+  match
+    Resilient.resume_handshake t ~alice_version:Resilient.protocol_version
+      ~bob_version:(Resilient.protocol_version + 1)
+      ~alice:(session, epoch) ~bob:(session, epoch)
+  with
+  | () -> Alcotest.fail "version skew must raise"
+  | exception Resilient.Resume_mismatch m ->
+      Alcotest.(check int) "alice version" Resilient.protocol_version m.alice_version;
+      Alcotest.(check int) "bob version" (Resilient.protocol_version + 1) m.bob_version
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "secyan_checkpoint"
@@ -367,6 +411,15 @@ let () =
             (kill_and_resume (Queries.q18 ?threshold:None));
           Alcotest.test_case "wrong query rejected" `Slow test_resume_wrong_query_rejected;
           Alcotest.test_case "corrupted rejected" `Slow test_resume_corrupted_rejected;
+        ] );
+      ( "resume-disagreement",
+        [
+          Alcotest.test_case "q3 fingerprint/epoch/version" `Slow
+            (resume_disagreement Queries.q3 Queries.q10);
+          Alcotest.test_case "q10 fingerprint/epoch/version" `Slow
+            (resume_disagreement Queries.q10 (Queries.q18 ?threshold:None));
+          Alcotest.test_case "q18 fingerprint/epoch/version" `Slow
+            (resume_disagreement (Queries.q18 ?threshold:None) Queries.q3);
         ] );
       ( "resume-under-chaos",
         [

@@ -459,6 +459,64 @@ let test_stall_bounded_by_deadline () =
   let elapsed = Unix.gettimeofday () -. t0 in
   Alcotest.(check bool) "bounded by the deadline, not the retry budget" true (elapsed < 5.0)
 
+(* The accept limit rejects a lying declared length from the header
+   alone — before the stream buffer grows toward it (DESIGN.md §16). *)
+let test_frame_accept_limit () =
+  Fun.protect ~finally:(fun () -> Frame.set_accept_limit Frame.default_accept_limit)
+  @@ fun () ->
+  Frame.set_accept_limit 64;
+  let ok = Frame.encode ~seq:1L (Bytes.make 64 'a') in
+  (match Frame.decode ok with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "in-cap frame rejected: %s" (Frame.error_to_string e));
+  let big = Frame.encode ~seq:2L (Bytes.make 65 'a') in
+  (match Frame.required big ~pos:0 ~len:Frame.header_len with
+  | Error Frame.Oversized -> ()
+  | Ok _ | Error _ -> Alcotest.fail "oversized declared length must be refused pre-buffer");
+  (match Frame.decode big with
+  | Error Frame.Oversized -> ()
+  | Ok _ | Error _ -> Alcotest.fail "oversized frame must be refused");
+  match Frame.set_accept_limit 0 with
+  | () -> Alcotest.fail "zero accept limit must be rejected"
+  | exception Invalid_argument _ -> ()
+
+(* Patch a frame's own length field upward and refresh the CRC — the
+   slow-loris shape: a header promising bytes that never arrive. *)
+let lie_in_frame_header frame ~lie =
+  let b = Bytes.copy frame in
+  Bytes.set b 10 (Char.chr (lie land 0xff));
+  Bytes.set b 11 (Char.chr ((lie lsr 8) land 0xff));
+  Bytes.set b 12 (Char.chr ((lie lsr 16) land 0xff));
+  Bytes.set b 13 (Char.chr ((lie lsr 24) land 0xff));
+  let len = Bytes.length b in
+  let crc = Crc32.digest b ~pos:2 ~len:(len - 4 - 2) in
+  Bytes.set b (len - 4) (Char.chr (crc land 0xff));
+  Bytes.set b (len - 3) (Char.chr ((crc lsr 8) land 0xff));
+  Bytes.set b (len - 2) (Char.chr ((crc lsr 16) land 0xff));
+  Bytes.set b (len - 1) (Char.chr ((crc lsr 24) land 0xff));
+  b
+
+(* A peer trickling a never-completed frame must not pin the receiver:
+   the per-frame progress deadline cuts the wait and the resilience
+   layer types it as a Timeout, never a hang. *)
+let test_tcp_slow_loris_times_out () =
+  with_watchdog ~seconds:30.0 "slow-loris" @@ fun () ->
+  let raw = Transport.tcp ~stall_timeout_s:0.25 () in
+  let config =
+    { Resilient.default_config with Resilient.max_attempts = 2; sleep = Unix.sleepf }
+  in
+  let t = Resilient.create ~config raw in
+  Fun.protect ~finally:(fun () -> Resilient.close t) @@ fun () ->
+  let partial = Frame.encode ~seq:0L (Bytes.of_string "never completed") in
+  raw.Transport.send_frame Transport.Alice_to_bob
+    (lie_in_frame_header partial ~lie:100_000);
+  let t0 = Unix.gettimeofday () in
+  (match Resilient.transfer t ~dir:Transport.Alice_to_bob (Bytes.of_string "follow-up") with
+  | _ -> Alcotest.fail "a slow-loris peer cannot deliver"
+  | exception Resilient.Transport_error { kind = Resilient.Timeout; _ } -> ());
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "bounded by the stall window" true (elapsed < 20.0)
+
 type outcome = Correct | Failed of Resilient.error_kind
 
 let outcome_name = function
@@ -563,6 +621,7 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_frame_roundtrip;
           Alcotest.test_case "bit flips detected" `Quick test_frame_bitflip_detected;
           Alcotest.test_case "stream parsing" `Quick test_frame_required;
+          Alcotest.test_case "accept limit pre-allocation" `Quick test_frame_accept_limit;
         ] );
       ( "transport",
         [
@@ -586,6 +645,8 @@ let () =
           Alcotest.test_case "bad config rejected" `Quick test_bad_config_rejected;
           Alcotest.test_case "peer stall bounded by deadline" `Quick
             test_stall_bounded_by_deadline;
+          Alcotest.test_case "tcp slow-loris fails typed" `Quick
+            test_tcp_slow_loris_times_out;
         ] );
       ( "properties",
         qsuite
