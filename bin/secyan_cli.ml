@@ -419,12 +419,28 @@ let run_cmd query scale sf seed backend domains transport chaos chaos_seed malic
       traced ~name:q.Secyan.Query.name trace trace_out ctx (fun () ->
           observed ~total (fun () -> Secyan.Secure_yannakakis.run ~resume ctx q))
     in
+    if Secyan.Query.has_order q then
+      Fmt.pr "top-k phase: rows below are in query order (ORDER BY%s)@."
+        (match q.Secyan.Query.limit with
+        | Some k -> Printf.sprintf ", LIMIT %d" k
+        | None -> "");
     print_rows revealed;
     print_cost stats.Secyan.Secure_yannakakis.tally stats.Secyan.Secure_yannakakis.seconds;
     if verify then begin
       let expected = Secyan.Query.plaintext q in
-      let ok = content q.Secyan.Query.output expected = content q.Secyan.Query.output revealed in
-      Fmt.pr "verify vs plaintext: %s@." (if ok then "OK" else "MISMATCH");
+      (* ordered queries compare row-for-row in order against the
+         plaintext oracle; unordered ones as sorted multisets *)
+      let ok =
+        if Secyan.Query.has_order q then
+          List.map
+            (fun (t, a) -> (Tuple.repr t, a))
+            (Secyan.Query.ordered_rows q expected)
+          = List.map (fun (t, a) -> (Tuple.repr t, a)) (Relation.nonzero revealed)
+        else content q.Secyan.Query.output expected = content q.Secyan.Query.output revealed
+      in
+      Fmt.pr "verify vs plaintext%s: %s@."
+        (if Secyan.Query.has_order q then " (ordered)" else "")
+        (if ok then "OK" else "MISMATCH");
       if not ok then exit 1
     end
   in
@@ -635,7 +651,13 @@ let generate_cmd scale sf seed =
 
 (* --- sql ------------------------------------------------------------ *)
 
-let sql_cmd statement scale sf seed backend domains =
+let sql_cmd statement scale sf seed backend domains transport chaos chaos_seed malicious
+    verify =
+  match make_transport transport chaos chaos_seed malicious with
+  | Error msg ->
+      Fmt.epr "transport error: %s@." msg;
+      2
+  | Ok tr ->
   let sf = resolve_sf scale sf in
   let d = Secyan_tpch.Datagen.generate ~sf ~seed in
   (* odd tables to Alice, even to Bob: the worst-case partition *)
@@ -660,9 +682,16 @@ let sql_cmd statement scale sf seed backend domains =
   | q ->
       Fmt.pr "join tree: %a (root %s)@." Join_tree.pp q.Secyan.Query.tree
         (Join_tree.root q.Secyan.Query.tree);
+      if Secyan.Query.has_order q then
+        Fmt.pr "top-k phase: rows below are in query order (ORDER BY%s)@."
+          (match q.Secyan.Query.limit with
+          | Some k -> Printf.sprintf ", LIMIT %d" k
+          | None -> "");
       let ctx = Context.create ~bits:(Semiring.bits q.Secyan.Query.semiring)
-          ~gc_backend:backend ~domains ~seed () in
+          ~gc_backend:backend ~domains ?transport:tr ~seed () in
       let revealed, stats = Secyan.Secure_yannakakis.run ctx q in
+      (* [Relation.nonzero] preserves physical order, which for ordered
+         queries is the query order produced by the oblivious sort *)
       List.iter
         (fun (t, a) ->
           match Semiring.to_value q.Secyan.Query.semiring a with
@@ -670,8 +699,30 @@ let sql_cmd statement scale sf seed backend domains =
           | None -> ())
         (Relation.nonzero revealed);
       print_cost stats.Secyan.Secure_yannakakis.tally stats.Secyan.Secure_yannakakis.seconds;
+      let code =
+        if not verify then 0
+        else begin
+          let expected = Secyan.Query.plaintext q in
+          let ok =
+            if Secyan.Query.has_order q then
+              List.map
+                (fun (t, a) -> (Tuple.repr t, a))
+                (Secyan.Query.ordered_rows q expected)
+              = List.map (fun (t, a) -> (Tuple.repr t, a)) (Relation.nonzero revealed)
+            else
+              content q.Secyan.Query.output expected
+              = content q.Secyan.Query.output revealed
+          in
+          Fmt.pr "verify vs plaintext%s: %s@."
+            (if Secyan.Query.has_order q then " (ordered)" else "")
+            (if ok then "OK" else "MISMATCH");
+          if ok then 0 else 1
+        end
+      in
+      print_transport_stats tr;
+      Context.close_transport ctx;
       Context.shutdown_pool ctx;
-      0
+      code
 
 let statement_arg =
   let doc = "The SQL statement to run." in
@@ -857,9 +908,14 @@ let generate_t =
     Term.(const generate_cmd $ scale_arg $ sf_arg $ seed_arg)
 
 let sql_t =
-  Cmd.v (Cmd.info "sql" ~doc:"Run an ad-hoc SQL query securely over the TPC-H catalog")
+  Cmd.v
+    (Cmd.info "sql"
+       ~doc:
+         "Run an ad-hoc SQL query (including ORDER BY / LIMIT as an oblivious top-k \
+          phase) securely over the TPC-H catalog")
     Term.(const sql_cmd $ statement_arg $ scale_arg $ sf_arg $ seed_arg $ backend_arg
-          $ domains_arg)
+          $ domains_arg $ transport_arg $ chaos_arg $ chaos_seed_arg $ malicious_arg
+          $ verify_arg)
 
 let fuzz_t =
   Cmd.v

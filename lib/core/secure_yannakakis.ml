@@ -193,24 +193,184 @@ let run_shared ?(resume = false) ctx (q : Query.t) : result =
     seconds;
   }
 
-(** Run the protocol and reveal the result annotations to Alice (the
-    designated receiver): the standard top-level entry point. *)
+(* ---- the oblivious ORDER BY / top-k phase (DESIGN.md §17) ----------- *)
+
+(* Bit width for values in [0, n). *)
+let width_for n =
+  let rec go b = if n <= 1 lsl b then b else go (b + 1) in
+  go 1
+
+(* Normalized sort words live in the context ring, so no single word may
+   be wider than [ring_bits]. Wide clear values (ranks, row indices) are
+   split into ring-width limbs, MOST significant first: the comparator's
+   composite-key concatenation then compares limb sequences exactly as it
+   would the wide word. Returns [(shift, bits)] per limb. *)
+let limb_splits ~ring_bits width =
+  let rec lsb shift rem =
+    if rem <= 0 then []
+    else
+      let lw = min ring_bits rem in
+      (shift, lw) :: lsb (shift + lw) (rem - lw)
+  in
+  List.rev (lsb 0 width)
+
+let limb_value value (shift, lw) =
+  let mask = if lw >= 64 then Int64.minus_one else Int64.sub (Int64.shift_left 1L lw) 1L in
+  Int64.logand (Int64.shift_right_logical value shift) mask
+
+(* Dense ranks Alice computes in the clear over data she holds: the sort
+   circuit compares fixed-width rank words instead of typed values, so
+   one comparator circuit covers ints, strings, and dates uniformly.
+   Equal inputs get equal ranks (ties fall through to later keys). *)
+let rank_table ~repr ~compare xs =
+  let sorted = List.sort_uniq compare (Array.to_list xs) in
+  let tbl = Hashtbl.create (List.length sorted * 2) in
+  List.iteri (fun i v -> Hashtbl.replace tbl (repr v) i) sorted;
+  let width = width_for (max 1 (List.length sorted)) in
+  (width, fun v -> Int64.of_int (Hashtbl.find tbl (repr v)))
+
+(* After run_shared, [phase:order] collapses J* to the output attributes
+   obliviously (annotations stay shared), sorts the collapsed rows with
+   the bitonic GC network, and reveals only the top-k row indices and
+   annotations to Alice — never a key word, never a row beyond k. The
+   comparison keys: each ORDER BY attribute becomes Alice's private
+   dense-rank word; ORDER BY on the aggregate compares the shared
+   annotation itself (two's complement, inside the circuit); the final
+   tiebreak is the row's rank under ascending [Tuple.repr] — the same
+   total order [Query.ordered_rows] applies in the clear. Row validity
+   (non-dummy AND nonzero annotation) guards the top of the composite
+   key, so dummies and zero-annotated rows sort behind every real row
+   and reveal nothing but padding. *)
+let order_phase ctx (q : Query.t) (r : result) : Relation.t =
+  let semiring = q.Query.semiring in
+  let collapsed =
+    Oblivious_agg.aggregate ctx semiring
+      (Shared_relation.of_shares ~owner:Party.Alice r.joined r.annots)
+      ~attrs:q.Query.output
+  in
+  let tuples = collapsed.Shared_relation.rel.Relation.tuples in
+  let out_schema = collapsed.Shared_relation.rel.Relation.schema in
+  let n = Array.length tuples in
+  let k = match q.Query.limit with Some k -> min k n | None -> n in
+  let name = q.Query.name ^ "-ordered" in
+  if n = 0 || k = 0 then
+    Relation.create ~name ~schema:out_schema ~tuples:[||] ~annots:[||]
+  else begin
+    let ring_bits = Context.ring_bits ctx in
+    let priv value bits =
+      { Oblivious_sort.input = Gc_protocol.Priv { owner = Party.Alice; value; bits };
+        width = bits }
+    in
+    (* a clear rank value as one or more ring-width key limbs *)
+    let rank_keys ~descending value width =
+      List.map
+        (fun split ->
+          { Oblivious_sort.word = priv (limb_value value split) (snd split);
+            descending; signed = false })
+        (limb_splits ~ring_bits width)
+    in
+    let user_keys =
+      List.map
+        (fun (key, dir) ->
+          let descending = match (dir : Query.direction) with Asc -> false | Desc -> true in
+          match (key : Query.sort_key) with
+          | Query.By_attr a ->
+              let vals = Array.map (fun tu -> Tuple.get out_schema a tu) tuples in
+              let width, rank = rank_table ~repr:Value.repr ~compare:Value.compare vals in
+              fun i -> rank_keys ~descending (rank vals.(i)) width
+          | Query.By_agg ->
+              fun i ->
+                [
+                  {
+                    Oblivious_sort.word =
+                      {
+                        Oblivious_sort.input =
+                          Gc_protocol.Shared collapsed.Shared_relation.annots.(i);
+                        width = ring_bits;
+                      };
+                    descending;
+                    signed = true;
+                  };
+                ])
+        q.Query.order_by
+    in
+    let tb_width, tb_rank =
+      rank_table ~repr:Fun.id ~compare:String.compare (Array.map Tuple.repr tuples)
+    in
+    let idx_bits = width_for n in
+    let idx_splits = limb_splits ~ring_bits idx_bits in
+    let rows =
+      Array.init n (fun i ->
+          {
+            Oblivious_sort.valid =
+              Gc_protocol.Priv
+                {
+                  owner = Party.Alice;
+                  value = (if Tuple.is_dummy tuples.(i) then 0L else 1L);
+                  bits = 1;
+                };
+            (* the annotation word sits after the index limbs *)
+            valid_if_nonzero = Some (List.length idx_splits);
+            keys =
+              List.concat_map (fun key -> key i) user_keys
+              @ rank_keys ~descending:false (tb_rank (Tuple.repr tuples.(i))) tb_width;
+            payload =
+              List.map (fun split -> priv (limb_value (Int64.of_int i) split) (snd split))
+                idx_splits
+              @ [
+                  {
+                    Oblivious_sort.input =
+                      Gc_protocol.Shared collapsed.Shared_relation.annots.(i);
+                    width = ring_bits;
+                  };
+                ];
+          })
+    in
+    let top = Oblivious_sort.top_k_reveal ctx ~k ~to_:Party.Alice rows in
+    (* reassemble the row index from its revealed limbs (msb first) *)
+    let idx_of (payload : int64 array) =
+      let v = ref 0L in
+      List.iteri
+        (fun j (_, lw) -> v := Int64.logor (Int64.shift_left !v lw) payload.(j))
+        idx_splits;
+      Int64.to_int !v
+    in
+    let n_idx = List.length idx_splits in
+    let result_rows =
+      Array.to_list top
+      |> List.filter_map (fun (invalid, payload) ->
+             if invalid then None
+             else Some (tuples.(idx_of payload), payload.(n_idx)))
+    in
+    Relation.of_list ~name ~schema:out_schema result_rows
+  end
+
+(** Run the protocol and reveal the result to Alice (the designated
+    receiver): the standard top-level entry point. Queries carrying
+    ORDER BY / LIMIT go through the oblivious sort + top-k phase instead
+    of the plain batched reveal; the returned relation's row order {e is}
+    the query order, truncated to the limit. *)
 let run ?resume ctx (q : Query.t) : Relation.t * result =
   let r = run_shared ?resume ctx q in
-  (* Phase boundary: the shared result's checkpoint is saved, so a
-     cancellation here resumes directly into the reveal. *)
+  (* Phase boundary: the shared result's checkpoint (stage Joined) is
+     saved, so a cancellation anywhere past here resumes into this final
+     phase with restored PRG/dummy streams — the replayed order phase or
+     reveal is the exact one the uninterrupted run would have executed. *)
   Context.check_cancel ctx;
   let revealed, seconds, tally =
     Trace.measure ctx @@ fun () ->
-    Trace.with_span ctx "reveal" @@ fun () ->
-    let annots = Secret_share.reveal_batch ctx Party.Alice r.annots in
-    (* J* can retain non-output attributes (a Stop-reduced node keeps its
-       join attributes), so distinct J* tuples may coincide on the output
-       attributes. Alice groups the revealed rows locally — plain share
-       addition on her side, zero communication — mirroring the final
-       collapse of the plaintext algorithm. *)
-    Operators.aggregate q.Query.semiring ~attrs:q.Query.output
-      (Relation.with_annots r.joined annots)
+    if Query.has_order q then
+      Trace.with_span ctx "phase:order" @@ fun () -> order_phase ctx q r
+    else
+      Trace.with_span ctx "reveal" @@ fun () ->
+      let annots = Secret_share.reveal_batch ctx Party.Alice r.annots in
+      (* J* can retain non-output attributes (a Stop-reduced node keeps its
+         join attributes), so distinct J* tuples may coincide on the output
+         attributes. Alice groups the revealed rows locally — plain share
+         addition on her side, zero communication — mirroring the final
+         collapse of the plaintext algorithm. *)
+      Operators.aggregate q.Query.semiring ~attrs:q.Query.output
+        (Relation.with_annots r.joined annots)
   in
   let r = { r with tally = Comm.add r.tally tally; seconds = r.seconds +. seconds } in
   (revealed, r)

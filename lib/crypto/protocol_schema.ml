@@ -30,7 +30,15 @@
 
 module Envelope = Secyan_net.Envelope
 
-type phase = Unrestricted | Resume | Share_phase | Reduce | Semijoin | Join | Reveal_phase
+type phase =
+  | Unrestricted
+  | Resume
+  | Share_phase
+  | Reduce
+  | Semijoin
+  | Join
+  | Order
+  | Reveal_phase
 
 let phase_name = function
   | Unrestricted -> "unrestricted"
@@ -39,6 +47,7 @@ let phase_name = function
   | Reduce -> "reduce"
   | Semijoin -> "semijoin"
   | Join -> "join"
+  | Order -> "order"
   | Reveal_phase -> "reveal"
 
 exception
@@ -87,6 +96,7 @@ let phase_of_label current l =
   | "phase:reduce" -> Reduce
   | "phase:semijoin" -> Semijoin
   | "phase:join" -> Join
+  | "phase:order" -> Order
   | "reveal" -> Reveal_phase
   | _ -> current
 
@@ -101,6 +111,10 @@ let legal phase (kind : Envelope.kind) =
   | (Reduce | Semijoin), _ -> false
   | Join, (Envelope.Psi | Oprf | Oep | Ot | Gc | Op | Reveal) -> true
   | Join, _ -> false
+  (* ORDER BY / top-k: oblivious collapse (oep/gc/op) + sort-network GC
+     batches + the top-k reveal round all run under "phase:order". *)
+  | Order, (Envelope.Psi | Oprf | Oep | Ot | Gc | Op | Reveal) -> true
+  | Order, _ -> false
   | Reveal_phase, Envelope.Reveal -> true
   | Reveal_phase, _ -> false
 

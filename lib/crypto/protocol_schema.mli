@@ -1,6 +1,7 @@
 (** Per-query protocol state machine over the typed wire envelope: knows,
     for each phase of secure Yannakakis (share / reduce / semijoin / join
-    / reveal / resume-handshake), exactly which message kinds and sizes
+    / order / reveal / resume-handshake), exactly which message kinds and
+    sizes
     are legal next, and rejects everything else with the typed
     {!Protocol_violation} — never an untyped exception escape, never an
     allocation driven by a lying length field. Phase tracking piggybacks
@@ -8,7 +9,15 @@
     by [Comm.send] before any payload crosses the wire, and {!validate}
     checks everything that arrives. *)
 
-type phase = Unrestricted | Resume | Share_phase | Reduce | Semijoin | Join | Reveal_phase
+type phase =
+  | Unrestricted
+  | Resume
+  | Share_phase
+  | Reduce
+  | Semijoin
+  | Join
+  | Order  (** the oblivious ORDER BY / top-k phase (["phase:order"]) *)
+  | Reveal_phase
 
 val phase_name : phase -> string
 
@@ -26,8 +35,9 @@ exception
 val kind_of_label : string -> Secyan_net.Envelope.kind
 
 (** The phase entered by a span label: phase markers (["phase:share"],
-    ["phase:reduce"], ["phase:semijoin"], ["phase:join"], ["reveal"])
-    push their phase; any other label inherits [current]. *)
+    ["phase:reduce"], ["phase:semijoin"], ["phase:join"],
+    ["phase:order"], ["reveal"]) push their phase; any other label
+    inherits [current]. *)
 val phase_of_label : phase -> string -> phase
 
 (** The legality table: which envelope kinds may cross the wire in a

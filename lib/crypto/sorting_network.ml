@@ -3,12 +3,16 @@
     A sorting network is a data-independent sequence of compare-exchange
     operations — exactly the shape needed for oblivious sorting, the
     standard building block for extending the protocol beyond free-connex
-    queries (the paper's future-work direction: non-free-connex plans
-    need oblivious sorts of secret-shared sequences). [build n] yields the
-    comparator sequence for any n (padded internally to a power of two
-    with +infinity sentinels); [apply] runs it in the clear, and
-    [comparator_count] drives cost accounting: Theta(n log^2 n)
-    comparators. *)
+    queries. [build n] yields the comparator schedule for any n (padded
+    internally to a power of two with +infinity sentinels); [apply] runs
+    it in the clear, and [comparator_count] drives cost accounting:
+    Theta(n log^2 n) comparators.
+
+    The schedule is built directly into a preallocated array — it sits on
+    the per-query hot path of the oblivious ORDER BY phase, where it is
+    walked once per sort (and its passes drive one GC batch each), so no
+    cons-list, no [List.rev], no [List.length]. The closed-form count
+    [expected_count] cross-checks construction. *)
 
 type comparator = { lo : int; hi : int }
 (** compare-exchange: after the gate, position [lo] holds the smaller
@@ -17,37 +21,75 @@ type comparator = { lo : int; hi : int }
 type t = {
   n : int;           (** logical input count *)
   padded : int;      (** power-of-two network width *)
-  comparators : comparator list;
+  comparators : comparator array;
+      (** the full schedule in execution order (passes concatenated) *)
+  passes : comparator array array;
+      (** the same schedule grouped by (k, j) pass: comparators within
+          one pass touch pairwise-disjoint wire pairs, so a pass can be
+          executed as a single parallel batch *)
 }
 
 let next_pow2 n =
   let rec go p = if p >= n then p else go (2 * p) in
   go 1
 
-(** The comparator sequence sorting [n] elements ascending. *)
+let log2_exact p =
+  let rec go m v = if v <= 1 then m else go (m + 1) (v / 2) in
+  go 0 p
+
+(* Closed form for the bitonic schedule over [padded = 2^m] wires:
+   m*(m+1)/2 passes of padded/2 comparators each. *)
+let expected_count n =
+  let padded = next_pow2 (max 2 n) in
+  let m = log2_exact padded in
+  padded / 2 * (m * (m + 1) / 2)
+
+(** The comparator schedule sorting [n] elements ascending. *)
 let build n =
   let padded = next_pow2 (max 2 n) in
-  let comparators = ref [] in
+  let m = log2_exact padded in
+  let n_passes = m * (m + 1) / 2 in
+  let per_pass = padded / 2 in
+  let total = n_passes * per_pass in
+  let comparators = Array.make total { lo = 0; hi = 0 } in
+  let passes = Array.make n_passes [||] in
+  let next = ref 0 in
+  let pass = ref 0 in
   (* standard iterative bitonic sort over indices 0..padded-1 *)
   let k = ref 2 in
   while !k <= padded do
     let j = ref (!k / 2) in
     while !j >= 1 do
+      let start = !next in
       for i = 0 to padded - 1 do
         let partner = i lxor !j in
         if partner > i then begin
           let ascending = i land !k = 0 in
           let lo, hi = if ascending then (i, partner) else (partner, i) in
-          comparators := { lo; hi } :: !comparators
+          comparators.(!next) <- { lo; hi };
+          incr next
         end
       done;
+      if !next - start <> per_pass then
+        invalid_arg
+          (Printf.sprintf "Sorting_network.build: pass %d emitted %d comparators, expected %d"
+             !pass (!next - start) per_pass);
+      passes.(!pass) <- Array.sub comparators start per_pass;
+      incr pass;
       j := !j / 2
     done;
     k := !k * 2
   done;
-  { n; padded; comparators = List.rev !comparators }
+  (* cross-check construction against the closed form *)
+  if !next <> total || !pass <> n_passes then
+    invalid_arg
+      (Printf.sprintf "Sorting_network.build: emitted %d comparators in %d passes, expected %d in %d"
+         !next !pass total n_passes);
+  { n; padded; comparators; passes }
 
-let comparator_count t = List.length t.comparators
+let comparator_count t = Array.length t.comparators
+
+let pass_count t = Array.length t.passes
 
 (** Apply the network in the clear with a custom order; padding positions
     hold +infinity sentinels and are stripped from the output. *)
@@ -64,7 +106,7 @@ let apply ?(compare = Stdlib.compare) t (data : 'a array) =
     | None, Some _ -> false
     | None, None -> true
   in
-  List.iter
+  Array.iter
     (fun { lo; hi } ->
       if not (le work.(lo) work.(hi)) then begin
         let tmp = work.(lo) in

@@ -139,6 +139,40 @@ let generate ~seed ~case =
     | q -> q
     | exception Invalid_argument _ -> prepare subtree_output
   in
+  (* ORDER BY / LIMIT drawn from a SEPARATE stream: pinned regression
+     seeds keep identical join structure and database content whether or
+     not the order dimension evolves. Half the instances stay unordered;
+     the rest mix aggregate/attribute keys, both directions, and limits
+     covering k = 0, k = 1, k around the group count, and k far above
+     it. *)
+  let order_rng = case_rng (Int64.logxor seed 0x0DDB1A5E0DDB1A5EL) case in
+  let query =
+    if Rng.below order_rng 2 = 0 then query
+    else begin
+      let out_attrs = Schema.to_list query.Secyan.Query.output in
+      let key () =
+        let dir = if Rng.below order_rng 2 = 0 then Secyan.Query.Asc else Secyan.Query.Desc in
+        if out_attrs = [] || Rng.below order_rng 2 = 0 then (Secyan.Query.By_agg, dir)
+        else
+          ( Secyan.Query.By_attr (List.nth out_attrs (Rng.below order_rng (List.length out_attrs))),
+            dir )
+      in
+      let order_by =
+        let ks = List.init (1 + Rng.below order_rng 2) (fun _ -> key ()) in
+        (* duplicate sort keys are legal but pointless; drop repeats *)
+        List.fold_left (fun acc k -> if List.mem_assoc (fst k) acc then acc else acc @ [ k ]) [] ks
+      in
+      let limit =
+        match Rng.below order_rng 6 with
+        | 0 -> None
+        | 1 -> Some 0
+        | 2 -> Some 1
+        | 3 -> Some 1000 (* far above any group count: no truncation *)
+        | _ -> Some (Rng.below order_rng 8)
+      in
+      Secyan.Query.with_order ~order_by ?limit query
+    end
+  in
   { seed; case; query }
 
 let with_masks (t : instance) (masks : (string * bool array) list) =

@@ -1,7 +1,15 @@
 (** Seeded generator of random free-connex join-aggregate instances:
     random acyclic join trees with a free-connex output set, random
     semirings, and databases exercising skew, duplicate keys, empty
-    relations, all-dummy padded inputs, and boundary annotations. *)
+    relations, all-dummy padded inputs, and boundary annotations.
+
+    Half the instances additionally carry an ORDER BY / LIMIT clause
+    (mixed aggregate/attribute keys, both directions, limits covering
+    k = 0, k = 1, k near the group count, and k far above it). The
+    order clause is drawn from a SEPARATE random stream keyed on the
+    same [(seed, case)] pair, so pinned regression seeds keep their
+    exact join structure and database content even as the order
+    dimension evolves. *)
 
 type instance = {
   seed : int64;  (** campaign seed *)

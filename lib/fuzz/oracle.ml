@@ -23,6 +23,17 @@ let content (q : Secyan.Query.t) (r : Relation.t) =
          (Tuple.repr (Tuple.project r.Relation.schema q.Secyan.Query.output t), a))
   |> List.sort compare
 
+(* Ordered instances compare row-for-row IN ORDER, truncated to the
+   limit: executors that materialize the full group list (naive,
+   plaintext) go through the [Query.ordered_rows] oracle; the secure
+   executors' revealed relations are already in query order, so their
+   physical order is the claim under test. *)
+let ordered_oracle (q : Secyan.Query.t) (r : Relation.t) =
+  Secyan.Query.ordered_rows q r |> List.map (fun (t, a) -> (Tuple.repr t, a))
+
+let ordered_revealed (r : Relation.t) =
+  Relation.nonzero r |> List.map (fun (t, a) -> (Tuple.repr t, a))
+
 let pp_rows rows =
   String.concat "; "
     (List.map (fun (t, a) -> Printf.sprintf "%s=%Ld" (if t = "" then "()" else t) a) rows)
@@ -59,12 +70,17 @@ let check (t : Gen.instance) =
         details := Printf.sprintf "%s raised: %s" name (Printexc.to_string e) :: !details;
         None
   in
-  (* reference: naive full join, then aggregate *)
-  let reference =
+  let ordered = Secyan.Query.has_order q in
+  (* reference: naive full join, then aggregate. Ordered instances put
+     the full naive relation through the ordered-rows oracle; the
+     unordered naive content additionally anchors the cartesian-GC
+     scalar check either way. *)
+  let naive_rel =
     run_executor "naive" (fun () ->
-        content q
-          (Yannakakis.naive semiring ~output:q.Secyan.Query.output
-             ~relations:(relations q)))
+        Yannakakis.naive semiring ~output:q.Secyan.Query.output ~relations:(relations q))
+  in
+  let reference =
+    Option.map (fun r -> if ordered then ordered_oracle q r else content q r) naive_rel
   in
   let compare_to name rows =
     match reference with
@@ -77,15 +93,22 @@ let check (t : Gen.instance) =
             :: !details
   in
   (* plaintext three-phase Yannakakis *)
-  (match run_executor "plaintext" (fun () -> content q (Secyan.Query.plaintext q)) with
+  (match
+     run_executor "plaintext" (fun () ->
+         let r = Secyan.Query.plaintext q in
+         if ordered then ordered_oracle q r else content q r)
+   with
   | Some rows -> compare_to "plaintext" rows
   | None -> ());
+  let secure_content revealed =
+    if ordered then ordered_revealed revealed else content q revealed
+  in
   (* secure protocol, pure-accounting simulation *)
   (match
      run_executor "secure-sim" (fun () ->
          let ctx = Context.create ~bits:(Semiring.bits semiring) ~seed:(ctx_seed t) () in
          let revealed, _ = Secyan.Secure_yannakakis.run ctx q in
-         content q revealed)
+         secure_content revealed)
    with
   | Some rows -> compare_to "secure-sim" rows
   | None -> ());
@@ -98,7 +121,7 @@ let check (t : Gen.instance) =
          in
          let revealed, _ = Secyan.Secure_yannakakis.run ctx q in
          Context.close_transport ctx;
-         content q revealed)
+         secure_content revealed)
    with
   | Some rows -> compare_to "secure-pipe" rows
   | None -> ());
@@ -114,8 +137,10 @@ let check (t : Gen.instance) =
           Secret_share.reconstruct ctx m.Secyan_smcql.Cartesian_gc.total)
     with
     | Some total ->
+        (* the baseline has no top-k semantics: anchor it to the full
+           (untruncated) naive content even for ordered instances *)
         let expected =
-          match reference with
+          match Option.map (content q) naive_rel with
           | Some [ (_, a) ] -> a
           | Some [] -> 0L
           | Some _ | None -> total (* unreachable for a scalar aggregate *)

@@ -75,7 +75,7 @@ type rule =
   | Ratio of direction * band  (** gated by default under the tolerance *)
   | Machine of direction  (** gated only under [~strict:true] *)
 
-let int_identity_fields = [ "domains"; "items"; "reps"; "cores"; "pool" ]
+let int_identity_fields = [ "domains"; "items"; "reps"; "cores"; "pool"; "n" ]
 
 (* Supervision/cancellation counters (DESIGN.md §15) and the
    Byzantine-hardening counters (DESIGN.md §16): how often the

@@ -12,7 +12,7 @@
     [*_ms], [*_words*], [alloc_reduction*], [wakeups], [batches]) are
     gated only under [~strict:true].
     Records are matched by their string fields plus conventional integer
-    identity fields ([domains], [items], [reps], [cores]); a base record
+    identity fields ([domains], [items], [reps], [cores], [n]); a base record
     missing from the new file is a regression. See DESIGN.md §13. *)
 
 type severity = Regression | Note

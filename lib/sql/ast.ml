@@ -36,12 +36,25 @@ type aggregate =
   | Min of expr
   | Max of expr
 
+type order_dir = Asc | Desc
+
+(** One ORDER BY item: a name (an output column or an AS alias — the
+    compiler resolves which) or a repeated aggregate spelling
+    ([ORDER BY SUM(...) DESC]). *)
+type order_target =
+  | Order_ref of column
+  | Order_agg of aggregate
+
 type select = {
   out_columns : column list;
   aggregate : aggregate;
+  aggregate_alias : string option;  (** [SUM(...) AS revenue] *)
+  column_aliases : (string * column) list;  (** [c.name AS alias] items *)
   tables : string list;
   where : condition list;     (** conjuncts *)
   group_by : column list;
+  order_by : (order_target * order_dir) list;
+  limit : int option;
 }
 
 let pp_column fmt c =
@@ -57,3 +70,9 @@ let rec pp_expr fmt = function
   | Add (a, b) -> Fmt.pf fmt "(%a + %a)" pp_expr a pp_expr b
   | Sub (a, b) -> Fmt.pf fmt "(%a - %a)" pp_expr a pp_expr b
   | Mul (a, b) -> Fmt.pf fmt "(%a * %a)" pp_expr a pp_expr b
+
+let pp_aggregate fmt = function
+  | Count -> Fmt.string fmt "COUNT(*)"
+  | Sum e -> Fmt.pf fmt "SUM(%a)" pp_expr e
+  | Min e -> Fmt.pf fmt "MIN(%a)" pp_expr e
+  | Max e -> Fmt.pf fmt "MAX(%a)" pp_expr e

@@ -379,8 +379,45 @@ let compile ?(bits = 52) ?(selection = Secyan.Selection.Private) (catalog : cata
       tables
   in
   let output = List.map name_of out_res in
+  (* 8. ORDER BY / LIMIT: resolve each item to an output attribute (by
+     name or AS alias) or to the aggregate (by alias or by repeating its
+     spelling), then attach to the query — the secure runtime executes
+     them as the oblivious sort + top-k phase. *)
+  let order_by =
+    List.map
+      (fun (target, dir) ->
+        let dir =
+          match (dir : Ast.order_dir) with
+          | Ast.Asc -> Secyan.Query.Asc
+          | Ast.Desc -> Secyan.Query.Desc
+        in
+        let by_column c =
+          let rc = resolve_c c in
+          if not (List.mem rc out_res) then
+            fail "ORDER BY column %a is not a selected output column" Ast.pp_column c;
+          (Secyan.Query.By_attr (name_of rc), dir)
+        in
+        match (target : Ast.order_target) with
+        | Ast.Order_agg a ->
+            if a <> q.Ast.aggregate then
+              fail "ORDER BY aggregate %a does not match the selected aggregate %a"
+                Ast.pp_aggregate a Ast.pp_aggregate q.Ast.aggregate;
+            (Secyan.Query.By_agg, dir)
+        | Ast.Order_ref ({ Ast.table = None; name } as c) -> (
+            if q.Ast.aggregate_alias = Some name then (Secyan.Query.By_agg, dir)
+            else
+              match List.assoc_opt name q.Ast.column_aliases with
+              | Some aliased -> by_column aliased
+              | None -> by_column c)
+        | Ast.Order_ref c -> by_column c)
+      q.Ast.order_by
+  in
+  (match q.Ast.limit with
+  | Some k when k < 0 -> fail "LIMIT must be non-negative, got %d" k
+  | _ -> ());
   try
-    Secyan.Query.prepare ~name:"sql" ~semiring ~output ~inputs
+    Secyan.Query.with_order ~order_by ?limit:q.Ast.limit
+      (Secyan.Query.prepare ~name:"sql" ~semiring ~output ~inputs)
   with Invalid_argument msg -> fail "%s" msg
 
 (** Parse and compile in one step. *)

@@ -17,7 +17,7 @@ let fail ~offset fmt = Fmt.kstr (fun message -> raise (Error { offset; message }
 
 let keywords =
   [ "SELECT"; "FROM"; "WHERE"; "GROUP"; "BY"; "AND"; "SUM"; "COUNT"; "MIN"; "MAX";
-    "IN"; "LIKE"; "DATE"; "BETWEEN"; "AS" ]
+    "IN"; "LIKE"; "DATE"; "BETWEEN"; "AS"; "ORDER"; "LIMIT"; "ASC"; "DESC" ]
 
 let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
 let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')

@@ -233,6 +233,45 @@ let select_item st =
       Agg Ast.Count
   | _ -> Out_col (column st)
 
+(* ORDER BY item: a repeated aggregate spelling, or a (possibly aliased)
+   column reference; optional ASC/DESC, defaulting to ASC. *)
+let order_item st =
+  let target =
+    match peek st with
+    | Lexer.Kw ("SUM" | "MIN" | "MAX" | "COUNT") -> (
+        match select_item st with
+        | Agg a -> Ast.Order_agg a
+        | Out_col _ -> assert false)
+    | Lexer.Ident _ -> Ast.Order_ref (column st)
+    | t -> fail st "expected an output column or aggregate after ORDER BY, found %a"
+             Lexer.pp_token t
+  in
+  let dir =
+    match peek st with
+    | Lexer.Kw "ASC" ->
+        advance st;
+        Ast.Asc
+    | Lexer.Kw "DESC" ->
+        advance st;
+        Ast.Desc
+    | _ -> Ast.Asc
+  in
+  (target, dir)
+
+(* SQL clauses this subset recognizes but does not support: fail typed,
+   naming the clause and its position, instead of a generic trailing-token
+   error (they lex as identifiers — none is in the keyword table). *)
+let unsupported_clauses =
+  [ "HAVING"; "OFFSET"; "FETCH"; "UNION"; "EXCEPT"; "INTERSECT"; "WINDOW"; "QUALIFY";
+    "DISTINCT"; "JOIN"; "INNER"; "LEFT"; "RIGHT"; "OUTER"; "CROSS"; "ON"; "USING";
+    "OR"; "NOT"; "EXISTS"; "CASE"; "WITH"; "FOR" ]
+
+let check_unsupported st =
+  match peek st with
+  | Lexer.Ident w when List.mem (String.uppercase_ascii w) unsupported_clauses ->
+      fail st "%s is not supported by this SQL subset" (String.uppercase_ascii w)
+  | _ -> ()
+
 (** Parse one SELECT statement. *)
 let select (src : string) : Ast.select =
   let tokens =
@@ -244,22 +283,29 @@ let select (src : string) : Ast.select =
   expect_kw st "SELECT";
   let rec items acc =
     let item = select_item st in
-    (* optional AS alias is accepted and ignored *)
-    (match peek st with
-    | Lexer.Kw "AS" ->
-        advance st;
-        ignore (ident st)
-    | _ -> ());
-    if accept_symbol st "," then items (item :: acc) else List.rev (item :: acc)
+    let alias =
+      match peek st with
+      | Lexer.Kw "AS" ->
+          advance st;
+          Some (ident st)
+      | _ -> None
+    in
+    if accept_symbol st "," then items ((item, alias) :: acc)
+    else List.rev ((item, alias) :: acc)
   in
   let items = items [] in
   let out_columns =
-    List.filter_map (function Out_col c -> Some c | Agg _ -> None) items
+    List.filter_map (function Out_col c, _ -> Some c | Agg _, _ -> None) items
   in
-  let aggregates = List.filter_map (function Agg a -> Some a | Out_col _ -> None) items in
-  let aggregate =
+  let column_aliases =
+    List.filter_map
+      (function Out_col c, Some a -> Some (a, c) | _ -> None)
+      items
+  in
+  let aggregates = List.filter_map (function Agg a, al -> Some (a, al) | _ -> None) items in
+  let aggregate, aggregate_alias =
     match aggregates with
-    | [ a ] -> a
+    | [ (a, al) ] -> (a, al)
     | [] -> fail st "exactly one aggregate is required (SUM/COUNT/MIN/MAX)"
     | _ -> fail st "only one aggregate per query; use query composition for more"
   in
@@ -269,6 +315,7 @@ let select (src : string) : Ast.select =
     if accept_symbol st "," then tables (t :: acc) else List.rev (t :: acc)
   in
   let tables = tables [] in
+  check_unsupported st;
   let where =
     match peek st with
     | Lexer.Kw "WHERE" ->
@@ -284,6 +331,7 @@ let select (src : string) : Ast.select =
         conjuncts []
     | _ -> []
   in
+  check_unsupported st;
   let group_by =
     match peek st with
     | Lexer.Kw "GROUP" ->
@@ -296,7 +344,51 @@ let select (src : string) : Ast.select =
         cols []
     | _ -> []
   in
+  check_unsupported st;
+  let order_by =
+    match peek st with
+    | Lexer.Kw "ORDER" ->
+        advance st;
+        expect_kw st "BY";
+        let rec order_items acc =
+          let it = order_item st in
+          if accept_symbol st "," then order_items (it :: acc) else List.rev (it :: acc)
+        in
+        order_items []
+    | _ -> []
+  in
+  check_unsupported st;
+  let limit =
+    match peek st with
+    | Lexer.Kw "LIMIT" -> (
+        advance st;
+        match peek st with
+        | Lexer.Int k ->
+            advance st;
+            Some k
+        | Lexer.Symbol "-" -> fail st "LIMIT must be a non-negative integer literal"
+        | t -> fail st "expected an integer after LIMIT, found %a" Lexer.pp_token t)
+    | _ -> None
+  in
   (match peek st with
   | Lexer.Eof -> ()
-  | t -> fail st "trailing input: %a" Lexer.pp_token t);
-  { Ast.out_columns; aggregate; tables; where; group_by }
+  (* clause-ordering mistakes get a typed diagnostic at the clause's own
+     offset, not a generic trailing-token error *)
+  | Lexer.Kw "WHERE" -> fail st "misplaced WHERE: it must come before GROUP BY / ORDER BY / LIMIT"
+  | Lexer.Kw "GROUP" -> fail st "misplaced GROUP BY: it must come before ORDER BY / LIMIT"
+  | Lexer.Kw "ORDER" -> fail st "misplaced or duplicate ORDER BY: it must come after GROUP BY and before LIMIT"
+  | Lexer.Kw "LIMIT" -> fail st "duplicate LIMIT"
+  | t ->
+      check_unsupported st;
+      fail st "trailing input: %a" Lexer.pp_token t);
+  {
+    Ast.out_columns;
+    aggregate;
+    aggregate_alias;
+    column_aliases;
+    tables;
+    where;
+    group_by;
+    order_by;
+    limit;
+  }

@@ -85,7 +85,9 @@ let year_virtual schema t = Value.Int (Value.year_of (Tuple.get schema "o_orderd
 (* --- Query 3 ------------------------------------------------------- *)
 
 (** Q3: revenue of AUTOMOBILE-segment orders not yet shipped as of
-    1995-03-13, grouped by (orderkey, orderdate, shippriority). *)
+    1995-03-13, grouped by (orderkey, orderdate, shippriority); the
+    paper's ORDER BY revenue DESC, o_orderdate LIMIT 10 runs as an
+    oblivious top-k phase (DESIGN.md §17). *)
 let q3 (d : Datagen.dataset) : Secyan.Query.t =
   let cutoff = Value.date ~year:1995 ~month:3 ~day:13 in
   let customer =
@@ -102,21 +104,29 @@ let q3 (d : Datagen.dataset) : Secyan.Query.t =
     shape d.Datagen.lineitem ~name:"lineitem" ~attrs:[ "orderkey" ]
       ~keep:(date_ge "l_shipdate" cutoff) ~annot:revenue ()
   in
-  Secyan.Query.prepare_with_tree ~name:"Q3" ~semiring
-    ~output:[ "orderkey"; "o_orderdate"; "o_shippriority" ]
-    ~inputs:
+  Secyan.Query.with_order
+    ~order_by:
       [
-        ("customer", { Secyan.Query.relation = customer; owner = Party.Alice });
-        ("orders", { Secyan.Query.relation = orders; owner = Party.Bob });
-        ("lineitem", { Secyan.Query.relation = lineitem; owner = Party.Alice });
+        (Secyan.Query.By_agg, Secyan.Query.Desc);
+        (Secyan.Query.By_attr "o_orderdate", Secyan.Query.Asc);
       ]
-    ~root:"orders"
-    ~parents:[ ("customer", "orders"); ("lineitem", "orders") ]
+    ~limit:10
+    (Secyan.Query.prepare_with_tree ~name:"Q3" ~semiring
+       ~output:[ "orderkey"; "o_orderdate"; "o_shippriority" ]
+       ~inputs:
+         [
+           ("customer", { Secyan.Query.relation = customer; owner = Party.Alice });
+           ("orders", { Secyan.Query.relation = orders; owner = Party.Bob });
+           ("lineitem", { Secyan.Query.relation = lineitem; owner = Party.Alice });
+         ]
+       ~root:"orders"
+       ~parents:[ ("customer", "orders"); ("lineitem", "orders") ])
 
 (* --- Query 10 ------------------------------------------------------ *)
 
 (** Q10 (nation rewritten away): revenue of returned items per customer,
-    orders from 1993-08-01 for three months. *)
+    orders from 1993-08-01 for three months; the paper's ORDER BY revenue
+    DESC LIMIT 20 runs as an oblivious top-k phase. *)
 let q10 (d : Datagen.dataset) : Secyan.Query.t =
   let lo = Value.date ~year:1993 ~month:8 ~day:1 in
   let hi = Value.date ~year:1993 ~month:11 ~day:1 in
@@ -135,22 +145,27 @@ let q10 (d : Datagen.dataset) : Secyan.Query.t =
       ~keep:(fun s t -> String.equal (gets s "l_returnflag" t) "R")
       ~annot:revenue ()
   in
-  Secyan.Query.prepare_with_tree ~name:"Q10" ~semiring
-    ~output:[ "custkey"; "c_name"; "c_nationkey" ]
-    ~inputs:
-      [
-        ("customer", { Secyan.Query.relation = customer; owner = Party.Alice });
-        ("orders", { Secyan.Query.relation = orders; owner = Party.Bob });
-        ("lineitem", { Secyan.Query.relation = lineitem; owner = Party.Alice });
-      ]
-    ~root:"customer"
-    ~parents:[ ("lineitem", "orders"); ("orders", "customer") ]
+  Secyan.Query.with_order
+    ~order_by:[ (Secyan.Query.By_agg, Secyan.Query.Desc) ]
+    ~limit:20
+    (Secyan.Query.prepare_with_tree ~name:"Q10" ~semiring
+       ~output:[ "custkey"; "c_name"; "c_nationkey" ]
+       ~inputs:
+         [
+           ("customer", { Secyan.Query.relation = customer; owner = Party.Alice });
+           ("orders", { Secyan.Query.relation = orders; owner = Party.Bob });
+           ("lineitem", { Secyan.Query.relation = lineitem; owner = Party.Alice });
+         ]
+       ~root:"customer"
+       ~parents:[ ("lineitem", "orders"); ("orders", "customer") ])
 
 (* --- Query 18 ------------------------------------------------------ *)
 
 (** Q18: large-volume orders — the IN-subquery (orders with
     sum(l_quantity) > threshold) is evaluated locally by lineitem's owner
-    and padded to |lineitem| to hide its result size. *)
+    and padded to |lineitem| to hide its result size; the paper's ORDER BY
+    o_totalprice DESC, o_orderdate LIMIT 100 runs as an oblivious top-k
+    phase. *)
 let q18 ?(threshold = 300) (d : Datagen.dataset) : Secyan.Query.t =
   let customer =
     shape d.Datagen.customer ~name:"customer" ~attrs:[ "custkey"; "c_name" ] ~keep:always
@@ -185,17 +200,25 @@ let q18 ?(threshold = 300) (d : Datagen.dataset) : Secyan.Query.t =
       ~size:(Relation.cardinality li)
       (Relation.of_list ~name:"sub" ~schema:(Schema.of_list [ "orderkey" ]) qualifying)
   in
-  Secyan.Query.prepare_with_tree ~name:"Q18" ~semiring
-    ~output:[ "c_name"; "custkey"; "orderkey"; "o_orderdate"; "o_totalprice" ]
-    ~inputs:
+  Secyan.Query.with_order
+    ~order_by:
       [
-        ("customer", { Secyan.Query.relation = customer; owner = Party.Bob });
-        ("orders", { Secyan.Query.relation = orders; owner = Party.Alice });
-        ("lineitem", { Secyan.Query.relation = lineitem; owner = Party.Bob });
-        ("sub", { Secyan.Query.relation = sub; owner = Party.Bob });
+        (Secyan.Query.By_attr "o_totalprice", Secyan.Query.Desc);
+        (Secyan.Query.By_attr "o_orderdate", Secyan.Query.Asc);
       ]
-    ~root:"orders"
-    ~parents:[ ("customer", "orders"); ("lineitem", "orders"); ("sub", "orders") ]
+    ~limit:100
+    (Secyan.Query.prepare_with_tree ~name:"Q18" ~semiring
+       ~output:[ "c_name"; "custkey"; "orderkey"; "o_orderdate"; "o_totalprice" ]
+       ~inputs:
+         [
+           ("customer", { Secyan.Query.relation = customer; owner = Party.Bob });
+           ("orders", { Secyan.Query.relation = orders; owner = Party.Alice });
+           ("lineitem", { Secyan.Query.relation = lineitem; owner = Party.Bob });
+           ("sub", { Secyan.Query.relation = sub; owner = Party.Bob });
+         ]
+       ~root:"orders"
+       ~parents:
+         [ ("customer", "orders"); ("lineitem", "orders"); ("sub", "orders") ])
 
 (* --- Query 8 (composed from two join-aggregate queries, §7) --------- *)
 

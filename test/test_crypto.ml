@@ -952,6 +952,273 @@ let test_sorting_network_size () =
   Alcotest.(check int) "n=16" 80 (Sorting_network.comparator_count (Sorting_network.build 16));
   Alcotest.(check int) "n=2" 1 (Sorting_network.comparator_count (Sorting_network.build 2))
 
+(* [apply] agrees with [List.sort] on anything: non-power-of-two sizes,
+   heavy duplicate ranges, and a custom (descending) comparator *)
+let sorting_network_vs_list_sort =
+  QCheck.Test.make ~count:200 ~name:"bitonic apply = List.sort"
+    QCheck.(triple (int_range 1 70) (int_range 1 8) (int_bound 100000))
+    (fun (n, range, seed) ->
+      let prg = Prg.create (Int64.of_int (seed + (n * 1000))) in
+      let data = Array.init n (fun _ -> Prg.below prg range) in
+      let sorted = Sorting_network.apply (Sorting_network.build n) data in
+      Array.to_list sorted = List.sort compare (Array.to_list data))
+
+let sorting_network_descending =
+  QCheck.Test.make ~count:100 ~name:"bitonic apply with descending comparator"
+    QCheck.(pair (int_range 1 50) (int_bound 100000))
+    (fun (n, seed) ->
+      let prg = Prg.create (Int64.of_int seed) in
+      let data = Array.init n (fun _ -> Prg.below prg 100) in
+      let desc a b = compare b a in
+      let sorted = Sorting_network.apply ~compare:desc (Sorting_network.build n) data in
+      Array.to_list sorted = List.sort desc (Array.to_list data))
+
+let test_sorting_network_edges () =
+  Alcotest.(check (array int)) "empty" [||]
+    (Sorting_network.apply (Sorting_network.build 0) [||]);
+  Alcotest.(check (array int)) "singleton" [| 7 |]
+    (Sorting_network.apply (Sorting_network.build 1) [| 7 |]);
+  (* sentinel regression: padding sentinels must never surface among the
+     first n outputs, even when the data equals max_int (the sentinel is
+     Option-None, strictly greater than any payload) *)
+  let data = [| max_int; max_int; max_int |] in
+  Alcotest.(check (array int)) "max_int inputs survive padding" data
+    (Sorting_network.apply (Sorting_network.build 3) data)
+
+let sorting_network_structure =
+  (* the closed form and the pass grouping: [comparator_count = expected_count n],
+     passes concatenate to the schedule, each pass touches disjoint wires *)
+  QCheck.Test.make ~count:100 ~name:"bitonic structure invariants"
+    QCheck.(int_range 0 130)
+    (fun n ->
+      let net = Sorting_network.build n in
+      let m =
+        let rec log2 acc p = if p >= net.Sorting_network.padded then acc else log2 (acc + 1) (p * 2) in
+        log2 0 1
+      in
+      Sorting_network.comparator_count net = Sorting_network.expected_count n
+      && Sorting_network.expected_count n = net.Sorting_network.padded / 2 * (m * (m + 1) / 2)
+      && Sorting_network.pass_count net = m * (m + 1) / 2
+      && Array.concat (Array.to_list net.Sorting_network.passes)
+         = net.Sorting_network.comparators
+      && Array.for_all
+           (fun pass ->
+             let touched = Hashtbl.create 16 in
+             Array.for_all
+               (fun { Sorting_network.lo; hi } ->
+                 (* [lo] is where the min lands; in the descending regions
+                    of the bitonic merge lo > hi, so only distinctness and
+                    per-pass wire-disjointness are invariant *)
+                 let fresh w =
+                   (not (Hashtbl.mem touched w)) && (Hashtbl.add touched w (); true)
+                 in
+                 lo <> hi
+                 && lo >= 0 && hi >= 0
+                 && lo < net.Sorting_network.padded
+                 && hi < net.Sorting_network.padded
+                 && fresh lo && fresh hi)
+               pass)
+           net.Sorting_network.passes)
+
+(* ------------------------------------------------------------------ *)
+(* Oblivious sort / top-k (DESIGN.md §17) *)
+
+(* one descending unsigned key, payload = row index; mirrors the engine's
+   order phase in miniature *)
+let obl_rows ctx ?(key_bits = 8) ?(valid = fun _ -> true) keys =
+  Array.mapi
+    (fun i key ->
+      {
+        Oblivious_sort.valid =
+          Gc_protocol.Priv
+            { owner = Party.Alice; value = (if valid i then 1L else 0L); bits = 1 };
+        valid_if_nonzero = None;
+        keys =
+          [
+            {
+              Oblivious_sort.word =
+                {
+                  Oblivious_sort.input =
+                    Gc_protocol.Priv
+                      { owner = Party.Alice; value = Int64.of_int key; bits = key_bits };
+                  width = key_bits;
+                };
+              descending = false;
+              signed = false;
+            };
+          ];
+        payload =
+          [
+            {
+              Oblivious_sort.input =
+                Gc_protocol.Priv { owner = Party.Alice; value = Int64.of_int i; bits = 8 };
+              width = 8;
+            };
+            {
+              Oblivious_sort.input =
+                Gc_protocol.Shared (Secret_share.of_public ctx (Int64.of_int (100 + i)));
+              width = 16;
+            };
+          ];
+      })
+    keys
+
+let oblivious_sort_matches_clear =
+  QCheck.Test.make ~count:30 ~name:"oblivious top-k = clear sort"
+    QCheck.(triple (int_range 1 20) (int_range 0 22) (int_bound 100000))
+    (fun (n, k, seed) ->
+      let prg = Prg.create (Int64.of_int seed) in
+      let keys = Array.init n (fun _ -> Prg.below prg 6) in
+      let ctx = ctx_sim () in
+      let revealed =
+        Oblivious_sort.top_k_reveal ctx ~k ~to_:Party.Alice (obl_rows ctx keys)
+      in
+      (* clear reference: stable index tagging then sort by (key, idx)?
+         The network is unstable, but with the index in the payload the
+         revealed (key order, then arbitrary among equals) rows must be a
+         permutation of some ascending-key prefix. Compare multisets of
+         keys position-by-position instead: the i-th revealed key rank
+         must equal the i-th smallest key. *)
+      let sorted_keys = List.sort compare (Array.to_list keys) in
+      let expect = List.filteri (fun i _ -> i < min k n) sorted_keys in
+      let got =
+        Array.to_list revealed
+        |> List.filter (fun (invalid, _) -> not invalid)
+        |> List.map (fun (_, payload) ->
+               let idx = Int64.to_int payload.(0) in
+               (* the shared annotation must ride along unharmed *)
+               if payload.(1) <> Int64.of_int (100 + idx) then (-1) else keys.(idx))
+      in
+      Array.length revealed = min k n && got = expect)
+
+let test_oblivious_sort_validity () =
+  (* invalid rows sink below every valid row and never surface in top-k *)
+  let ctx = ctx_sim () in
+  let keys = [| 5; 1; 4; 2; 3 |] in
+  let rows = obl_rows ctx ~valid:(fun i -> i <> 1 && i <> 3) keys in
+  let revealed = Oblivious_sort.top_k_reveal ctx ~k:5 ~to_:Party.Alice rows in
+  let valid_rows =
+    Array.to_list revealed
+    |> List.filter (fun (invalid, _) -> not invalid)
+    |> List.map (fun (_, p) -> keys.(Int64.to_int p.(0)))
+  in
+  Alcotest.(check (list int)) "only valid rows, in key order" [ 3; 4; 5 ] valid_rows;
+  (* the invalid tail is marked *)
+  Alcotest.(check int) "5 positions revealed" 5 (Array.length revealed);
+  Alcotest.(check bool) "tail marked invalid" true (fst revealed.(3) && fst revealed.(4))
+
+let test_oblivious_sort_shape_mismatch () =
+  let ctx = ctx_sim () in
+  let rows = obl_rows ctx [| 1; 2 |] in
+  let bad =
+    [| rows.(0); { rows.(1) with Oblivious_sort.payload = [ List.hd rows.(1).Oblivious_sort.payload ] } |]
+  in
+  (match Oblivious_sort.sort ctx bad with
+  | _ -> Alcotest.fail "mixed shapes must be rejected"
+  | exception Invalid_argument _ -> ());
+  (* width violation: private input wider than the declared width *)
+  let too_wide =
+    [|
+      {
+        (rows.(0)) with
+        Oblivious_sort.keys =
+          [
+            {
+              Oblivious_sort.word =
+                {
+                  Oblivious_sort.input =
+                    Gc_protocol.Priv { owner = Party.Alice; value = 1L; bits = 9 };
+                  width = 8;
+                };
+              descending = false;
+              signed = false;
+            };
+          ];
+      };
+    |]
+  in
+  match Oblivious_sort.sort ctx too_wide with
+  | _ -> Alcotest.fail "width violation must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_oblivious_sort_narrow_ring () =
+  (* regression (fuzz campaign seed 12345, case 19): every normalized
+     sort word becomes an arithmetic share in the context ring, so with a
+     1-bit (boolean) ring a multi-bit rank or index word used to crash
+     exchange_build with Array.sub. Wide words are now rejected up front
+     and callers supply ring-width limbs, most significant first — the
+     composite key concatenation makes limb sequences compare exactly
+     like the wide word. *)
+  let ctx = Context.create ~bits:1 ~gc_backend:Context.Sim ~seed:5L () in
+  let limb bit value =
+    {
+      Oblivious_sort.input =
+        Gc_protocol.Priv
+          { owner = Party.Alice; value = Int64.of_int ((value lsr bit) land 1); bits = 1 };
+      width = 1;
+    }
+  in
+  let key_limb bit value =
+    { Oblivious_sort.word = limb bit value; descending = false; signed = false }
+  in
+  let keys = [| 5; 1; 7; 2; 6; 3 |] in
+  let rows =
+    Array.mapi
+      (fun i key ->
+        {
+          Oblivious_sort.valid =
+            Gc_protocol.Priv { owner = Party.Alice; value = 1L; bits = 1 };
+          valid_if_nonzero = None;
+          keys = [ key_limb 2 key; key_limb 1 key; key_limb 0 key ];
+          payload = [ limb 2 i; limb 1 i; limb 0 i ];
+        })
+      keys
+  in
+  let revealed = Oblivious_sort.top_k_reveal ctx ~k:4 ~to_:Party.Alice rows in
+  let got =
+    Array.to_list revealed
+    |> List.map (fun (invalid, p) ->
+           Alcotest.(check bool) "row valid" false invalid;
+           let idx =
+             Int64.to_int
+               (Array.fold_left (fun acc b -> Int64.logor (Int64.shift_left acc 1) b) 0L p)
+           in
+           keys.(idx))
+  in
+  Alcotest.(check (list int)) "limb keys sort in the 1-bit ring" [ 1; 2; 3; 5 ] got;
+  (* a word wider than the ring is rejected before any circuit runs *)
+  let wide =
+    [|
+      {
+        (rows.(0)) with
+        Oblivious_sort.keys =
+          [
+            {
+              Oblivious_sort.word =
+                {
+                  Oblivious_sort.input =
+                    Gc_protocol.Priv { owner = Party.Alice; value = 5L; bits = 3 };
+                  width = 3;
+                };
+              descending = false;
+              signed = false;
+            };
+          ];
+      };
+    |]
+  in
+  match Oblivious_sort.sort ctx wide with
+  | _ -> Alcotest.fail "ring-exceeding width must be rejected"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "message points at limb splitting" true
+        (String.length msg > 0
+        && (let contains ~sub s =
+              let n = String.length sub and m = String.length s in
+              let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+              go 0
+            in
+            contains ~sub:"limb" msg))
+
 let test_psi_boundary_sizes () =
   (* empty and singleton sets must not break the hashing or the circuits *)
   let ctx = ctx_sim () in
@@ -1238,7 +1505,18 @@ let () =
         ] );
       ( "sorting-network",
         Alcotest.test_case "comparator counts" `Quick test_sorting_network_size
-        :: qsuite [ sorting_network_sorts ] );
+        :: Alcotest.test_case "edge sizes + sentinel regression" `Quick
+             test_sorting_network_edges
+        :: qsuite
+             [
+               sorting_network_sorts; sorting_network_vs_list_sort;
+               sorting_network_descending; sorting_network_structure;
+             ] );
+      ( "oblivious-sort",
+        Alcotest.test_case "validity guard" `Quick test_oblivious_sort_validity
+        :: Alcotest.test_case "shape errors" `Quick test_oblivious_sort_shape_mismatch
+        :: Alcotest.test_case "narrow ring limbs" `Quick test_oblivious_sort_narrow_ring
+        :: qsuite [ oblivious_sort_matches_clear ] );
       ( "psi",
         [
           Alcotest.test_case "with payloads" `Quick test_psi_with_payloads;

@@ -116,6 +116,24 @@ let test_duplicate_tuples () =
   let result = Query.plaintext q in
   Alcotest.(check int64) "sum of products" 638595L result.Relation.annots.(0)
 
+let test_narrow_ring_topk () =
+  (* regression (campaign seed 12345, case 19): ORDER BY over a boolean
+     query — in the 1-bit ring every dense-rank and row-index word of the
+     order phase is wider than the ring and must enter the sort as
+     ring-width limbs; the wide words used to raise Array.sub inside
+     Oblivious_sort.exchange_build *)
+  let r0 =
+    rel ~name:"R0" ~attrs:[ "j" ]
+      [ ([ 0 ], 1L); ([ 1 ], 1L); ([ 2 ], 1L); ([ 3 ], 1L); ([ 1 ], 1L) ]
+  in
+  let r1 = rel ~name:"R1" ~attrs:[ "j" ] [ ([ 1 ], 1L); ([ 2 ], 1L); ([ 3 ], 1L) ] in
+  let q =
+    Query.prepare ~name:"narrow-ring-topk" ~semiring:Semiring.boolean ~output:[ "j" ]
+      ~inputs:[ input ~owner:Party.Alice r0; input ~owner:Party.Bob r1 ]
+  in
+  let q = Query.with_order ~order_by:[ (Query.By_attr "j", Query.Desc) ] ~limit:2 q in
+  check_oracle "narrow-ring top-k" q
+
 let test_boolean_cross_party_fold () =
   (* regression: a 1-bit annotation ring must not truncate the index
      payloads inside the shared-payload PSI of the reduce-phase fold *)
@@ -184,16 +202,19 @@ let test_corpus_campaign () =
     stats.Runner.failures
 
 let test_regression_seeds () =
-  (* the shrunk repros of the two protocol bugs a past campaign found
+  (* the shrunk repros of the protocol bugs past campaigns found
      (final-collapse omission / duplicate-index collision / 1-bit index
-     truncation); they must stay green *)
-  List.iter
-    (fun case ->
-      match Runner.replay ~audit:true { Corpus.seed = 1L; case; masks = [] } with
-      | [] -> ()
-      | details ->
-          Alcotest.failf "seed 1 case %d: %s" case (String.concat " | " details))
-    [ 11; 15; 18; 29 ]
+     truncation, and the order-phase ring-width crash from seed 12345);
+     they must stay green *)
+  let replay seed case =
+    match Runner.replay ~audit:true { Corpus.seed; case; masks = [] } with
+    | [] -> ()
+    | details ->
+        Alcotest.failf "seed %Ld case %d: %s" seed case (String.concat " | " details)
+  in
+  List.iter (replay 1L) [ 11; 15; 18; 29 ];
+  (* ordered boolean instances whose rank/index words exceed the ring *)
+  List.iter (replay 12345L) [ 19; 119 ]
 
 (* ------------------------------------------------------------------ *)
 (* Obliviousness auditor                                              *)
@@ -290,6 +311,7 @@ let () =
           Alcotest.test_case "boundary annotations" `Quick test_boundary_annotations;
           Alcotest.test_case "tropical extremes" `Quick test_tropical_extremes;
           Alcotest.test_case "duplicate tuples" `Quick test_duplicate_tuples;
+          Alcotest.test_case "narrow-ring top-k" `Quick test_narrow_ring_topk;
           Alcotest.test_case "boolean cross-party fold" `Quick
             test_boolean_cross_party_fold;
         ] );

@@ -67,10 +67,29 @@ let test_root_tally_exact () =
 let test_phases_present () =
   let _, _, root = Lazy.force traced_q3 in
   let names = List.map (fun (c : Span.t) -> c.Span.name) (Span.children root) in
+  (* Q3 carries the paper's ORDER BY/LIMIT, so the run ends in the
+     oblivious top-k phase rather than the plain batched reveal. *)
   List.iter
     (fun expected ->
       Alcotest.(check bool) ("phase " ^ expected) true (List.mem expected names))
-    [ "phase:share"; "phase:reduce"; "phase:semijoin"; "phase:join"; "reveal" ]
+    [ "phase:share"; "phase:reduce"; "phase:semijoin"; "phase:join"; "phase:order" ];
+  (* the top-k reveal round nests inside the order phase, never at top level *)
+  Alcotest.(check bool) "no top-level reveal" false (List.mem "reveal" names);
+  let contains ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  let topk = ref false in
+  Span.iter
+    (fun ~depth:_ ~path span ->
+      if span.Span.name = "reveal:topk" then begin
+        topk := true;
+        Alcotest.(check bool) (path ^ ": under phase:order") true
+          (contains ~sub:"phase:order" path)
+      end)
+    root;
+  Alcotest.(check bool) "reveal:topk present" true !topk
 
 (* ------------------------------------------------------------------ *)
 (* Counters vs the cost model *)

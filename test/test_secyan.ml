@@ -616,6 +616,100 @@ let test_protocol_backend_cost_parity () =
   Alcotest.(check bool) "real/sim same cost" true
     (Comm.equal (run Context.Real) (run Context.Sim))
 
+(* ------------------------------------------------------------------ *)
+(* The oblivious ORDER BY / top-k phase (DESIGN.md §17) *)
+
+(* Rows of the revealed relation in their physical (= query) order. *)
+let ordered_content (r : Relation.t) =
+  Relation.nonzero r |> List.map (fun (t, a) -> (Tuple.repr t, a))
+
+let expected_ordered q =
+  Query.ordered_rows q (Query.plaintext q) |> List.map (fun (t, a) -> (Tuple.repr t, a))
+
+let order_query ?order_by ?limit () =
+  let r1 =
+    rel "R1" [ "a"; "b" ]
+      [ ([ 1; 10 ], 2); ([ 2; 10 ], 7); ([ 3; 20 ], 1); ([ 4; 20 ], 7); ([ 5; 30 ], 4) ]
+  in
+  let r2 = rel "R2" [ "b" ] [ ([ 10 ], 3); ([ 20 ], 1); ([ 30 ], 2) ] in
+  Query.with_order ?order_by ?limit
+    (Query.prepare ~name:"order" ~semiring:ring32 ~output:[ "a"; "b" ]
+       ~inputs:
+         [
+           ("R1", { Query.relation = r1; owner = Party.Alice });
+           ("R2", { Query.relation = r2; owner = Party.Bob });
+         ])
+
+let check_ordered ?(ctx = ctx_sim ()) q =
+  let revealed, _ = Secure_yannakakis.run ctx q in
+  Alcotest.(check (list (pair string check_i64)))
+    "ordered result" (expected_ordered q) (ordered_content revealed)
+
+let test_order_by_agg_desc () =
+  check_ordered (order_query ~order_by:[ (Query.By_agg, Query.Desc) ] ())
+
+let test_order_by_attr_asc_limit () =
+  check_ordered
+    (order_query
+       ~order_by:[ (Query.By_attr "b", Query.Asc); (Query.By_agg, Query.Desc) ]
+       ~limit:3 ())
+
+let test_order_limit_edges () =
+  (* k = 0, k = 1, k = n, k > n *)
+  List.iter
+    (fun k -> check_ordered (order_query ~order_by:[ (Query.By_agg, Query.Desc) ] ~limit:k ()))
+    [ 0; 1; 5; 42 ]
+
+let test_order_limit_only () =
+  (* LIMIT without ORDER BY: the implicit repr tiebreak still makes the
+     truncation deterministic and equal to the plaintext reference *)
+  check_ordered (order_query ~limit:2 ())
+
+let test_order_scalar_output () =
+  let r1 = rel "R1" [ "a" ] [ ([ 1 ], 2); ([ 2 ], 3) ] in
+  let r2 = rel "R2" [ "a" ] [ ([ 1 ], 5); ([ 2 ], 1) ] in
+  let q =
+    Query.with_order ~limit:1
+      (Query.prepare ~name:"scalar" ~semiring:ring32 ~output:[]
+         ~inputs:
+           [
+             ("R1", { Query.relation = r1; owner = Party.Alice });
+             ("R2", { Query.relation = r2; owner = Party.Bob });
+           ])
+  in
+  check_ordered q
+
+let test_order_empty_result () =
+  let r1 = rel "R1" [ "a"; "b" ] [ ([ 1; 10 ], 2) ] in
+  let r2 = rel "R2" [ "b" ] [ ([ 99 ], 5) ] in
+  let q =
+    Query.with_order ~order_by:[ (Query.By_agg, Query.Desc) ] ~limit:3
+      (Query.prepare ~name:"empty-order" ~semiring:ring32 ~output:[ "a" ]
+         ~inputs:
+           [
+             ("R1", { Query.relation = r1; owner = Party.Alice });
+             ("R2", { Query.relation = r2; owner = Party.Bob });
+           ])
+  in
+  check_ordered q
+
+let test_order_real_backend () =
+  check_ordered ~ctx:(ctx_real ())
+    (order_query ~order_by:[ (Query.By_agg, Query.Desc) ] ~limit:2 ())
+
+let test_order_domains_bit_identical () =
+  let q = order_query ~order_by:[ (Query.By_agg, Query.Desc) ] ~limit:3 () in
+  let run domains =
+    let ctx = Context.create ~gc_backend:Context.Sim ~domains ~seed:7L () in
+    let revealed, stats = Secure_yannakakis.run ctx q in
+    Context.shutdown_pool ctx;
+    (ordered_content revealed, stats.Secure_yannakakis.tally)
+  in
+  let r1, t1 = run 1 and r2, t2 = run 2 and r4, t4 = run 4 in
+  Alcotest.(check (list (pair string check_i64))) "domains 2 = 1" r1 r2;
+  Alcotest.(check (list (pair string check_i64))) "domains 4 = 1" r1 r4;
+  Alcotest.(check bool) "tallies identical" true (Comm.equal t1 t2 && Comm.equal t1 t4)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -666,6 +760,14 @@ let () =
           Alcotest.test_case "empty result" `Quick test_protocol_empty_result;
           Alcotest.test_case "all dummies" `Quick test_protocol_all_dummies;
           Alcotest.test_case "singletons" `Quick test_protocol_singletons;
+          Alcotest.test_case "order by agg desc" `Quick test_order_by_agg_desc;
+          Alcotest.test_case "order by attr + limit" `Quick test_order_by_attr_asc_limit;
+          Alcotest.test_case "limit edge cases" `Quick test_order_limit_edges;
+          Alcotest.test_case "limit without order by" `Quick test_order_limit_only;
+          Alcotest.test_case "order on scalar output" `Quick test_order_scalar_output;
+          Alcotest.test_case "order on empty result" `Quick test_order_empty_result;
+          Alcotest.test_case "order real backend" `Quick test_order_real_backend;
+          Alcotest.test_case "order domains bit-identical" `Quick test_order_domains_bit_identical;
         ]
         @ qsuite [ tropical_operators_random; protocol_random_trees ] );
       ( "obliviousness",

@@ -112,6 +112,57 @@ let test_q3_result_nonempty () =
   let plain = Secyan.Query.plaintext q in
   Alcotest.(check bool) "q3 has results" true (Relation.nonzero plain <> [])
 
+(* ------------------------------------------------------------------ *)
+(* The restored top-k clauses (ORDER BY / LIMIT): the revealed relation
+   must list rows in the paper's order, truncated to the paper's k, and
+   agree with the plaintext oracle [Query.ordered_rows] — here checked in
+   physical order, not sorted, so the oblivious sort itself is on trial. *)
+
+let ordered_content (r : Relation.t) =
+  Relation.nonzero r |> List.map (fun (t, a) -> (Tuple.repr t, a))
+
+let check_ordered ?ctx q =
+  let ctx = match ctx with Some c -> c | None -> Queries.context ~seed:99L () in
+  let revealed, _ = Secyan.Secure_yannakakis.run ctx q in
+  let expected =
+    Secyan.Query.ordered_rows q (Secyan.Query.plaintext q)
+    |> List.map (fun (t, a) -> (Tuple.repr t, a))
+  in
+  Alcotest.(check bool) "query carries an order clause" true (Secyan.Query.has_order q);
+  Alcotest.(check (list (pair string check_i64)))
+    (q.Secyan.Query.name ^ " top-k secure = plaintext oracle")
+    expected (ordered_content revealed)
+
+let test_q3_topk () = check_ordered (Queries.q3 (small ()))
+let test_q10_topk () = check_ordered (Queries.q10 (small ()))
+let test_q18_topk () = check_ordered (Queries.q18 ~threshold:100 (small ()))
+
+(* the same ordered result over real framed channels (inproc and tcp) *)
+let test_topk_transports () =
+  let q = Queries.q3 (xs ()) in
+  List.iter
+    (fun raw ->
+      let tr = Secyan_net.Resilient.create raw in
+      Fun.protect ~finally:(fun () -> Secyan_net.Resilient.close tr) @@ fun () ->
+      check_ordered ~ctx:(Queries.context ~transport:tr ~seed:99L ()) q)
+    [ Secyan_net.Transport.inproc (); Secyan_net.Transport.tcp () ]
+
+(* pool sizes 1/2/4: ordered rows and comm tallies bit-identical *)
+let test_topk_domains_identical () =
+  let q = Queries.q3 (xs ()) in
+  let run domains =
+    let ctx = Queries.context ~domains ~seed:99L () in
+    Fun.protect ~finally:(fun () -> Secyan_crypto.Context.shutdown_pool ctx)
+    @@ fun () ->
+    let revealed, stats = Secyan.Secure_yannakakis.run ctx q in
+    (ordered_content revealed, stats.Secyan.Secure_yannakakis.tally)
+  in
+  let r1, t1 = run 1 and r2, t2 = run 2 and r4, t4 = run 4 in
+  Alcotest.(check (list (pair string check_i64))) "domains 2 = 1 rows" r1 r2;
+  Alcotest.(check (list (pair string check_i64))) "domains 4 = 1 rows" r1 r4;
+  Alcotest.(check bool) "domains 2 = 1 tally" true (Secyan_crypto.Comm.equal t1 t2);
+  Alcotest.(check bool) "domains 4 = 1 tally" true (Secyan_crypto.Comm.equal t1 t4)
+
 (* Transcript sizes must depend only on public information (input sizes
    and OUT): an isomorphic instance — all join keys shifted by a constant,
    so selections and join structure are untouched — must generate a
@@ -168,15 +219,28 @@ let test_q9_composed () =
   Alcotest.(check (list (triple int int int))) "q9 secure = plaintext"
     (List.sort compare expected) (List.sort compare got)
 
-(* the paper: round count depends only on the query, not the data size *)
+(* the paper: round count of the join-aggregate core depends only on the
+   query, not the data size. The oblivious top-k phase is the one
+   exception — its bitonic schedule has [Sorting_network.pass_count]
+   rounds of compare-exchanges, which grows as log^2 of the (public)
+   padded result size. Check both halves. *)
 let test_rounds_scale_free () =
   let rounds sf =
     let d = Datagen.generate ~sf ~seed:1L in
-    let ctx = Queries.context ~seed:3L () in
-    let _, stats = Secyan.Secure_yannakakis.run ctx (Queries.q3 d) in
-    stats.Secyan.Secure_yannakakis.tally.Secyan_crypto.Comm.rounds
+    let q = Queries.q3 d in
+    let core_rounds q =
+      let ctx = Queries.context ~seed:3L () in
+      let _, stats = Secyan.Secure_yannakakis.run ctx q in
+      stats.Secyan.Secure_yannakakis.tally.Secyan_crypto.Comm.rounds
+    in
+    (* stripped of ORDER BY / LIMIT: the scale-free core *)
+    (core_rounds (Secyan.Query.with_order q), core_rounds q)
   in
-  Alcotest.(check int) "rounds independent of data size" (rounds 4e-5) (rounds 1.2e-4)
+  let core_small, full_small = rounds 4e-5 in
+  let core_big, full_big = rounds 1.2e-4 in
+  Alcotest.(check int) "core rounds independent of data size" core_small core_big;
+  Alcotest.(check bool) "top-k phase adds rounds with data size" true
+    (full_big - core_big >= full_small - core_small)
 
 (* Figure 6 measures one nation and multiplies by 25: valid only if the
    oblivious per-nation runs cost exactly the same. *)
@@ -246,6 +310,14 @@ let () =
           Alcotest.test_case "Q1 (extra)" `Quick test_q1_single_relation;
           Alcotest.test_case "Q4 (extra)" `Quick test_q4_exists_subquery;
           Alcotest.test_case "Q14 (extra)" `Quick test_q14_composition;
+        ] );
+      ( "top-k",
+        [
+          Alcotest.test_case "Q3 ordered" `Quick test_q3_topk;
+          Alcotest.test_case "Q10 ordered" `Quick test_q10_topk;
+          Alcotest.test_case "Q18 ordered" `Quick test_q18_topk;
+          Alcotest.test_case "transports" `Quick test_topk_transports;
+          Alcotest.test_case "domains 1/2/4 identical" `Quick test_topk_domains_identical;
         ] );
       ( "cost-structure",
         [
